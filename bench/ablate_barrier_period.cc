@@ -1,0 +1,70 @@
+// Ablation B — where does the G-line barrier stop mattering?
+//
+// Sweeps the inter-barrier compute (the "barrier period") of a
+// synthetic workload and reports GL's execution-time reduction over
+// DSW. This explains the paper's Figure-6 spread: Kernel3 (period
+// ~2.9k cycles) gains 88% while OCEAN (period ~205k) gains 5%.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "workloads/workload.h"
+
+namespace {
+
+// Synthetic with a configurable busy period between barriers.
+class PeriodicBarriers final : public glb::workloads::Workload {
+ public:
+  PeriodicBarriers(std::uint32_t barriers, glb::Cycle work)
+      : barriers_(barriers), work_(work) {}
+  const char* name() const override { return "PeriodicBarriers"; }
+  std::string input_desc() const override {
+    return std::to_string(barriers_) + " barriers, " + std::to_string(work_) +
+           " busy cycles between";
+  }
+  void Init(glb::cmp::CmpSystem&) override {}
+  glb::core::Task Body(glb::core::Core& core, glb::CoreId,
+                       glb::sync::Barrier& barrier) override {
+    for (std::uint32_t i = 0; i < barriers_; ++i) {
+      co_await core.Compute(work_);
+      co_await barrier.Wait(core);
+    }
+  }
+  std::string Validate(glb::cmp::CmpSystem&) override { return ""; }
+
+ private:
+  std::uint32_t barriers_;
+  glb::Cycle work_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace glb;
+  Flags flags(argc, argv);
+  const auto cfg = bench::ConfigFromFlags(flags);
+  const auto barriers = static_cast<std::uint32_t>(flags.GetInt("barriers", 100));
+
+  std::cout << "Ablation B: GL benefit vs barrier period (" << cfg.num_cores()
+            << " cores, " << barriers << " barriers)\n\n";
+
+  harness::Table t({"Busy cycles", "DSW period", "DSW cycles", "GL cycles",
+                    "GL reduction"});
+  for (Cycle work : {0ull, 100ull, 500ull, 2000ull, 10000ull, 50000ull, 200000ull}) {
+    auto factory = [barriers, work]() {
+      return std::make_unique<PeriodicBarriers>(barriers, work);
+    };
+    const auto dsw = harness::RunExperiment(factory, harness::BarrierKind::kDSW, cfg);
+    const auto gl = harness::RunExperiment(factory, harness::BarrierKind::kGL, cfg);
+    const double red =
+        1.0 - static_cast<double>(gl.cycles) / static_cast<double>(dsw.cycles);
+    t.AddRow({std::to_string(work), harness::Table::Num(dsw.barrier_period),
+              harness::Table::Num(dsw.cycles), harness::Table::Num(gl.cycles),
+              harness::Table::Pct(red)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nShape: the reduction collapses as the period grows — exactly why"
+               " OCEAN/UNSTRUCTURED\n(periods 205k/67k) gain only 5%/3% in the"
+               " paper while the kernels gain 47-88%.\n";
+  return 0;
+}

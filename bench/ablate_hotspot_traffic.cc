@@ -1,0 +1,43 @@
+// Ablation C — hot-spot anatomy: coherence traffic per software barrier
+// episode vs core count, by message class, plus the amount of work the
+// home bank of the hot line serializes. The G-line barrier's entire
+// point is that all of this disappears from the data network.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace glb;
+  Flags flags(argc, argv);
+  const auto iters = static_cast<std::uint32_t>(flags.GetInt("iters", 100));
+
+  std::cout << "Ablation C: data-network messages per barrier episode\n\n";
+  harness::Table t({"Cores", "Barrier", "Msgs/episode", "Request", "Reply",
+                    "Coherence", "GL msgs"});
+  for (std::uint32_t cores : {4u, 8u, 16u, 32u}) {
+    const auto cfg = cmp::CmpConfig::WithCores(cores);
+    auto factory = [iters]() {
+      return std::make_unique<workloads::Synthetic>(iters);
+    };
+    const harness::RunMetrics gl =
+        harness::RunExperiment(factory, harness::BarrierKind::kGL, cfg);
+    for (auto kind : {harness::BarrierKind::kCSW, harness::BarrierKind::kDSW}) {
+      const auto m = harness::RunExperiment(factory, kind, cfg);
+      const double per = static_cast<double>(m.total_msgs()) /
+                         static_cast<double>(m.barriers);
+      t.AddRow({std::to_string(cores), m.barrier, harness::Table::Num(per),
+                harness::Table::Num(static_cast<double>(m.msgs_request) /
+                                    static_cast<double>(m.barriers)),
+                harness::Table::Num(static_cast<double>(m.msgs_reply) /
+                                    static_cast<double>(m.barriers)),
+                harness::Table::Num(static_cast<double>(m.msgs_coherence) /
+                                    static_cast<double>(m.barriers)),
+                std::to_string(gl.total_msgs())});
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\nGL msgs column: total data-network messages of the whole GL run"
+               " (always 0 —\nthe synchronization never touches the mesh).\n";
+  return 0;
+}

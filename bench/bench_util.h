@@ -1,0 +1,115 @@
+// Shared helpers for the benchmark harnesses: flag-driven workload
+// factories and configuration, so every table/figure binary accepts the
+// same knobs (--cores, --paper-scale, workload size overrides).
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "cmp/cmp_system.h"
+#include "common/flags.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workloads/em3d.h"
+#include "workloads/livermore.h"
+#include "workloads/ocean.h"
+#include "workloads/synthetic.h"
+#include "workloads/unstructured.h"
+
+namespace glb::bench {
+
+/// Benchmark inputs. Defaults are scaled for a laptop-class host while
+/// keeping the paper's barrier structure (counts and periods); with
+/// --paper-scale the exact Table-2 inputs are used (slow!).
+struct Scale {
+  bool paper = false;
+  std::uint32_t synthetic_iters = 1000;
+  std::uint32_t k2_n = 1024, k2_iters = 20;
+  std::uint32_t k3_n = 1024, k3_iters = 100;
+  std::uint32_t k6_n = 256, k6_iters = 2;
+  std::uint32_t em3d_nodes = 2400, em3d_steps = 25;
+  std::uint32_t ocean_grid = 66, ocean_iters = 30;
+  std::uint32_t unstr_nodes = 2048, unstr_edges = 8192, unstr_steps = 4;
+
+  static Scale FromFlags(const Flags& flags) {
+    Scale s;
+    if (flags.GetBool("paper-scale", false)) {
+      s.paper = true;
+      s.synthetic_iters = 100000;
+      s.k2_n = 1024;
+      s.k2_iters = 1000;
+      s.k3_n = 1024;
+      s.k3_iters = 1000;
+      s.k6_n = 1024;
+      s.k6_iters = 1000;
+      s.em3d_nodes = 19200;  // 38,400 total E+H nodes
+      s.em3d_steps = 25;
+      s.ocean_grid = 258;
+      s.ocean_iters = 120;
+      s.unstr_nodes = 2048;
+      s.unstr_edges = 8192;
+      s.unstr_steps = 8;
+    }
+    s.synthetic_iters = static_cast<std::uint32_t>(
+        flags.GetInt("synthetic-iters", s.synthetic_iters));
+    s.k2_iters = static_cast<std::uint32_t>(flags.GetInt("k2-iters", s.k2_iters));
+    s.k3_iters = static_cast<std::uint32_t>(flags.GetInt("k3-iters", s.k3_iters));
+    s.k6_iters = static_cast<std::uint32_t>(flags.GetInt("k6-iters", s.k6_iters));
+    s.em3d_steps = static_cast<std::uint32_t>(flags.GetInt("em3d-steps", s.em3d_steps));
+    s.ocean_iters =
+        static_cast<std::uint32_t>(flags.GetInt("ocean-iters", s.ocean_iters));
+    s.unstr_steps =
+        static_cast<std::uint32_t>(flags.GetInt("unstr-steps", s.unstr_steps));
+    return s;
+  }
+};
+
+inline harness::WorkloadFactory FactoryFor(const std::string& name, const Scale& s) {
+  using namespace workloads;
+  if (name == "Synthetic") {
+    return [s]() { return std::make_unique<Synthetic>(s.synthetic_iters); };
+  }
+  if (name == "Kernel2") {
+    return [s]() { return std::make_unique<Kernel2>(s.k2_n, s.k2_iters); };
+  }
+  if (name == "Kernel3") {
+    return [s]() { return std::make_unique<Kernel3>(s.k3_n, s.k3_iters); };
+  }
+  if (name == "Kernel6") {
+    return [s]() { return std::make_unique<Kernel6>(s.k6_n, s.k6_iters); };
+  }
+  if (name == "EM3D") {
+    Em3d::Config cfg;
+    cfg.nodes = s.em3d_nodes;
+    cfg.timesteps = s.em3d_steps;
+    return [cfg]() { return std::make_unique<Em3d>(cfg); };
+  }
+  if (name == "OCEAN") {
+    Ocean::Config cfg;
+    cfg.grid = s.ocean_grid;
+    cfg.iterations = s.ocean_iters;
+    return [cfg]() { return std::make_unique<Ocean>(cfg); };
+  }
+  if (name == "UNSTRUCTURED") {
+    Unstructured::Config cfg;
+    cfg.nodes = s.unstr_nodes;
+    cfg.edges = s.unstr_edges;
+    cfg.timesteps = s.unstr_steps;
+    return [cfg]() { return std::make_unique<Unstructured>(cfg); };
+  }
+  std::cerr << "unknown workload: " << name << '\n';
+  std::exit(2);
+}
+
+inline const char* const kKernels[] = {"Kernel2", "Kernel3", "Kernel6"};
+inline const char* const kApplications[] = {"UNSTRUCTURED", "OCEAN", "EM3D"};
+
+inline cmp::CmpConfig ConfigFromFlags(const Flags& flags) {
+  const auto cores = static_cast<std::uint32_t>(flags.GetInt("cores", 32));
+  auto cfg = cmp::CmpConfig::WithCores(cores);
+  return cfg;
+}
+
+}  // namespace glb::bench

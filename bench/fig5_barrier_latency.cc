@@ -1,0 +1,49 @@
+// Figure 5 — average time per barrier for the three mechanisms (CSW,
+// DSW, GL) as the core count grows. Methodology from the paper: a loop
+// of four consecutive barriers with no work between them; average time
+// per barrier = total cycles / (4 * iterations). The paper plots 4..32
+// cores on a log-scale y axis; the expected shape is CSW growing
+// steeply (hot-spot), DSW growing like log2(P) tree rounds, and GL flat
+// at a handful of cycles (13 in the paper's measurement, 4 ideal).
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace glb;
+  Flags flags(argc, argv);
+  bench::Scale scale = bench::Scale::FromFlags(flags);
+  if (!flags.Has("synthetic-iters") && !flags.Has("paper-scale")) {
+    scale.synthetic_iters = 200;  // stationary well before this
+  }
+
+  std::cout << "Figure 5: average cycles per barrier (synthetic, "
+            << scale.synthetic_iters << " iterations x 4 barriers)\n\n";
+
+  harness::Table t({"Cores", "CSW", "DSW", "GL", "CSW/GL", "DSW/GL"});
+  for (std::uint32_t cores : {4u, 8u, 16u, 32u}) {
+    const auto cfg = cmp::CmpConfig::WithCores(cores);
+    const auto factory = bench::FactoryFor("Synthetic", scale);
+    double avg[3] = {};
+    int idx = 0;
+    for (auto kind : {harness::BarrierKind::kCSW, harness::BarrierKind::kDSW,
+                      harness::BarrierKind::kGL}) {
+      const auto m = harness::RunExperiment(factory, kind, cfg);
+      if (!m.completed || !m.validation.empty()) {
+        std::cerr << "run failed: " << m.workload << "/" << m.barrier << '\n';
+        return 1;
+      }
+      avg[idx++] = static_cast<double>(m.cycles) /
+                   static_cast<double>(m.barriers);
+    }
+    t.AddRow({std::to_string(cores), harness::Table::Num(avg[0]),
+              harness::Table::Num(avg[1]), harness::Table::Num(avg[2]),
+              harness::Table::Num(avg[0] / avg[2], 1),
+              harness::Table::Num(avg[1] / avg[2], 1)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nPaper shape: GL flat (~13 cycles measured, 4 ideal); DSW and CSW"
+               " grow with cores,\nCSW worst (hot-spot on one counter line)."
+               " Log-scale separation of orders of magnitude at 32 cores.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 6 — normalized execution time, broken down into the paper's
+// categories (Barrier / Write / Read / Lock / Busy), for the best
+// software barrier (DSW) vs. the G-line barrier (GL) on the Table-1
+// 32-core machine, for the three Livermore kernels and the three
+// scientific applications, plus the AVG_K / AVG_A summary rows.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace glb;
+  Flags flags(argc, argv);
+  const bench::Scale scale = bench::Scale::FromFlags(flags);
+  const auto cfg = bench::ConfigFromFlags(flags);
+
+  std::cout << "Figure 6: normalized execution time breakdown, DSW vs GL ("
+            << cfg.num_cores() << " cores)\n\n";
+
+  std::vector<harness::RunMetrics> runs;
+  auto run_set = [&](const char* const (&names)[3], const char* label,
+                     double* avg_reduction) {
+    double sum_ratio = 0;
+    for (const char* name : names) {
+      for (auto kind : {harness::BarrierKind::kDSW, harness::BarrierKind::kGL}) {
+        auto m = harness::RunExperiment(bench::FactoryFor(name, scale), kind, cfg);
+        if (!m.completed || !m.validation.empty()) {
+          std::cerr << "run failed: " << name << "/" << harness::ToString(kind)
+                    << ": " << m.validation << '\n';
+          std::exit(1);
+        }
+        runs.push_back(std::move(m));
+      }
+      const auto& dsw = runs[runs.size() - 2];
+      const auto& gl = runs[runs.size() - 1];
+      sum_ratio += static_cast<double>(gl.cycles) / static_cast<double>(dsw.cycles);
+    }
+    *avg_reduction = 1.0 - sum_ratio / 3.0;
+    (void)label;
+  };
+
+  double avg_k = 0, avg_a = 0;
+  run_set(bench::kKernels, "AVG_K", &avg_k);
+  run_set(bench::kApplications, "AVG_A", &avg_a);
+
+  harness::PrintBreakdownTable(std::cout, runs, "DSW");
+
+  std::cout << "\nAVG_K: GL reduces kernel execution time by "
+            << harness::Table::Pct(avg_k) << " (paper: 68%)\n";
+  std::cout << "AVG_A: GL reduces application execution time by "
+            << harness::Table::Pct(avg_a) << " (paper: 21%)\n";
+  std::cout << "\nPer-benchmark reductions (paper: K2 70%, K3 88%, K6 47%, "
+               "UNSTRUCTURED 3%, OCEAN 5%, EM3D 54%):\n";
+  for (std::size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const double red = 1.0 - static_cast<double>(runs[i + 1].cycles) /
+                                 static_cast<double>(runs[i].cycles);
+    std::cout << "  " << runs[i].workload << ": " << harness::Table::Pct(red) << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Micro-benchmarks of the simulator substrate itself (google-benchmark):
+// event-queue throughput, cache array operations, NoC message cost,
+// coherent load hits, and full G-line barrier episodes. These set the
+// wall-clock expectations for the bigger harnesses.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cmp/cmp_system.h"
+#include "common/stats.h"
+#include "gline/barrier_network.h"
+#include "mem/cache_array.h"
+#include "noc/mesh.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace glb;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      e.ScheduleAt(i % 1024, []() {});
+    }
+    e.RunUntilIdle();
+    benchmark::DoNotOptimize(e.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_CacheArrayLookupHit(benchmark::State& state) {
+  struct Meta {
+    int s = 0;
+  };
+  mem::CacheArray<Meta> cache(mem::CacheGeometry{32 * 1024, 4, 64});
+  for (Addr a = 0; a < 16 * 1024; a += 64) cache.Install(cache.VictimFor(a), a);
+  Addr a = 0;
+  for (auto _ : state) {
+    auto* line = cache.Lookup(a);
+    benchmark::DoNotOptimize(line);
+    a = (a + 64) % (16 * 1024);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookupHit);
+
+void BM_MeshMessage(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine;
+    StatSet stats;
+    noc::MeshConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 8;
+    noc::Mesh mesh(engine, cfg, stats);
+    state.ResumeTiming();
+    for (int i = 0; i < 256; ++i) {
+      noc::Packet p;
+      p.src = static_cast<CoreId>(i % 32);
+      p.dst = static_cast<CoreId>((i * 7) % 32);
+      p.bytes = 75;
+      p.deliver = []() {};
+      mesh.Send(std::move(p));
+    }
+    engine.RunUntilIdle();
+  }
+  state.SetItemsProcessed(256 * state.iterations());
+}
+BENCHMARK(BM_MeshMessage);
+
+void BM_CoherentLoadHit(benchmark::State& state) {
+  cmp::CmpSystem sys(cmp::CmpConfig::WithCores(4));
+  // Warm one line into the L1.
+  bool done = false;
+  sys.fabric().l1(0).Load(0x1000, [&](Word) { done = true; });
+  sys.engine().RunUntilIdle();
+  GLB_CHECK(done) << "warmup failed";
+  for (auto _ : state) {
+    bool hit = false;
+    sys.fabric().l1(0).Load(0x1000, [&](Word) { hit = true; });
+    sys.engine().RunUntilIdle();
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherentLoadHit);
+
+void BM_GlineBarrierEpisode(benchmark::State& state) {
+  const auto cores = static_cast<std::uint32_t>(state.range(0));
+  const auto cfg = cmp::CmpConfig::WithCores(cores);
+  sim::Engine engine;
+  StatSet stats;
+  gline::BarrierNetwork net(engine, cfg.rows, cfg.cols, cfg.gline, stats);
+  for (auto _ : state) {
+    const Cycle t = engine.Now() + 1;
+    engine.ScheduleAt(t, [&]() {
+      for (CoreId c = 0; c < cores; ++c) {
+        net.Arrive(0, c, []() {});
+      }
+    });
+    engine.RunUntilIdle();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GlineBarrierEpisode)->Arg(4)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

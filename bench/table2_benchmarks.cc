@@ -1,0 +1,38 @@
+// Table 2 — benchmark configuration: input size, #Barriers and barrier
+// period (average cycles between consecutive barriers), measured by
+// running every benchmark on the Table-1 machine with the GL barrier
+// (the paper computes the period as total cycles / total barriers).
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace glb;
+  Flags flags(argc, argv);
+  const bench::Scale scale = bench::Scale::FromFlags(flags);
+  const auto cfg = bench::ConfigFromFlags(flags);
+
+  std::cout << "Table 2: benchmark configuration (measured on " << cfg.num_cores()
+            << " cores, GL barrier)\n";
+  std::cout << "Paper reference (32 cores): Synthetic 400,000 barriers / period 2,568;"
+               " Kernel2 10,000 / 3,103; Kernel3 1,000 / 2,862;\n"
+               "  Kernel6 1,022,000 / 4,908; OCEAN 364 / 205,206;"
+               " UNSTRUCTURED 80 / 67,361; EM3D 198 / 3,673\n\n";
+
+  harness::Table t({"Benchmark", "Input Size", "#Barriers", "Barrier Period", "Valid"});
+  for (const char* name : {"Synthetic", "Kernel2", "Kernel3", "Kernel6", "OCEAN",
+                           "UNSTRUCTURED", "EM3D"}) {
+    const auto factory = bench::FactoryFor(name, scale);
+    const std::string desc = factory()->input_desc();
+    const auto m =
+        harness::RunExperiment(factory, harness::BarrierKind::kGL, cfg);
+    t.AddRow({name, desc, harness::Table::Num(m.barriers),
+              harness::Table::Num(m.barrier_period),
+              m.validation.empty() ? "ok" : "FAIL: " + m.validation});
+  }
+  t.Print(std::cout);
+  std::cout << "\n(Defaults are host-scaled; pass --paper-scale for the paper's exact"
+               " inputs.)\n";
+  return 0;
+}

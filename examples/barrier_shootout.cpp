@@ -1,0 +1,69 @@
+// Barrier shootout: a fork/join pipeline with deliberately imbalanced
+// stages, showing how the three barrier mechanisms behave when cores
+// arrive at very different times (the S2/busy-wait-dominated regime the
+// paper discusses for OCEAN and UNSTRUCTURED).
+//
+//   $ ./barrier_shootout [--cores N] [--phases K] [--skew CYCLES]
+#include <iostream>
+
+#include "cmp/cmp_system.h"
+#include "common/flags.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "sync/barrier.h"
+
+using namespace glb;
+
+namespace {
+
+// Each phase: core i computes for base + (i*skew % spread) cycles, then
+// synchronizes. The last arriver dominates; the barrier mechanism only
+// controls the tail after that arrival.
+core::Task SkewedPhases(core::Core& core, CoreId id, sync::Barrier& barrier,
+                        int phases, Cycle base, Cycle skew) {
+  for (int p = 0; p < phases; ++p) {
+    const Cycle work =
+        base + (static_cast<Cycle>(id) * skew + static_cast<Cycle>(p) * 17) %
+                   (skew * 8 + 1);
+    co_await core.Compute(work);
+    co_await barrier.Wait(core);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto cores = static_cast<std::uint32_t>(flags.GetInt("cores", 32));
+  const int phases = static_cast<int>(flags.GetInt("phases", 50));
+  const auto base = static_cast<Cycle>(flags.GetInt("base", 200));
+
+  std::cout << "Barrier shootout: " << cores << " cores, " << phases
+            << " skewed fork/join phases\n\n";
+
+  harness::Table t({"Skew", "Barrier", "Cycles", "Barrier time", "Busy time",
+                    "NoC msgs"});
+  for (Cycle skew : {0ull, 50ull, 500ull}) {
+    for (auto kind : {harness::BarrierKind::kGL, harness::BarrierKind::kDSW,
+                      harness::BarrierKind::kCSW}) {
+      cmp::CmpSystem sys(cmp::CmpConfig::WithCores(cores));
+      auto barrier = harness::MakeBarrier(kind, sys);
+      const bool ok = sys.RunPrograms([&](core::Core& c, CoreId id) {
+        return SkewedPhases(c, id, *barrier, phases, base, skew);
+      });
+      GLB_CHECK(ok) << "run did not finish";
+      const auto bd = sys.TotalBreakdown();
+      t.AddRow({std::to_string(skew), barrier->name(),
+                std::to_string(sys.LastFinish()),
+                std::to_string(bd[core::TimeCat::kBarrier]),
+                std::to_string(bd[core::TimeCat::kBusy]),
+                std::to_string(sys.stats().SumCountersWithPrefix("noc.msgs."))});
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\nWith zero skew the barrier mechanism dominates wall-clock; as the"
+               " skew grows,\nbusy-waiting for the last arriver dominates and the"
+               " mechanisms converge — the\npaper's explanation for OCEAN's small"
+               " gains.\n";
+  return 0;
+}

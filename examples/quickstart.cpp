@@ -1,0 +1,72 @@
+// Quickstart: build the paper's 32-core CMP, run a tiny parallel
+// program under all three barrier mechanisms, and print what happened.
+//
+//   $ ./quickstart [--cores N]
+//
+// Walks through the whole public API surface in ~60 lines of user code:
+// CmpSystem construction, writing a coroutine workload against
+// core::Core awaitables, choosing a barrier (hardware G-line vs the two
+// software baselines), and reading the collected statistics.
+#include <iostream>
+
+#include "cmp/cmp_system.h"
+#include "common/flags.h"
+#include "harness/experiment.h"
+#include "sync/barrier.h"
+
+using namespace glb;
+
+// A coroutine program: every core bumps its slice of a shared vector,
+// synchronizes, then core 0 checks the result — classic fork/join.
+core::Task VectorAddPhase(core::Core& core, CoreId id, std::uint32_t ncores,
+                          sync::Barrier& barrier, Addr vec, std::uint64_t len,
+                          bool* ok) {
+  // Phase 1: each core increments its block.
+  const std::uint64_t per = len / ncores;
+  for (std::uint64_t i = id * per; i < (id + 1) * per; ++i) {
+    const Word v = co_await core.Load(vec + i * kWordBytes);
+    co_await core.Store(vec + i * kWordBytes, v + 1);
+  }
+  // Barrier: nobody proceeds until every block is done.
+  co_await barrier.Wait(core);
+  // Phase 2: core 0 verifies the whole vector through the caches.
+  if (id == 0) {
+    *ok = true;
+    for (std::uint64_t i = 0; i < per * ncores; ++i) {
+      const Word v = co_await core.Load(vec + i * kWordBytes);
+      if (v != i + 1) *ok = false;
+    }
+  }
+}
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto cores = static_cast<std::uint32_t>(flags.GetInt("cores", 32));
+
+  std::cout << "glbarrier quickstart — " << cores << "-core CMP (Table 1 config)\n\n";
+  for (auto kind : {harness::BarrierKind::kGL, harness::BarrierKind::kDSW,
+                    harness::BarrierKind::kCSW}) {
+    cmp::CmpSystem sys(cmp::CmpConfig::WithCores(cores));
+    const std::uint64_t len = 64 * cores;
+    const Addr vec = sys.allocator().AllocWords(len);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      sys.memory().WriteWord(vec + i * kWordBytes, i);
+    }
+    auto barrier = harness::MakeBarrier(kind, sys);
+    bool ok = false;
+    const bool finished = sys.RunPrograms([&](core::Core& c, CoreId id) {
+      return VectorAddPhase(c, id, cores, *barrier, vec, len, &ok);
+    });
+
+    std::cout << barrier->name() << " barrier: "
+              << (finished && ok ? "result correct" : "FAILED") << ", "
+              << sys.LastFinish() << " cycles, "
+              << sys.stats().SumCountersWithPrefix("noc.msgs.")
+              << " network messages, barrier time "
+              << sys.TotalBreakdown()[core::TimeCat::kBarrier] << " core-cycles\n";
+  }
+  std::cout << "\nThe G-line barrier synchronizes in ~4 cycles with zero data-network"
+               " traffic;\nthe software barriers pay coherence misses and network"
+               " round-trips.\n";
+  return 0;
+}

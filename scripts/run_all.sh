@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full reproduction run: build, test, and regenerate every table and
+# figure. Outputs land in test_output.txt and bench_output.txt at the
+# repository root.
+#
+#   scripts/run_all.sh [--paper-scale]
+#
+# --paper-scale forwards the paper's exact Table-2 inputs to every
+# bench (hours of simulation on a laptop; the default host-scaled
+# inputs preserve the barrier structure and finish in minutes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXTRA=("$@")
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "===== $b ${EXTRA[*]:-} =====" | tee -a bench_output.txt
+  "$b" "${EXTRA[@]}" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+
+echo "done: test_output.txt, bench_output.txt"

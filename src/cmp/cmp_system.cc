@@ -1,0 +1,75 @@
+#include "cmp/cmp_system.h"
+
+#include "common/check.h"
+
+namespace glb::cmp {
+
+namespace {
+noc::MeshConfig MeshConfigFor(const CmpConfig& cfg) {
+  noc::MeshConfig m = cfg.noc;
+  m.rows = cfg.rows;
+  m.cols = cfg.cols;
+  return m;
+}
+}  // namespace
+
+CmpConfig CmpConfig::WithCores(std::uint32_t n) {
+  GLB_CHECK(n > 0 && n <= 64) << "supported core counts: 1..64";
+  // Pick the most square factorization r*c = n with r <= c.
+  std::uint32_t best_r = 1;
+  for (std::uint32_t r = 1; r * r <= n; ++r) {
+    if (n % r == 0) best_r = r;
+  }
+  CmpConfig cfg;
+  cfg.rows = best_r;
+  cfg.cols = n / best_r;
+  return cfg;
+}
+
+CmpSystem::CmpSystem(const CmpConfig& cfg)
+    : cfg_(cfg),
+      backing_(cfg.coherence.line_bytes),
+      alloc_(cfg.coherence.line_bytes),
+      mesh_(engine_, MeshConfigFor(cfg), stats_),
+      fabric_(engine_, mesh_, backing_, cfg.coherence, cfg.l1, cfg.l2, stats_),
+      gline_(engine_, cfg.rows, cfg.cols, cfg.gline, stats_) {
+  cores_.reserve(cfg.num_cores());
+  for (CoreId c = 0; c < cfg.num_cores(); ++c) {
+    cores_.push_back(
+        std::make_unique<core::Core>(engine_, fabric_.l1(c), c, cfg.core, stats_));
+    cores_.back()->SetBarrierDevice(gline_.Device(0));
+  }
+}
+
+bool CmpSystem::RunPrograms(const std::function<core::Task(core::Core&, CoreId)>& make,
+                            Cycle max_cycles) {
+  for (CoreId c = 0; c < num_cores(); ++c) {
+    cores_[c]->Run(make(*cores_[c], c));
+  }
+  const bool idle = engine_.RunUntilIdle(max_cycles);
+  if (idle) {
+    for (CoreId c = 0; c < num_cores(); ++c) {
+      GLB_CHECK(cores_[c]->done())
+          << "machine went idle but core " << c
+          << " never finished — a core is deadlocked (lost wakeup?)";
+    }
+    // Make the architectural memory image observable through the
+    // backing store (validation, examples) without perturbing timing.
+    fabric_.DrainToBacking();
+  }
+  return idle;
+}
+
+Cycle CmpSystem::LastFinish() const {
+  Cycle last = 0;
+  for (const auto& c : cores_) last = std::max(last, c->finished_at());
+  return last;
+}
+
+core::TimeBreakdown CmpSystem::TotalBreakdown() const {
+  core::TimeBreakdown total;
+  for (const auto& c : cores_) total += c->breakdown();
+  return total;
+}
+
+}  // namespace glb::cmp

@@ -1,0 +1,88 @@
+// Whole-chip assembly: cores + L1s + banked shared L2/directory +
+// 2D-mesh NoC + the G-line barrier network, built from one CmpConfig.
+//
+// CmpConfig::Table1() reproduces the paper's baseline 32-core CMP
+// (Table 1); CmpConfig::WithCores(n) scales the mesh for the Figure-5
+// core-count sweep.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "coherence/fabric.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/core.h"
+#include "gline/barrier_network.h"
+#include "mem/addr_allocator.h"
+#include "mem/backing_store.h"
+#include "noc/mesh.h"
+#include "sim/engine.h"
+
+namespace glb::cmp {
+
+struct CmpConfig {
+  std::uint32_t rows = 4;
+  std::uint32_t cols = 8;
+  mem::CacheGeometry l1{32 * 1024, 4, 64};
+  mem::CacheGeometry l2{256 * 1024, 4, 64};
+  coherence::CoherenceConfig coherence{};
+  noc::MeshConfig noc{};  // rows/cols are overwritten from this struct
+  gline::BarrierNetConfig gline{};
+  core::CoreConfig core{};
+
+  std::uint32_t num_cores() const { return rows * cols; }
+
+  /// The paper's baseline (Table 1): 32 cores, 2D mesh, 64B lines,
+  /// 32KB/4-way L1 (1 cycle), 256KB/4-way L2 bank (6+2 cycles),
+  /// 400-cycle memory, 75-byte links.
+  static CmpConfig Table1() { return CmpConfig{}; }
+
+  /// Square-ish mesh with exactly `n` cores (n = r*c, r <= c <= 2r).
+  static CmpConfig WithCores(std::uint32_t n);
+};
+
+class CmpSystem {
+ public:
+  explicit CmpSystem(const CmpConfig& cfg);
+
+  CmpSystem(const CmpSystem&) = delete;
+  CmpSystem& operator=(const CmpSystem&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  StatSet& stats() { return stats_; }
+  mem::BackingStore& memory() { return backing_; }
+  mem::AddrAllocator& allocator() { return alloc_; }
+  noc::Mesh& mesh() { return mesh_; }
+  coherence::Fabric& fabric() { return fabric_; }
+  gline::BarrierNetwork& gline() { return gline_; }
+  core::Core& core(CoreId c) { return *cores_[c]; }
+  std::uint32_t num_cores() const { return cfg_.num_cores(); }
+  const CmpConfig& config() const { return cfg_; }
+
+  /// Launches `make(core_object, id)` on every core and runs the machine
+  /// until it goes idle (all programs finished, all traffic drained).
+  /// Returns false on `max_cycles` timeout.
+  bool RunPrograms(const std::function<core::Task(core::Core&, CoreId)>& make,
+                   Cycle max_cycles = kCycleNever);
+
+  /// Cycle at which the last core finished its program.
+  Cycle LastFinish() const;
+  /// Aggregate time breakdown over all cores.
+  core::TimeBreakdown TotalBreakdown() const;
+
+ private:
+  CmpConfig cfg_;
+  sim::Engine engine_;
+  StatSet stats_;
+  mem::BackingStore backing_;
+  mem::AddrAllocator alloc_;
+  noc::Mesh mesh_;
+  coherence::Fabric fabric_;
+  gline::BarrierNetwork gline_;
+  std::vector<std::unique_ptr<core::Core>> cores_;
+};
+
+}  // namespace glb::cmp

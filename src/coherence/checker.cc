@@ -1,0 +1,129 @@
+#include "coherence/checker.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/types.h"
+
+namespace glb::coherence {
+
+namespace {
+
+struct Copy {
+  CoreId core;
+  L1Controller::LineState state;
+};
+
+const char* Name(L1Controller::LineState s) {
+  switch (s) {
+    case L1Controller::LineState::kI: return "I";
+    case L1Controller::LineState::kS: return "S";
+    case L1Controller::LineState::kE: return "E";
+    case L1Controller::LineState::kM: return "M";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<std::string> CoherenceChecker::Check() const {
+  std::vector<std::string> errors;
+  const std::uint32_t n = fabric_.num_cores();
+
+  // Gather every L1 copy by line address.
+  std::map<Addr, std::vector<Copy>> copies;
+  for (CoreId c = 0; c < n; ++c) {
+    fabric_.l1(c).ForEachValidLine([&](Addr la, L1Controller::LineState st) {
+      copies[la].push_back(Copy{c, st});
+    });
+  }
+
+  auto quiescent = [&](Addr la) {
+    const CoreId home = fabric_.HomeOf(la);
+    if (fabric_.home(home).LineBusy(la)) return false;
+    for (CoreId c = 0; c < n; ++c) {
+      if (fabric_.l1(c).HasPendingOn(la)) return false;
+    }
+    return true;
+  };
+
+  auto report = [&](Addr la, const std::string& what) {
+    std::ostringstream os;
+    os << "line 0x" << std::hex << la << std::dec << ": " << what;
+    errors.push_back(os.str());
+  };
+
+  for (const auto& [la, holders] : copies) {
+    if (!quiescent(la)) continue;
+    const CoreId home_id = fabric_.HomeOf(la);
+    const DirController& home = fabric_.home(home_id);
+    const DirController::DirMeta* meta = home.Probe(la);
+
+    // Inclusion: the home must still cache any L1-resident line.
+    if (meta == nullptr) {
+      report(la, "cached in an L1 but not resident in its home L2 bank");
+      continue;
+    }
+
+    // SWMR.
+    int owners = 0, sharers = 0;
+    CoreId owner = kInvalidCore;
+    for (const Copy& cp : holders) {
+      if (cp.state == L1Controller::LineState::kM ||
+          cp.state == L1Controller::LineState::kE) {
+        ++owners;
+        owner = cp.core;
+      } else if (cp.state == L1Controller::LineState::kS) {
+        ++sharers;
+      }
+    }
+    if (owners > 1 || (owners == 1 && sharers > 0)) {
+      std::ostringstream os;
+      os << "SWMR violated:";
+      for (const Copy& cp : holders) os << " core" << cp.core << "=" << Name(cp.state);
+      report(la, os.str());
+      continue;
+    }
+
+    // Directory agreement.
+    if (owners == 1) {
+      if (meta->state != DirController::DirState::kExclusive || meta->owner != owner) {
+        report(la, "an L1 owns the line but the directory disagrees");
+      }
+    } else if (sharers > 0) {
+      if (meta->state == DirController::DirState::kUncached) {
+        report(la, "L1 sharers exist but the directory says Uncached");
+      } else if (meta->state == DirController::DirState::kShared) {
+        for (const Copy& cp : holders) {
+          if ((meta->sharers >> cp.core & 1) == 0) {
+            report(la, "sharer missing from the directory sharer set");
+          }
+        }
+      } else if (meta->state == DirController::DirState::kExclusive) {
+        // Legal only if the single "sharer" is the recorded owner whose
+        // copy we classified S — impossible; owner copies are E/M.
+        report(la, "directory Exclusive but only S copies exist");
+      }
+    }
+
+    // Data: S and E copies must match the home bytes exactly.
+    const std::uint32_t words = fabric_.config().line_bytes /
+                                static_cast<std::uint32_t>(kWordBytes);
+    for (const Copy& cp : holders) {
+      if (cp.state == L1Controller::LineState::kM) continue;  // may diverge
+      for (std::uint32_t w = 0; w < words; ++w) {
+        const Addr a = la + w * kWordBytes;
+        if (fabric_.l1(cp.core).PeekWord(a) != home.PeekWord(a)) {
+          std::ostringstream os;
+          os << "core" << cp.core << " " << Name(cp.state)
+             << "-copy data diverges from home at word " << w;
+          report(la, os.str());
+          break;
+        }
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace glb::coherence

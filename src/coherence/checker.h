@@ -1,0 +1,37 @@
+// Runtime verification of coherence invariants.
+//
+// The checker walks every cached line in the fabric and verifies, for
+// each line that is currently quiescent (no open home transaction, no
+// L1 MSHR or write-back touching it):
+//   * SWMR     — at most one L1 holds the line in E/M, and then no
+//                other L1 holds it at all;
+//   * inclusion — every L1 copy is resident in its home L2 bank;
+//   * directory agreement — the home's metadata is consistent with the
+//                actual L1 copies (the sharer set may over-approximate,
+//                since S evictions are silent);
+//   * data      — every S/E copy holds exactly the home L2 bytes.
+//
+// Tests call Check() between or during stimulus batches; a non-empty
+// result is a protocol bug.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coherence/fabric.h"
+
+namespace glb::coherence {
+
+class CoherenceChecker {
+ public:
+  explicit CoherenceChecker(const Fabric& fabric) : fabric_(fabric) {}
+
+  /// Returns human-readable descriptions of every violated invariant
+  /// (empty when the fabric is coherent).
+  std::vector<std::string> Check() const;
+
+ private:
+  const Fabric& fabric_;
+};
+
+}  // namespace glb::coherence

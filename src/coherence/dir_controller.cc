@@ -1,0 +1,388 @@
+#include "coherence/dir_controller.h"
+
+#include <ostream>
+#include <utility>
+
+#include "common/log.h"
+#include "coherence/fabric.h"
+
+namespace glb::coherence {
+
+namespace {
+/// Retry spacing when every way of a set is pinned by open transactions.
+constexpr Cycle kAllocRetryCycles = 8;
+
+std::uint64_t Bit(CoreId c) { return std::uint64_t{1} << c; }
+}  // namespace
+
+DirController::DirController(Fabric& fabric, CoreId tile, const mem::CacheGeometry& geo)
+    : fabric_(fabric), tile_(tile), array_(geo) {
+  auto& stats = fabric_.stats();
+  requests_ = stats.GetCounter("l2.requests");
+  l2_misses_ = stats.GetCounter("l2.misses");
+  dram_fetches_ = stats.GetCounter("l2.dram_fetches");
+  recalls_ = stats.GetCounter("l2.recalls");
+  alloc_retries_ = stats.GetCounter("l2.alloc_retries");
+  invs_sent_ = stats.GetCounter("l2.invs_sent");
+  fwds_sent_ = stats.GetCounter("l2.fwds_sent");
+}
+
+const DirController::DirMeta* DirController::Probe(Addr line_addr) const {
+  const auto* line = array_.Lookup(line_addr);
+  return line == nullptr ? nullptr : &line->meta;
+}
+
+void DirController::DumpTransactions(std::ostream& os) const {
+  for (const auto& [addr, txn] : txns_) {
+    os << "bank " << tile_ << " line 0x" << std::hex << addr << std::dec
+       << ": type=" << ToString(txn.type) << " req=" << txn.requester
+       << " recall=" << txn.is_recall << " acks_left=" << txn.acks_left
+       << " queued=" << txn.queued.size();
+    const auto* line = array_.Lookup(addr);
+    if (line != nullptr) {
+      os << " dir_state=" << static_cast<int>(line->meta.state)
+         << " owner=" << line->meta.owner << " sharers=0x" << std::hex
+         << line->meta.sharers << std::dec;
+    } else {
+      os << " (not resident)";
+    }
+    os << '\n';
+  }
+}
+
+Word DirController::PeekWord(Addr addr) const {
+  const auto* line = array_.Lookup(addr);
+  GLB_CHECK(line != nullptr) << "PeekWord on non-resident line " << addr;
+  return array_.ReadWord(line, addr);
+}
+
+void DirController::SendCtl(CoreId to, MsgType type, Addr line_addr) {
+  Message msg;
+  msg.type = type;
+  msg.line_addr = line_addr;
+  msg.from = tile_;
+  fabric_.Send(tile_, to, std::move(msg));
+}
+
+void DirController::SendData(CoreId to, const Cache::Line* line, Grant grant) {
+  Message msg;
+  msg.type = MsgType::kData;
+  msg.line_addr = line->line_addr;
+  msg.from = tile_;
+  msg.grant = grant;
+  msg.data = line->data;
+  fabric_.Send(tile_, to, std::move(msg));
+}
+
+void DirController::WriteLineToBacking(const Cache::Line* line) {
+  fabric_.backing().WriteLine(line->line_addr, line->data.data());
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch / transaction lifecycle
+// ---------------------------------------------------------------------------
+
+void DirController::OnMessage(const Message& msg) {
+  GLB_CHECK(fabric_.HomeOf(msg.line_addr) == tile_)
+      << "message @" << msg.line_addr << " routed to wrong home " << tile_;
+  switch (msg.type) {
+    case MsgType::kGetS:
+    case MsgType::kGetX:
+    case MsgType::kPutM:
+    case MsgType::kPutE: {
+      if (auto it = txns_.find(msg.line_addr); it != txns_.end()) {
+        it->second.queued.push_back(msg);
+        return;
+      }
+      Open(msg);
+      return;
+    }
+    case MsgType::kInvAck: OnInvAck(msg); return;
+    case MsgType::kDataWB: OnOwnerData(msg); return;
+    default:
+      GLB_UNREACHABLE(std::string("home received ") + ToString(msg.type));
+  }
+}
+
+void DirController::Open(const Message& msg) {
+  GLB_CHECK(txns_.find(msg.line_addr) == txns_.end()) << "line already busy";
+  Txn txn;
+  txn.type = msg.type;
+  txn.requester = msg.from;
+  txns_.emplace(msg.line_addr, std::move(txn));
+  requests_->Inc();
+  GLB_TRACE(fabric_.engine().Now(), "dir",
+            "bank " << tile_ << " opens " << ToString(msg.type) << " @" << msg.line_addr
+                    << " from core " << msg.from);
+  // Bank/tag access latency before the directory acts.
+  fabric_.engine().ScheduleIn(fabric_.config().l2_latency,
+                              [this, msg]() { Process(msg); });
+}
+
+void DirController::Process(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kPutM:
+    case MsgType::kPutE:
+      ProcessPut(msg);
+      return;
+    case MsgType::kGetS:
+    case MsgType::kGetX:
+      ProcessGet(msg);
+      return;
+    default:
+      GLB_UNREACHABLE("non-request in Process");
+  }
+}
+
+void DirController::ProcessPut(const Message& msg) {
+  auto* line = array_.Lookup(msg.line_addr);
+  const bool current_owner = line != nullptr &&
+                             line->meta.state == DirState::kExclusive &&
+                             line->meta.owner == msg.from;
+  if (current_owner) {
+    if (msg.type == MsgType::kPutM) {
+      GLB_CHECK(msg.data.size() == line->data.size()) << "PutM without line data";
+      line->data = msg.data;
+      line->meta.dirty = true;
+    }
+    line->meta.state = DirState::kUncached;
+    line->meta.sharers = 0;
+    line->meta.owner = kInvalidCore;
+  }
+  // A Put from a non-owner is the tail of an eviction/forward race; it
+  // is acknowledged without effect so the evictor can retire its buffer.
+  SendCtl(msg.from, MsgType::kPutAck, msg.line_addr);
+  Close(msg.line_addr);
+}
+
+void DirController::ProcessGet(const Message& msg) {
+  EnsureResident(msg.line_addr, [this, msg]() {
+    auto* line = array_.Lookup(msg.line_addr);
+    GLB_CHECK(line != nullptr) << "EnsureResident lied";
+    array_.Touch(line);
+    auto& txn = txns_.at(msg.line_addr);
+    DirMeta& meta = line->meta;
+    const CoreId req = msg.from;
+
+    if (msg.type == MsgType::kGetS) {
+      switch (meta.state) {
+        case DirState::kUncached:
+          // MESI: sole reader gets the line Exclusive.
+          meta.state = DirState::kExclusive;
+          meta.owner = req;
+          SendData(req, line, Grant::kExclusive);
+          Close(msg.line_addr);
+          return;
+        case DirState::kShared:
+          meta.sharers |= Bit(req);
+          SendData(req, line, Grant::kShared);
+          Close(msg.line_addr);
+          return;
+        case DirState::kExclusive:
+          GLB_CHECK(meta.owner != req) << "owner re-requesting GetS";
+          fwds_sent_->Inc();
+          SendCtl(meta.owner, MsgType::kFwdGetS, msg.line_addr);
+          return;  // completes in OnOwnerData
+      }
+      GLB_UNREACHABLE("bad dir state");
+    }
+
+    // GetX
+    switch (meta.state) {
+      case DirState::kUncached:
+        meta.state = DirState::kExclusive;
+        meta.owner = req;
+        SendData(req, line, Grant::kModified);
+        Close(msg.line_addr);
+        return;
+      case DirState::kShared: {
+        const std::uint64_t to_inv = meta.sharers & ~Bit(req);
+        if (to_inv == 0) {
+          meta.state = DirState::kExclusive;
+          meta.sharers = 0;
+          meta.owner = req;
+          SendData(req, line, Grant::kModified);
+          Close(msg.line_addr);
+          return;
+        }
+        txn.acks_left = PopCount(to_inv);
+        for (CoreId c = 0; c < fabric_.num_cores(); ++c) {
+          if (to_inv & Bit(c)) {
+            invs_sent_->Inc();
+            SendCtl(c, MsgType::kInv, msg.line_addr);
+          }
+        }
+        // The sharer set is dissolved now; acks drain into the open txn.
+        meta.sharers = 0;
+        return;  // completes in OnInvAck
+      }
+      case DirState::kExclusive:
+        GLB_CHECK(meta.owner != req) << "owner re-requesting GetX";
+        fwds_sent_->Inc();
+        SendCtl(meta.owner, MsgType::kFwdGetX, msg.line_addr);
+        return;  // completes in OnOwnerData
+    }
+    GLB_UNREACHABLE("bad dir state");
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Residency: DRAM fetch, allocation, recall of victims
+// ---------------------------------------------------------------------------
+
+void DirController::EnsureResident(Addr line_addr, std::function<void()> cont) {
+  if (array_.Lookup(line_addr) != nullptr) {
+    cont();
+    return;
+  }
+  l2_misses_->Inc();
+  dram_fetches_->Inc();
+  fabric_.engine().ScheduleIn(
+      fabric_.config().dram_latency,
+      [this, line_addr, cont = std::move(cont)]() mutable {
+        auto data = std::make_shared<std::vector<Word>>(
+            array_.geometry().line_bytes / kWordBytes);
+        fabric_.backing().ReadLine(line_addr, data->data());
+        TryInstall(line_addr, std::move(data), std::move(cont));
+      });
+}
+
+void DirController::TryInstall(Addr line_addr, std::shared_ptr<std::vector<Word>> data,
+                               std::function<void()> cont) {
+  auto* victim = array_.VictimFor(
+      line_addr, [this](const Cache::Line& l) { return !LineBusy(l.line_addr); });
+  if (victim == nullptr) {
+    // Every way pinned by an open transaction; retry shortly.
+    alloc_retries_->Inc();
+    fabric_.engine().ScheduleIn(
+        kAllocRetryCycles,
+        [this, line_addr, data = std::move(data), cont = std::move(cont)]() mutable {
+          TryInstall(line_addr, std::move(data), std::move(cont));
+        });
+    return;
+  }
+  if (victim->valid) {
+    StartRecall(victim,
+                [this, line_addr, data = std::move(data), cont = std::move(cont)]() mutable {
+                  TryInstall(line_addr, std::move(data), std::move(cont));
+                });
+    return;
+  }
+  array_.Install(victim, line_addr);
+  victim->data = *data;
+  cont();
+}
+
+void DirController::StartRecall(Cache::Line* victim, std::function<void()> cont) {
+  const Addr vaddr = victim->line_addr;
+  GLB_CHECK(!LineBusy(vaddr)) << "recalling a busy line";
+  recalls_->Inc();
+
+  if (victim->meta.state == DirState::kUncached) {
+    // No L1 copies: spill straight to DRAM.
+    if (victim->meta.dirty) WriteLineToBacking(victim);
+    array_.Invalidate(victim);
+    cont();
+    return;
+  }
+
+  Txn txn;
+  txn.is_recall = true;
+  txn.on_recall_done = std::move(cont);
+  if (victim->meta.state == DirState::kShared) {
+    txn.acks_left = PopCount(victim->meta.sharers);
+    GLB_CHECK(txn.acks_left > 0) << "Shared line with empty sharer set";
+    for (CoreId c = 0; c < fabric_.num_cores(); ++c) {
+      if (victim->meta.sharers & Bit(c)) {
+        invs_sent_->Inc();
+        SendCtl(c, MsgType::kInv, vaddr);
+      }
+    }
+    victim->meta.sharers = 0;
+  } else {
+    fwds_sent_->Inc();
+    SendCtl(victim->meta.owner, MsgType::kFwdGetX, vaddr);
+  }
+  txns_.emplace(vaddr, std::move(txn));
+}
+
+void DirController::FinishRecall(Addr line_addr) {
+  auto* line = array_.Lookup(line_addr);
+  GLB_CHECK(line != nullptr) << "recall lost its line";
+  if (line->meta.dirty) WriteLineToBacking(line);
+  array_.Invalidate(line);
+  Close(line_addr);
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+void DirController::OnInvAck(const Message& msg) {
+  auto it = txns_.find(msg.line_addr);
+  GLB_CHECK(it != txns_.end()) << "InvAck without open transaction";
+  Txn& txn = it->second;
+  GLB_CHECK(txn.acks_left > 0) << "unexpected InvAck";
+  if (--txn.acks_left > 0) return;
+
+  if (txn.is_recall) {
+    FinishRecall(msg.line_addr);
+    return;
+  }
+  // GetX invalidation phase complete: grant Modified.
+  GLB_CHECK(txn.type == MsgType::kGetX) << "ack-collecting non-GetX";
+  auto* line = array_.Lookup(msg.line_addr);
+  GLB_CHECK(line != nullptr) << "GetX target evicted mid-transaction";
+  line->meta.state = DirState::kExclusive;
+  line->meta.sharers = 0;
+  line->meta.owner = txn.requester;
+  SendData(txn.requester, line, Grant::kModified);
+  Close(msg.line_addr);
+}
+
+void DirController::OnOwnerData(const Message& msg) {
+  auto it = txns_.find(msg.line_addr);
+  GLB_CHECK(it != txns_.end()) << "DataWB without open transaction";
+  Txn& txn = it->second;
+  auto* line = array_.Lookup(msg.line_addr);
+  GLB_CHECK(line != nullptr) << "DataWB for non-resident line";
+  GLB_CHECK(msg.data.size() == line->data.size()) << "short DataWB";
+  const CoreId old_owner = line->meta.owner;
+  line->data = msg.data;
+  line->meta.dirty = true;
+
+  if (txn.is_recall) {
+    FinishRecall(msg.line_addr);
+    return;
+  }
+  if (txn.type == MsgType::kGetS) {
+    line->meta.state = DirState::kShared;
+    line->meta.sharers = Bit(old_owner) | Bit(txn.requester);
+    line->meta.owner = kInvalidCore;
+    SendData(txn.requester, line, Grant::kShared);
+  } else {
+    line->meta.state = DirState::kExclusive;
+    line->meta.sharers = 0;
+    line->meta.owner = txn.requester;
+    SendData(txn.requester, line, Grant::kModified);
+  }
+  Close(msg.line_addr);
+}
+
+void DirController::Close(Addr line_addr) {
+  auto node = txns_.extract(line_addr);
+  GLB_CHECK(!node.empty()) << "closing a line with no transaction";
+  std::deque<Message> queued = std::move(node.mapped().queued);
+  std::function<void()> resume = std::move(node.mapped().on_recall_done);
+
+  if (!queued.empty()) {
+    Message next = std::move(queued.front());
+    queued.pop_front();
+    Open(next);
+    // Re-attach the remaining arrivals behind the freshly-opened txn.
+    txns_.at(line_addr).queued = std::move(queued);
+  }
+  if (resume != nullptr) resume();
+}
+
+}  // namespace glb::coherence

@@ -1,0 +1,45 @@
+#include "coherence/fabric.h"
+
+#include <string>
+#include <utility>
+
+namespace glb::coherence {
+
+Fabric::Fabric(sim::Engine& engine, noc::Mesh& mesh, mem::BackingStore& backing,
+               const CoherenceConfig& cfg, const mem::CacheGeometry& l1_geo,
+               const mem::CacheGeometry& l2_geo, StatSet& stats)
+    : engine_(engine), mesh_(mesh), backing_(backing), cfg_(cfg), stats_(stats) {
+  GLB_CHECK(l1_geo.line_bytes == cfg.line_bytes && l2_geo.line_bytes == cfg.line_bytes)
+      << "cache line sizes must agree with the protocol line size";
+  GLB_CHECK(backing.line_bytes() == cfg.line_bytes)
+      << "backing store line size mismatch";
+  const std::uint32_t n = mesh.config().num_nodes();
+  GLB_CHECK(n <= 64) << "sharer bitmask limits the fabric to 64 cores";
+  l1s_.reserve(n);
+  dirs_.reserve(n);
+  for (CoreId c = 0; c < n; ++c) {
+    l1s_.push_back(std::make_unique<L1Controller>(*this, c, l1_geo));
+    dirs_.push_back(std::make_unique<DirController>(*this, c, l2_geo));
+  }
+}
+
+void Fabric::Send(CoreId from, CoreId to, Message msg) {
+  stats_.GetCounter(std::string("coh.sent.") + ToString(msg.type))->Inc();
+  const bool to_home = GoesToHome(msg.type);
+  noc::Packet pkt;
+  pkt.src = from;
+  pkt.dst = to;
+  pkt.vnet = VNetOf(msg.type);
+  pkt.traffic = TrafficOf(msg.type);
+  pkt.bytes = msg.data.empty() ? cfg_.control_bytes : cfg_.data_bytes();
+  pkt.deliver = [this, to, to_home, m = std::move(msg)]() {
+    if (to_home) {
+      dirs_[to]->OnMessage(m);
+    } else {
+      l1s_[to]->OnMessage(m);
+    }
+  };
+  mesh_.Send(std::move(pkt));
+}
+
+}  // namespace glb::coherence

@@ -1,0 +1,57 @@
+// Invariant checking for the simulator.
+//
+// GLB_CHECK is active in every build type: a timing simulator that keeps
+// running after a protocol invariant breaks produces silently wrong
+// results, which is worse than aborting. The macro prints the failing
+// expression, location and a user message before aborting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace glb::detail {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "GLB_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace glb::detail
+
+// Usage: GLB_CHECK(cond) << "context " << value;
+// The stream is only evaluated on failure.
+#define GLB_CHECK(cond)                                                          \
+  if (cond) {                                                                    \
+  } else                                                                         \
+    ::glb::detail::CheckStream(#cond, __FILE__, __LINE__)
+
+#define GLB_UNREACHABLE(msg) \
+  ::glb::detail::CheckFailed("unreachable", __FILE__, __LINE__, (msg))
+
+namespace glb::detail {
+
+class CheckStream {
+ public:
+  CheckStream(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  ~CheckStream() { CheckFailed(expr_, file_, line_, os_.str()); }
+
+  template <typename T>
+  CheckStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace glb::detail

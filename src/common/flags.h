@@ -1,0 +1,34 @@
+// Tiny command-line flag parser for benches and examples.
+//
+// Accepts "--name=value", "--name value" and bare "--name" (boolean
+// true). Unknown flags are collected so a caller can reject them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace glb {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string GetString(const std::string& name, std::string def) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace glb

@@ -1,0 +1,32 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace glb {
+
+LogLevel Logger::level_ = LogLevel::kOff;
+
+void Logger::InitFromEnv() {
+  const char* env = std::getenv("GLB_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "warn") == 0) {
+    level_ = LogLevel::kWarn;
+  } else if (std::strcmp(env, "info") == 0) {
+    level_ = LogLevel::kInfo;
+  } else if (std::strcmp(env, "trace") == 0) {
+    level_ = LogLevel::kTrace;
+  } else {
+    level_ = LogLevel::kOff;
+  }
+}
+
+void Logger::Emit(Cycle cycle, std::string_view tag, std::string_view msg) {
+  std::fprintf(stderr, "[%10llu] %.*s: %.*s\n",
+               static_cast<unsigned long long>(cycle), static_cast<int>(tag.size()),
+               tag.data(), static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace glb

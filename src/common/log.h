@@ -1,0 +1,52 @@
+// Minimal leveled, component-tagged tracing.
+//
+// Tracing is for debugging protocol/FSM behaviour; it is off by default
+// and compiled in all builds (simulation bugs rarely reproduce in Debug
+// only). Enable with Logger::SetLevel or the GLB_LOG environment
+// variable ("warn", "info", "trace").
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace glb {
+
+enum class LogLevel : int { kOff = 0, kWarn = 1, kInfo = 2, kTrace = 3 };
+
+class Logger {
+ public:
+  static LogLevel level() { return level_; }
+  static void SetLevel(LogLevel lv) { level_ = lv; }
+  /// Reads GLB_LOG from the environment ("off"|"warn"|"info"|"trace").
+  static void InitFromEnv();
+  static bool Enabled(LogLevel lv) {
+    return static_cast<int>(lv) <= static_cast<int>(level_);
+  }
+  /// Emits one line: "[cycle] tag: msg" to stderr.
+  static void Emit(Cycle cycle, std::string_view tag, std::string_view msg);
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace glb
+
+// GLB_TRACE(cycle, "l1.3", "GetS " << addr) — stream built only when enabled.
+#define GLB_LOG_AT(lv, cycle, tag, streamexpr)              \
+  do {                                                      \
+    if (::glb::Logger::Enabled(lv)) {                       \
+      std::ostringstream glb_log_os;                        \
+      glb_log_os << streamexpr;                             \
+      ::glb::Logger::Emit((cycle), (tag), glb_log_os.str());\
+    }                                                       \
+  } while (0)
+
+#define GLB_TRACE(cycle, tag, streamexpr) \
+  GLB_LOG_AT(::glb::LogLevel::kTrace, cycle, tag, streamexpr)
+#define GLB_INFO(cycle, tag, streamexpr) \
+  GLB_LOG_AT(::glb::LogLevel::kInfo, cycle, tag, streamexpr)
+#define GLB_WARN(cycle, tag, streamexpr) \
+  GLB_LOG_AT(::glb::LogLevel::kWarn, cycle, tag, streamexpr)

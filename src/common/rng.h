@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// The simulator must be bit-reproducible across runs and platforms, so we
+// carry our own xoshiro256** implementation instead of relying on
+// std::mt19937 distribution implementations (whose std::uniform_*
+// distributions are not specified exactly). All distribution helpers
+// here are written out explicitly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace glb {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// algorithm), seeded via splitmix64 so that any 64-bit seed is valid.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { Reseed(seed); }
+
+  void Reseed(std::uint64_t seed) {
+    // splitmix64 stream to fill the state; never all-zero.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound), unbiased via rejection sampling:
+  /// values below 2^64 mod bound are discarded so every residue class
+  /// is equally likely.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    GLB_CHECK(bound > 0) << "NextBelow(0)";
+    const std::uint64_t threshold = (0 - bound) % bound;
+    std::uint64_t x = Next();
+    while (x < threshold) x = Next();
+    return x % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) {
+    GLB_CHECK(lo <= hi) << "NextInRange(" << lo << "," << hi << ")";
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace glb

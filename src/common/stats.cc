@@ -1,0 +1,73 @@
+#include "common/stats.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace glb {
+
+Counter* StatSet::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  counter_storage_.emplace_back();
+  Counter* c = &counter_storage_.back();
+  counters_.emplace(std::string(name), c);
+  return c;
+}
+
+Histogram* StatSet::GetHistogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  histogram_storage_.emplace_back();
+  Histogram* h = &histogram_storage_.back();
+  histograms_.emplace(std::string(name), h);
+  return h;
+}
+
+std::uint64_t StatSet::CounterValue(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+const Histogram* StatSet::FindHistogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second;
+}
+
+std::uint64_t StatSet::SumCountersWithPrefix(std::string_view prefix) const {
+  std::uint64_t total = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second->value();
+  }
+  return total;
+}
+
+void StatSet::Print(std::ostream& os) const {
+  for (const auto& [name, c] : counters_) {
+    os << std::left << std::setw(48) << name << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << std::left << std::setw(48) << name << " count=" << h->count()
+       << " mean=" << std::fixed << std::setprecision(2) << h->mean()
+       << " min=" << h->min() << " max=" << h->max() << '\n';
+  }
+}
+
+void StatSet::PrintCsv(std::ostream& os) const {
+  os << "stat,count,sum,mean,min,max\n";
+  for (const auto& [name, c] : counters_) {
+    os << name << ",1," << c->value() << ',' << c->value() << ',' << c->value()
+       << ',' << c->value() << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << ',' << h->count() << ',' << h->sum() << ',' << h->mean() << ','
+       << h->min() << ',' << h->max() << '\n';
+  }
+}
+
+void StatSet::Reset() {
+  for (auto& [name, c] : counters_) c->Set(0);
+  for (auto& h : histogram_storage_) h = Histogram{};
+}
+
+}  // namespace glb

@@ -1,0 +1,104 @@
+// Lightweight statistics registry.
+//
+// Every simulated component registers named counters/histograms in a
+// StatSet at construction and bumps them through stable pointers during
+// simulation (no map lookups on the hot path). The harness dumps a
+// StatSet as aligned text or CSV after a run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace glb {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) { value_ += n; }
+  void Set(std::uint64_t v) { value_ = v; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Scalar sample aggregator: count / sum / min / max / mean plus
+/// power-of-two bucket counts (bucket i holds samples in [2^i, 2^{i+1})).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void Record(std::uint64_t sample) {
+    ++count_;
+    sum_ += sample;
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+    ++buckets_[BucketOf(sample)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+  std::uint64_t bucket(int i) const {
+    GLB_CHECK(i >= 0 && i < kBuckets) << "bucket index " << i;
+    return buckets_[i];
+  }
+
+  static int BucketOf(std::uint64_t sample) {
+    if (sample == 0) return 0;
+    int b = 63 - __builtin_clzll(sample);
+    return std::min(b, kBuckets - 1);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+  std::uint64_t buckets_[kBuckets]{};
+};
+
+/// Named registry. Stable addresses: objects live in deques and are never
+/// moved after creation, so components may cache the returned pointers.
+class StatSet {
+ public:
+  /// Returns the counter named `name`, creating it on first use.
+  Counter* GetCounter(std::string_view name);
+  /// Returns the histogram named `name`, creating it on first use.
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Value of a counter, or 0 if it was never created (convenient for
+  /// reporting code that probes optional stats).
+  std::uint64_t CounterValue(std::string_view name) const;
+  /// Histogram lookup without creation; nullptr if absent.
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Sum of all counters whose name starts with `prefix`.
+  std::uint64_t SumCountersWithPrefix(std::string_view prefix) const;
+
+  /// Human-readable dump, sorted by name.
+  void Print(std::ostream& os) const;
+  /// `name,value` CSV (counters) followed by histogram summary rows.
+  void PrintCsv(std::ostream& os) const;
+
+  void Reset();
+
+ private:
+  std::deque<Counter> counter_storage_;
+  std::deque<Histogram> histogram_storage_;
+  std::map<std::string, Counter*, std::less<>> counters_;
+  std::map<std::string, Histogram*, std::less<>> histograms_;
+};
+
+}  // namespace glb

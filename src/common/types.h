@@ -1,0 +1,36 @@
+// Fundamental vocabulary types shared by every glbarrier subsystem.
+//
+// All simulated time is expressed in core clock cycles (the paper's CMP
+// runs every component off one 3 GHz clock domain). Identifiers are
+// strongly-typed enough to be self-documenting but remain plain integers
+// so they can index vectors without friction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace glb {
+
+/// Simulated time in core clock cycles.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no scheduled time".
+inline constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/// Physical byte address in the simulated machine.
+using Addr = std::uint64_t;
+
+/// Index of a core / tile (0 .. num_cores-1). Tiles, L1s, L2 banks,
+/// routers and G-line controllers are all identified by the core id of
+/// the tile that hosts them.
+using CoreId = std::uint32_t;
+
+inline constexpr CoreId kInvalidCore = std::numeric_limits<CoreId>::max();
+
+/// 64-bit machine word: the grain of all simulated loads/stores.
+using Word = std::uint64_t;
+
+inline constexpr std::size_t kWordBytes = sizeof(Word);
+
+}  // namespace glb

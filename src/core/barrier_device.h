@@ -1,0 +1,27 @@
+// Interface between a core's bar_reg register and a hardware barrier
+// implementation (the G-line barrier network).
+//
+// Architecturally (paper §3.3) the core writes bar_reg := 1 to announce
+// arrival and spins on `bnz bar_reg, loop`; the barrier hardware clears
+// bar_reg when the global synchronization completes. In the simulator
+// the spin is represented by blocking the core's coroutine: Arrive() is
+// the bar_reg write, and `on_release` models the cleared register being
+// observed on the next loop iteration.
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+
+namespace glb::core {
+
+class BarrierDevice {
+ public:
+  virtual ~BarrierDevice() = default;
+
+  /// Core `core` wrote bar_reg := 1. The device must eventually run
+  /// `on_release` (once) at the cycle the hardware resets bar_reg.
+  virtual void Arrive(CoreId core, std::function<void()> on_release) = 0;
+};
+
+}  // namespace glb::core

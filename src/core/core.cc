@@ -1,0 +1,32 @@
+#include "core/core.h"
+
+namespace glb::core {
+
+Core::Core(sim::Engine& engine, coherence::L1Controller& l1, CoreId id,
+           const CoreConfig& cfg, StatSet& stats)
+    : engine_(engine), l1_(l1), id_(id), cfg_(cfg) {
+  loads_ = stats.GetCounter("core.loads");
+  stores_ = stats.GetCounter("core.stores");
+  amos_ = stats.GetCounter("core.amos");
+  barriers_ = stats.GetCounter("core.barriers");
+}
+
+void Core::Run(Task program, std::function<void()> on_done) {
+  GLB_CHECK(program.valid()) << "Run() on an empty task";
+  GLB_CHECK(!program_.has_value() || done_) << "core " << id_ << " already running";
+  done_ = false;
+  started_at_ = engine_.Now();
+  on_done_ = std::move(on_done);
+  program_.emplace(std::move(program));
+  auto& promise = program_->handle().promise();
+  promise.done_flag = &done_;
+  promise.on_complete = [this]() {
+    finished_at_ = engine_.Now();
+    if (on_done_) on_done_();
+  };
+  // Kick the program off as a same-cycle event so that Run() can be
+  // called for all cores before any of them starts executing.
+  engine_.ScheduleIn(0, [this]() { program_->handle().resume(); });
+}
+
+}  // namespace glb::core

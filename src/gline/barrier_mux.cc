@@ -1,0 +1,118 @@
+#include "gline/barrier_mux.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace glb::gline {
+
+BarrierMux::BarrierMux(BarrierNetwork& net, StatSet& stats)
+    : net_(net), ctx_owner_(net.contexts(), kUnbound) {
+  rebinds_ = stats.GetCounter("glmux.rebinds");
+  queued_arrivals_ = stats.GetCounter("glmux.queued_arrivals");
+}
+
+BarrierMux::LogicalId BarrierMux::CreateBarrier(std::vector<bool> mask) {
+  GLB_CHECK(mask.size() == net_.num_cores()) << "mask size mismatch";
+  Logical l;
+  l.mask = std::move(mask);
+  l.participants = static_cast<std::uint32_t>(
+      std::count(l.mask.begin(), l.mask.end(), true));
+  GLB_CHECK(l.participants > 0) << "logical barrier with no participants";
+  const auto id = static_cast<LogicalId>(logicals_.size());
+  logicals_.push_back(std::move(l));
+  devices_.push_back(std::make_unique<MuxDevice>(*this, id));
+  return id;
+}
+
+BarrierMux::LogicalId BarrierMux::CreateBarrier() {
+  return CreateBarrier(std::vector<bool>(net_.num_cores(), true));
+}
+
+core::BarrierDevice* BarrierMux::Device(LogicalId id) {
+  GLB_CHECK(id < devices_.size()) << "bad logical barrier " << id;
+  return devices_[id].get();
+}
+
+std::uint32_t BarrierMux::BoundContext(LogicalId id) const {
+  GLB_CHECK(id < logicals_.size()) << "bad logical barrier " << id;
+  return logicals_[id].bound_ctx;
+}
+
+void BarrierMux::Arrive(LogicalId id, CoreId core,
+                        std::function<void()> on_release) {
+  GLB_CHECK(id < logicals_.size()) << "bad logical barrier " << id;
+  Logical& l = logicals_[id];
+  GLB_CHECK(l.mask[core]) << "core " << core << " is not in logical barrier " << id;
+
+  if (l.bound_ctx != kUnbound && !l.configuring) {
+    Forward(id, core, std::move(on_release));
+    return;
+  }
+
+  // No usable context yet: buffer the arrival and (if not already
+  // bound or queued) contend for a context.
+  queued_arrivals_->Inc();
+  l.buffered.push_back(Pending{core, std::move(on_release)});
+  if (l.queued || l.bound_ctx != kUnbound) return;
+  for (std::uint32_t ctx = 0; ctx < ctx_owner_.size(); ++ctx) {
+    if (ctx_owner_[ctx] == kUnbound) {
+      Bind(id, ctx);
+      return;
+    }
+  }
+  l.queued = true;
+  wait_queue_.push_back(id);
+}
+
+void BarrierMux::Bind(LogicalId id, std::uint32_t ctx) {
+  Logical& l = logicals_[id];
+  GLB_CHECK(l.bound_ctx == kUnbound && ctx_owner_[ctx] == kUnbound)
+      << "double bind of logical " << id;
+  rebinds_->Inc();
+  // Reserve the context now, but perform the hardware reset + mask
+  // load one cycle later: a handover can fire in the middle of the
+  // previous episode's release wave, and reconfiguring while that wave
+  // is still delivering would let stale releases hit fresh arrivals.
+  ctx_owner_[ctx] = id;
+  l.bound_ctx = ctx;
+  l.configuring = true;
+  net_.engine().ScheduleIn(1, [this, id, ctx]() {
+    Logical& lg = logicals_[id];
+    GLB_CHECK(lg.bound_ctx == ctx && lg.configuring) << "bind state corrupted";
+    net_.SetParticipants(ctx, lg.mask);
+    lg.configuring = false;
+    // Replay arrivals that raced the bind.
+    std::vector<Pending> buffered = std::move(lg.buffered);
+    lg.buffered.clear();
+    for (auto& p : buffered) Forward(id, p.core, std::move(p.on_release));
+  });
+}
+
+void BarrierMux::Forward(LogicalId id, CoreId core,
+                         std::function<void()> on_release) {
+  Logical& l = logicals_[id];
+  ++l.in_flight;
+  net_.Arrive(l.bound_ctx, core,
+              [this, id, cb = std::move(on_release)]() {
+                cb();
+                Logical& lg = logicals_[id];
+                GLB_CHECK(lg.in_flight > 0) << "release underflow";
+                if (--lg.in_flight == 0) MaybeHandOver(id);
+              });
+}
+
+void BarrierMux::MaybeHandOver(LogicalId id) {
+  Logical& l = logicals_[id];
+  if (wait_queue_.empty() || l.bound_ctx == kUnbound) return;
+  // Sticky binding ends here: the context is idle (no arrivals in
+  // flight, FSMs reset by the release wave) and someone is waiting.
+  const std::uint32_t ctx = l.bound_ctx;
+  l.bound_ctx = kUnbound;
+  ctx_owner_[ctx] = kUnbound;
+  const LogicalId next = wait_queue_.front();
+  wait_queue_.pop_front();
+  logicals_[next].queued = false;
+  Bind(next, ctx);
+}
+
+}  // namespace glb::gline

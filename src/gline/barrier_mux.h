@@ -1,0 +1,108 @@
+// Barrier multiplexer: many logical barriers over few hardware contexts
+// (the paper's §5 "multiplexing in space and time").
+//
+// Programs create logical barriers (optionally restricted to a core
+// subset — space multiplexing); the mux binds each active logical
+// barrier to a free hardware context on demand, reconfiguring the
+// context's participation mask via the hardware reset, and queues
+// logical barriers when every context is busy (time multiplexing).
+// Arrivals that land before a context is available are buffered and
+// replayed at bind time, so programs never observe the multiplexing —
+// only its latency.
+//
+// Binding is sticky: a logical barrier keeps its context across
+// episodes (skipping reconfiguration) until another logical barrier is
+// waiting, at which point the context is handed over at the next idle
+// boundary (no arrivals in flight). Reconfiguration takes one cycle —
+// the hardware reset must not race the previous episode's release
+// wave, which can still be delivering when the handover triggers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "core/barrier_device.h"
+#include "gline/barrier_network.h"
+
+namespace glb::gline {
+
+class BarrierMux {
+ public:
+  using LogicalId = std::uint32_t;
+  static constexpr std::uint32_t kUnbound = 0xffffffff;
+
+  BarrierMux(BarrierNetwork& net, StatSet& stats);
+
+  BarrierMux(const BarrierMux&) = delete;
+  BarrierMux& operator=(const BarrierMux&) = delete;
+
+  /// Creates a logical barrier over a subset of cores (`mask`), or over
+  /// every core with the mask-free overload.
+  LogicalId CreateBarrier(std::vector<bool> mask);
+  LogicalId CreateBarrier();
+
+  /// Core arrival at a logical barrier; `on_release` runs when the
+  /// episode completes (possibly after waiting for a context).
+  void Arrive(LogicalId id, CoreId core, std::function<void()> on_release);
+
+  /// BarrierDevice adapter so cores can use GlBarrier() on a logical
+  /// barrier transparently.
+  core::BarrierDevice* Device(LogicalId id);
+
+  /// Context currently executing this logical barrier, or kUnbound.
+  std::uint32_t BoundContext(LogicalId id) const;
+  std::uint32_t num_logical() const {
+    return static_cast<std::uint32_t>(logicals_.size());
+  }
+  std::uint64_t rebinds() const { return rebinds_->value(); }
+
+ private:
+  struct Pending {
+    CoreId core;
+    std::function<void()> on_release;
+  };
+  struct Logical {
+    std::vector<bool> mask;
+    std::uint32_t participants = 0;
+    std::uint32_t bound_ctx = kUnbound;
+    /// Context reserved but the hardware reset/mask load (1 cycle) has
+    /// not completed yet; arrivals keep buffering meanwhile.
+    bool configuring = false;
+    std::uint32_t in_flight = 0;   // arrivals not yet released
+    bool queued = false;           // waiting for a context
+    std::vector<Pending> buffered;
+  };
+
+  class MuxDevice : public core::BarrierDevice {
+   public:
+    MuxDevice(BarrierMux& mux, LogicalId id) : mux_(mux), id_(id) {}
+    void Arrive(CoreId core, std::function<void()> on_release) override {
+      mux_.Arrive(id_, core, std::move(on_release));
+    }
+
+   private:
+    BarrierMux& mux_;
+    LogicalId id_;
+  };
+
+  void Bind(LogicalId id, std::uint32_t ctx);
+  void Forward(LogicalId id, CoreId core, std::function<void()> on_release);
+  /// Called when an episode fully drains; hands the context over if
+  /// someone is waiting.
+  void MaybeHandOver(LogicalId id);
+
+  BarrierNetwork& net_;
+  std::vector<Logical> logicals_;
+  std::vector<std::unique_ptr<MuxDevice>> devices_;
+  std::vector<LogicalId> ctx_owner_;  // kUnbound = free
+  std::deque<LogicalId> wait_queue_;
+  Counter* rebinds_ = nullptr;
+  Counter* queued_arrivals_ = nullptr;
+};
+
+}  // namespace glb::gline

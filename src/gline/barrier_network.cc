@@ -1,0 +1,319 @@
+#include "gline/barrier_network.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace glb::gline {
+
+BarrierNetwork::BarrierNetwork(sim::Engine& engine, std::uint32_t rows,
+                               std::uint32_t cols, const BarrierNetConfig& cfg,
+                               StatSet& stats)
+    : engine_(engine), rows_(rows), cols_(cols), cfg_(cfg), stats_(stats) {
+  GLB_CHECK(rows > 0 && cols > 0) << "empty mesh";
+  GLB_CHECK(cfg.contexts > 0) << "need at least one barrier context";
+  completed_ = stats.GetCounter("gl.barriers_completed");
+  signals_ = stats.GetCounter("gl.signals");
+  release_latency_ = stats.GetHistogram("gl.release_latency");
+  episode_span_ = stats.GetHistogram("gl.episode_span");
+
+  ctxs_.resize(cfg.contexts);
+  for (std::uint32_t ctx = 0; ctx < cfg.contexts; ++ctx) {
+    BuildContext(ctx);
+    devices_.push_back(std::make_unique<ContextDevice>(*this, ctx));
+  }
+}
+
+core::BarrierDevice* BarrierNetwork::Device(std::uint32_t ctx) {
+  GLB_CHECK(ctx < devices_.size()) << "bad barrier context " << ctx;
+  return devices_[ctx].get();
+}
+
+void BarrierNetwork::BuildContext(std::uint32_t ctx) {
+  Context& c = ctxs_[ctx];
+  c.mh.resize(rows_);
+  c.sh.resize(num_cores());
+  c.sv.resize(rows_);
+  c.participates.assign(num_cores(), true);
+  c.release_cb.resize(num_cores());
+  const std::string pfx = "gl.ctx" + std::to_string(ctx) + ".";
+
+  c.sgline_h.reserve(rows_);
+  c.mgline_h.reserve(rows_);
+  for (std::uint32_t row = 0; row < rows_; ++row) {
+    // Arrival line: cols-1 slave transmitters, master receives counts.
+    c.sgline_h.emplace_back(engine_, pfx + "sglineH" + std::to_string(row),
+                            cols_ - 1, cfg_.max_transmitters, cfg_.policy, signals_);
+    c.sgline_h.back().AddReceiver([this, ctx, row](std::uint32_t count) {
+      MasterH& mh = ctxs_[ctx].mh[row];
+      GLB_CHECK(mh.state == MasterState::kAccounting)
+          << "SglineH signal outside Accounting (row " << row << ")";
+      mh.scnt += count;
+      GLB_CHECK(mh.scnt <= mh.expected) << "ScntH overflow in row " << row;
+      CheckRowComplete(ctx, row);
+    });
+    // Release line: one master transmitter, every slave node listens.
+    c.mgline_h.emplace_back(engine_, pfx + "mglineH" + std::to_string(row), 1,
+                            cfg_.max_transmitters, cfg_.policy, signals_);
+    for (std::uint32_t col = 1; col < cols_; ++col) {
+      const CoreId node = NodeAt(row, col);
+      c.mgline_h.back().AddReceiver(
+          [this, ctx, node](std::uint32_t) { ReleaseRowNode(ctx, node); });
+    }
+  }
+
+  c.sgline_v = std::make_unique<GLine>(engine_, pfx + "sglineV", rows_ - 1,
+                                       cfg_.max_transmitters, cfg_.policy, signals_);
+  c.sgline_v->AddReceiver([this, ctx](std::uint32_t count) {
+    MasterV& mv = ctxs_[ctx].mv;
+    GLB_CHECK(mv.state == MasterState::kAccounting) << "SglineV signal outside Accounting";
+    mv.scnt += count;
+    GLB_CHECK(mv.scnt <= mv.expected) << "ScntV overflow";
+    CheckVerticalComplete(ctx);
+  });
+
+  c.mgline_v = std::make_unique<GLine>(engine_, pfx + "mglineV", 1,
+                                       cfg_.max_transmitters, cfg_.policy, signals_);
+  for (std::uint32_t row = 0; row < rows_; ++row) {
+    c.mgline_v->AddReceiver(
+        [this, ctx, row](std::uint32_t) { ReleaseColumnNode(ctx, row); });
+  }
+
+  RecomputeExpectations(c);
+}
+
+void BarrierNetwork::RecomputeExpectations(Context& c) {
+  c.expected_arrivals = 0;
+  for (std::uint32_t row = 0; row < rows_; ++row) {
+    MasterH& mh = c.mh[row];
+    mh.expected = 0;
+    for (std::uint32_t col = 1; col < cols_; ++col) {
+      if (c.participates[NodeAt(row, col)]) ++mh.expected;
+    }
+    mh.core_participates = c.participates[NodeAt(row, 0)];
+  }
+  c.mv.expected = rows_ - 1;  // every row relays, participating or not
+  for (CoreId n = 0; n < num_cores(); ++n) {
+    if (c.participates[n]) ++c.expected_arrivals;
+  }
+}
+
+void BarrierNetwork::ResetContext(std::uint32_t ctx) {
+  GLB_CHECK(ctx < ctxs_.size()) << "bad barrier context " << ctx;
+  Context& c = ctxs_[ctx];
+  GLB_CHECK(c.arrived == 0) << "reset while a barrier is gathering";
+  for (const auto& cb : c.release_cb) {
+    GLB_CHECK(cb == nullptr) << "reset while a core awaits release";
+  }
+  for (auto& mh : c.mh) mh = MasterH{.expected = mh.expected,
+                                     .core_participates = mh.core_participates};
+  for (auto& sh : c.sh) sh = SlaveH{};
+  for (auto& sv : c.sv) sv = SlaveV{};
+  const std::uint32_t expected = c.mv.expected;
+  c.mv = MasterV{};
+  c.mv.expected = expected;
+  for (auto& l : c.sgline_h) l.CancelPending();
+  for (auto& l : c.mgline_h) l.CancelPending();
+  c.sgline_v->CancelPending();
+  c.mgline_v->CancelPending();
+}
+
+void BarrierNetwork::SetParticipants(std::uint32_t ctx, const std::vector<bool>& mask) {
+  GLB_CHECK(ctx < ctxs_.size()) << "bad barrier context " << ctx;
+  Context& c = ctxs_[ctx];
+  GLB_CHECK(mask.size() == num_cores()) << "participation mask size mismatch";
+  ResetContext(ctx);
+  c.participates = mask;
+  RecomputeExpectations(c);
+  GLB_CHECK(c.expected_arrivals > 0) << "barrier with no participants";
+  ArmAutonomousRows(ctx);
+}
+
+void BarrierNetwork::ArmAutonomousRows(std::uint32_t ctx) {
+  Context& c = ctxs_[ctx];
+  for (std::uint32_t row = 0; row < rows_; ++row) {
+    const MasterH& mh = c.mh[row];
+    if (mh.state == MasterState::kAccounting && mh.expected == 0 &&
+        !mh.core_participates) {
+      CheckRowComplete(ctx, row);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arrival / gather phase
+// ---------------------------------------------------------------------------
+
+void BarrierNetwork::Arrive(std::uint32_t ctx, CoreId core,
+                            std::function<void()> on_release) {
+  GLB_CHECK(ctx < ctxs_.size()) << "bad barrier context " << ctx;
+  GLB_CHECK(core < num_cores()) << "bad core id " << core;
+  Context& c = ctxs_[ctx];
+  GLB_CHECK(c.participates[core]) << "core " << core << " is not a participant";
+  GLB_CHECK(c.release_cb[core] == nullptr)
+      << "core " << core << " arrived twice at the same barrier";
+  GLB_CHECK(on_release != nullptr) << "arrival without release callback";
+  c.release_cb[core] = std::move(on_release);
+  if (++c.arrived == 1) c.first_arrival = engine_.Now();
+  c.last_arrival = engine_.Now();
+  GLB_TRACE(engine_.Now(), "gl",
+            "ctx " << ctx << " core " << core << " arrives (" << c.arrived << "/"
+                   << c.expected_arrivals << ")");
+
+  const std::uint32_t row = RowOf(core);
+  if (ColOf(core) == 0) {
+    MasterH& mh = c.mh[row];
+    GLB_CHECK(mh.state == MasterState::kAccounting && !mh.mcnt)
+        << "master-node arrival in a bad state (row " << row << ")";
+    mh.mcnt = true;  // [Core(bar_reg=1)] / [Mcnt=1]
+    CheckRowComplete(ctx, row);
+  } else {
+    SlaveH& sh = c.sh[core];
+    GLB_CHECK(sh.state == SlaveState::kSignaling)
+        << "slave arrival while Waiting (core " << core << ")";
+    c.sgline_h[row].Assert();  // [Core(bar_reg=1)] / [SglineH=ON]
+    sh.state = SlaveState::kWaiting;
+  }
+}
+
+void BarrierNetwork::CheckRowComplete(std::uint32_t ctx, std::uint32_t row) {
+  Context& c = ctxs_[ctx];
+  MasterH& mh = c.mh[row];
+  if (mh.state != MasterState::kAccounting) return;
+  const bool mcnt_satisfied = mh.mcnt || !mh.core_participates;
+  if (!mcnt_satisfied || mh.scnt != mh.expected) return;
+  // [Mcnt=1 & Scnt=Max] / [MasterH(flag=1)]
+  mh.flag = true;
+  mh.state = MasterState::kWaiting;
+  if (row == 0) {
+    c.mv.node0_flag = true;  // MasterV sees MasterH(flag=1) directly
+    CheckVerticalComplete(ctx);
+  } else {
+    SlaveV& sv = c.sv[row];
+    GLB_CHECK(sv.state == SlaveState::kSignaling) << "SlaveV already Waiting";
+    c.sgline_v->Assert();  // [MasterH(flag=1)] / [SglineV=ON]
+    sv.state = SlaveState::kWaiting;
+  }
+}
+
+void BarrierNetwork::CheckVerticalComplete(std::uint32_t ctx) {
+  Context& c = ctxs_[ctx];
+  MasterV& mv = c.mv;
+  if (mv.state != MasterState::kAccounting) return;
+  if (!mv.node0_flag || mv.scnt != mv.expected) return;
+  mv.state = MasterState::kWaiting;
+  if (c.completion_hook != nullptr) {
+    // Hierarchy: hold the release until the upper level says go.
+    c.release_pending = true;
+    c.completion_hook();
+    return;
+  }
+  StartRelease(ctx);
+}
+
+void BarrierNetwork::SetCompletionHook(std::uint32_t ctx, std::function<void()> hook) {
+  GLB_CHECK(ctx < ctxs_.size()) << "bad barrier context " << ctx;
+  GLB_CHECK(!ctxs_[ctx].release_pending) << "hook changed while release pending";
+  ctxs_[ctx].completion_hook = std::move(hook);
+}
+
+void BarrierNetwork::TriggerRelease(std::uint32_t ctx) {
+  GLB_CHECK(ctx < ctxs_.size()) << "bad barrier context " << ctx;
+  Context& c = ctxs_[ctx];
+  GLB_CHECK(c.release_pending) << "TriggerRelease without a deferred completion";
+  c.release_pending = false;
+  StartRelease(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Release phase
+// ---------------------------------------------------------------------------
+
+void BarrierNetwork::StartRelease(std::uint32_t ctx) {
+  Context& c = ctxs_[ctx];
+  GLB_CHECK(c.arrived == c.expected_arrivals)
+      << "release with missing arrivals: " << c.arrived << "/" << c.expected_arrivals;
+  completed_->Inc();
+  episode_span_->Record(engine_.Now() - c.first_arrival);
+  GLB_TRACE(engine_.Now(), "gl", "ctx " << ctx << " release starts");
+
+  // [Scnt=Max & MasterH(flag=1)] / [MglineV=ON], and MasterV resets.
+  c.mv.state = MasterState::kAccounting;
+  c.mv.scnt = 0;
+  c.mv.node0_flag = false;
+  c.arrived = 0;
+  c.mgline_v->Assert();
+}
+
+void BarrierNetwork::ReleaseColumnNode(std::uint32_t ctx, std::uint32_t row) {
+  Context& c = ctxs_[ctx];
+  if (row > 0) {
+    SlaveV& sv = c.sv[row];
+    GLB_CHECK(sv.state == SlaveState::kWaiting) << "MglineV to a Signaling SlaveV";
+    sv.state = SlaveState::kSignaling;  // [MglineV=ON] / back to Signaling
+  }
+  MasterH& mh = c.mh[row];
+  GLB_CHECK(mh.state == MasterState::kWaiting) << "release to an Accounting MasterH";
+  mh.state = MasterState::kAccounting;
+  mh.scnt = 0;
+  mh.mcnt = false;
+  mh.flag = false;
+  c.mgline_h[row].Assert();  // [flag=0] / [MglineH=ON]
+  const CoreId node = NodeAt(row, 0);
+  if (c.participates[node]) ReleaseCore(ctx, node);
+  // A row with no participants immediately completes for the next
+  // episode (its controllers re-arm and signal autonomously).
+  if (mh.expected == 0 && !mh.core_participates) CheckRowComplete(ctx, row);
+}
+
+void BarrierNetwork::ReleaseRowNode(std::uint32_t ctx, CoreId core) {
+  Context& c = ctxs_[ctx];
+  SlaveH& sh = c.sh[core];
+  GLB_CHECK(sh.state == SlaveState::kWaiting || !c.participates[core])
+      << "MglineH to a Signaling SlaveH (core " << core << ")";
+  sh.state = SlaveState::kSignaling;  // [MglineH=ON] / [bar_reg=0]
+  if (c.participates[core]) ReleaseCore(ctx, core);
+}
+
+void BarrierNetwork::ReleaseCore(std::uint32_t ctx, CoreId core) {
+  Context& c = ctxs_[ctx];
+  GLB_CHECK(c.release_cb[core] != nullptr)
+      << "releasing core " << core << " which never arrived";
+  release_latency_->Record(engine_.Now() - c.last_arrival);
+  auto cb = std::move(c.release_cb[core]);
+  c.release_cb[core] = nullptr;
+  cb();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+BarrierNetwork::MasterState BarrierNetwork::MasterHState(std::uint32_t ctx,
+                                                         std::uint32_t row) const {
+  return ctxs_.at(ctx).mh.at(row).state;
+}
+BarrierNetwork::MasterState BarrierNetwork::MasterVState(std::uint32_t ctx) const {
+  return ctxs_.at(ctx).mv.state;
+}
+BarrierNetwork::SlaveState BarrierNetwork::SlaveHState(std::uint32_t ctx,
+                                                       CoreId core) const {
+  return ctxs_.at(ctx).sh.at(core).state;
+}
+BarrierNetwork::SlaveState BarrierNetwork::SlaveVState(std::uint32_t ctx,
+                                                       std::uint32_t row) const {
+  return ctxs_.at(ctx).sv.at(row).state;
+}
+std::uint32_t BarrierNetwork::ScntH(std::uint32_t ctx, std::uint32_t row) const {
+  return ctxs_.at(ctx).mh.at(row).scnt;
+}
+std::uint32_t BarrierNetwork::ScntV(std::uint32_t ctx) const {
+  return ctxs_.at(ctx).mv.scnt;
+}
+bool BarrierNetwork::McntH(std::uint32_t ctx, std::uint32_t row) const {
+  return ctxs_.at(ctx).mh.at(row).mcnt;
+}
+
+}  // namespace glb::gline

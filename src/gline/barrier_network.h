@@ -1,0 +1,203 @@
+// The G-line-based barrier network (the paper's contribution, §3).
+//
+// Architecture (Figure 1), per barrier context:
+//   * every mesh row has two G-lines: SglineH (slaves -> master, arrival)
+//     and MglineH (master -> slaves, release);
+//   * the first column has two more: SglineV and MglineV;
+//   * the node in column 0 of each row hosts a MasterH controller, all
+//     other nodes host a SlaveH; nodes in column 0 of rows > 0 also host
+//     a SlaveV, and node (0,0) hosts the MasterV.
+// Total lines per context: 2 x (rows + 1) — the paper's 2x(sqrt(N)+1)
+// for square meshes.
+//
+// Synchronization (Figure 2, all-arrived at cycle T):
+//   T   : each arriving SlaveH asserts its row's SglineH; MasterH nodes
+//         set Mcnt on their own core's bar_reg write.
+//   T+1 : each MasterH has ScntH == row slave count and Mcnt == 1; it
+//         raises `flag`, which its co-located SlaveV answers by
+//         asserting SglineV (node 0's flag feeds MasterV directly).
+//   T+2 : MasterV has ScntV == rows-1 and node-0 flag; the release
+//         starts: MasterV asserts MglineV and resets its counters.
+//   T+3 : column-0 nodes see MglineV: SlaveVs and MasterHs reset,
+//         MasterHs assert MglineH and clear their own core's bar_reg.
+//   T+4 : remaining nodes see MglineH; SlaveHs reset and clear bar_reg.
+//
+// The controllers below implement the Figure-4 automata literally
+// (states Signaling/Waiting for slaves, Accounting/Waiting for masters),
+// with every transition CHECK-guarded.
+//
+// Extensions beyond the paper's evaluation, both from its §5 future
+// work: multiple independent barrier contexts (each with its own line
+// set and controllers), and partial-participation barriers via a core
+// mask per context (controllers always relay; expected S-CSMA counts
+// are derived from the mask, and rows with no participating cores
+// complete autonomously).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/barrier_device.h"
+#include "gline/gline.h"
+#include "sim/engine.h"
+
+namespace glb::gline {
+
+struct BarrierNetConfig {
+  /// Independent hardware barriers (each gets its own G-line set).
+  std::uint32_t contexts = 1;
+  /// Transmitter budget per line (paper: six).
+  std::uint32_t max_transmitters = 6;
+  TxPolicy policy = TxPolicy::kRelaxed;
+};
+
+class BarrierNetwork {
+ public:
+  // Figure-4 automaton states.
+  enum class SlaveState : std::uint8_t { kSignaling, kWaiting };
+  enum class MasterState : std::uint8_t { kAccounting, kWaiting };
+
+  BarrierNetwork(sim::Engine& engine, std::uint32_t rows, std::uint32_t cols,
+                 const BarrierNetConfig& cfg, StatSet& stats);
+
+  BarrierNetwork(const BarrierNetwork&) = delete;
+  BarrierNetwork& operator=(const BarrierNetwork&) = delete;
+
+  /// bar_reg view of context `ctx` for wiring into cores.
+  core::BarrierDevice* Device(std::uint32_t ctx = 0);
+
+  /// Restricts context `ctx` to a subset of cores (extension). The
+  /// context is hardware-reset first, so reconfiguration between
+  /// episodes is legal; at least one core must remain, and no core may
+  /// be waiting at the barrier.
+  void SetParticipants(std::uint32_t ctx, const std::vector<bool>& mask);
+
+  /// Hardware reset of one context: all controllers return to their
+  /// initial Figure-4 states and in-flight line batches are discarded.
+  /// Illegal while any core is waiting at the context's barrier.
+  void ResetContext(std::uint32_t ctx);
+
+  /// Core `core` wrote bar_reg := 1 in context `ctx`; `on_release` runs
+  /// when the hardware clears the register.
+  void Arrive(std::uint32_t ctx, CoreId core, std::function<void()> on_release);
+
+  /// Defers the release of context `ctx`: when the gather completes,
+  /// `hook` runs instead of the release wave, and the context holds
+  /// until TriggerRelease. This is how hierarchical (multi-level)
+  /// G-line networks chain cluster networks under a top-level one
+  /// (paper §5 future work). Pass nullptr to restore auto-release.
+  void SetCompletionHook(std::uint32_t ctx, std::function<void()> hook);
+
+  /// Starts the deferred release wave of a completed context.
+  void TriggerRelease(std::uint32_t ctx);
+
+  sim::Engine& engine() { return engine_; }
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  std::uint32_t num_cores() const { return rows_ * cols_; }
+  std::uint32_t contexts() const { return static_cast<std::uint32_t>(ctxs_.size()); }
+  /// Total G-lines deployed (2*(rows+1) per context).
+  std::uint32_t total_lines() const { return contexts() * 2 * (rows_ + 1); }
+  std::uint64_t barriers_completed() const { return completed_->value(); }
+
+  // --- FSM introspection for tests -----------------------------------
+  MasterState MasterHState(std::uint32_t ctx, std::uint32_t row) const;
+  MasterState MasterVState(std::uint32_t ctx) const;
+  SlaveState SlaveHState(std::uint32_t ctx, CoreId core) const;
+  SlaveState SlaveVState(std::uint32_t ctx, std::uint32_t row) const;
+  std::uint32_t ScntH(std::uint32_t ctx, std::uint32_t row) const;
+  std::uint32_t ScntV(std::uint32_t ctx) const;
+  bool McntH(std::uint32_t ctx, std::uint32_t row) const;
+
+ private:
+  struct MasterH {
+    MasterState state = MasterState::kAccounting;
+    std::uint32_t scnt = 0;
+    bool mcnt = false;
+    bool flag = false;
+    std::uint32_t expected = 0;  // participating slaves in this row
+    bool core_participates = true;
+  };
+  struct SlaveH {
+    SlaveState state = SlaveState::kSignaling;
+  };
+  struct SlaveV {
+    SlaveState state = SlaveState::kSignaling;
+  };
+  struct MasterV {
+    MasterState state = MasterState::kAccounting;
+    std::uint32_t scnt = 0;
+    bool node0_flag = false;
+    std::uint32_t expected = 0;  // always rows-1: every row relays
+  };
+
+  struct Context {
+    std::vector<MasterH> mh;          // one per row
+    std::vector<SlaveH> sh;           // one per core (unused at col 0)
+    std::vector<SlaveV> sv;           // one per row (unused at row 0)
+    MasterV mv;
+    std::vector<GLine> sgline_h;      // per row: slaves -> master
+    std::vector<GLine> mgline_h;      // per row: master -> slaves
+    std::unique_ptr<GLine> sgline_v;  // column 0: slaves -> master
+    std::unique_ptr<GLine> mgline_v;  // column 0: master -> slaves
+    std::vector<bool> participates;   // per core
+    std::vector<std::function<void()>> release_cb;  // per core
+    std::uint32_t arrived = 0;
+    std::uint32_t expected_arrivals = 0;
+    Cycle last_arrival = 0;
+    Cycle first_arrival = 0;
+    /// When set, completion defers the release wave (hierarchy hook).
+    std::function<void()> completion_hook;
+    bool release_pending = false;
+  };
+
+  class ContextDevice : public core::BarrierDevice {
+   public:
+    ContextDevice(BarrierNetwork& net, std::uint32_t ctx) : net_(net), ctx_(ctx) {}
+    void Arrive(CoreId core, std::function<void()> on_release) override {
+      net_.Arrive(ctx_, core, std::move(on_release));
+    }
+
+   private:
+    BarrierNetwork& net_;
+    std::uint32_t ctx_;
+  };
+
+  CoreId NodeAt(std::uint32_t row, std::uint32_t col) const { return row * cols_ + col; }
+  std::uint32_t RowOf(CoreId c) const { return c / cols_; }
+  std::uint32_t ColOf(CoreId c) const { return c % cols_; }
+
+  void BuildContext(std::uint32_t ctx);
+  void RecomputeExpectations(Context& c);
+  /// Re-evaluates the MasterH completion condition for a row.
+  void CheckRowComplete(std::uint32_t ctx, std::uint32_t row);
+  void CheckVerticalComplete(std::uint32_t ctx);
+  void StartRelease(std::uint32_t ctx);
+  /// MglineV observed at a column-0 node.
+  void ReleaseColumnNode(std::uint32_t ctx, std::uint32_t row);
+  /// MglineH observed at a non-master node.
+  void ReleaseRowNode(std::uint32_t ctx, CoreId core);
+  void ReleaseCore(std::uint32_t ctx, CoreId core);
+  /// Rows with no participating core complete on their own as soon as
+  /// the context (re-)arms.
+  void ArmAutonomousRows(std::uint32_t ctx);
+
+  sim::Engine& engine_;
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+  BarrierNetConfig cfg_;
+  StatSet& stats_;
+  std::vector<Context> ctxs_;
+  std::vector<std::unique_ptr<ContextDevice>> devices_;
+
+  Counter* completed_ = nullptr;
+  Counter* signals_ = nullptr;
+  Histogram* release_latency_ = nullptr;
+  Histogram* episode_span_ = nullptr;
+};
+
+}  // namespace glb::gline

@@ -1,0 +1,81 @@
+// G-line wire model with S-CSMA counting.
+//
+// A G-line is a global 1-bit wire spanning one dimension of the chip:
+// any attached transmitter may drive it during a cycle, and the S-CSMA
+// sensing circuit lets a receiver learn *how many* transmitters drove it
+// that cycle (Krishna et al., HOTI'08), not just the wired-OR. Nominal
+// latency is one clock cycle end to end.
+//
+// The technology supports at most `max_transmitters` (six in the paper)
+// per line. Lines with more transmitters are handled per TxPolicy:
+//   kReject  — construction fails (strict paper contract; limits the
+//              mesh to 7x7);
+//   kRelaxed — the line still works but takes ceil(tx/max) cycles,
+//              modeling either electrically longer-latency G-lines or
+//              chained line segments with relay controllers (both are
+//              sketched as future work in §5 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "sim/engine.h"
+
+namespace glb::gline {
+
+enum class TxPolicy : std::uint8_t { kReject, kRelaxed };
+
+class GLine {
+ public:
+  /// A receiver gets the S-CSMA transmitter count for one cycle's worth
+  /// of assertions (>= 1; quiet cycles produce no callback).
+  using Receiver = std::function<void(std::uint32_t count)>;
+
+  GLine(sim::Engine& engine, std::string name, std::uint32_t num_transmitters,
+        std::uint32_t max_transmitters, TxPolicy policy, Counter* signal_counter);
+
+  GLine(GLine&&) = default;
+
+  /// Registers a receiver; all receivers observe every batch. The paper
+  /// pairs each line with exactly one S-CSMA receiver (the master) for
+  /// arrival lines and a broadcast set for release lines.
+  void AddReceiver(Receiver r) { receivers_.push_back(std::move(r)); }
+
+  /// One transmitter drives the line during the current cycle.
+  /// Assertions within the same cycle merge into one S-CSMA count,
+  /// delivered to the receivers `latency()` cycles later.
+  void Assert();
+
+  /// Hardware reset: discards every in-flight batch (their delivery
+  /// events become no-ops). Used when a barrier context is
+  /// reconfigured.
+  void CancelPending();
+
+  bool has_pending() const { return !pending_.empty(); }
+
+  Cycle latency() const { return latency_; }
+  std::uint32_t num_transmitters() const { return num_transmitters_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  void Flush(Cycle asserted_at, std::uint64_t epoch);
+
+  sim::Engine& engine_;
+  std::string name_;
+  std::uint32_t num_transmitters_;
+  Cycle latency_;
+  // Bumped by CancelPending; stale flush events compare and bail out.
+  std::uint64_t epoch_ = 0;
+  // Open per-cycle batches (several can be in flight when latency > 1).
+  std::map<Cycle, std::uint32_t> pending_;
+  std::vector<Receiver> receivers_;
+  Counter* signals_ = nullptr;
+};
+
+}  // namespace glb::gline

@@ -1,0 +1,91 @@
+#include "gline/hierarchy.h"
+
+#include "common/check.h"
+
+namespace glb::gline {
+
+HierarchicalBarrierNetwork::HierarchicalBarrierNetwork(sim::Engine& engine,
+                                                       std::uint32_t rows,
+                                                       std::uint32_t cols,
+                                                       const HierConfig& cfg,
+                                                       StatSet& stats)
+    : engine_(engine), rows_(rows), cols_(cols), cfg_(cfg) {
+  GLB_CHECK(rows > 0 && cols > 0) << "empty mesh";
+  GLB_CHECK(cfg.cluster_rows > 0 && cfg.cluster_cols > 0) << "empty clusters";
+  completed_ = stats.GetCounter("glh.barriers_completed");
+
+  grid_rows_ = (rows + cfg.cluster_rows - 1) / cfg.cluster_rows;
+  grid_cols_ = (cols + cfg.cluster_cols - 1) / cfg.cluster_cols;
+  // The top-level network must itself respect the transmitter budget:
+  // two levels cover up to (max_tx+1)^2 x (max_tx+1)^2 cores.
+  GLB_CHECK(grid_rows_ <= cfg.max_transmitters + 1 &&
+            grid_cols_ <= cfg.max_transmitters + 1)
+      << "mesh needs more than two levels (" << grid_rows_ << "x" << grid_cols_
+      << " clusters); deeper hierarchies are future work";
+
+  // Every sub-network must satisfy the strict transmitter budget: the
+  // whole point of the hierarchy is that no line is overloaded.
+  BarrierNetConfig sub;
+  sub.contexts = 1;
+  sub.max_transmitters = cfg.max_transmitters;
+  sub.policy = TxPolicy::kReject;
+
+  // Balance the cluster grid: with the cluster count fixed, spread the
+  // rows/columns evenly (8x8 becomes four 4x4 clusters rather than a
+  // 7x7 plus slivers).
+  eff_cluster_rows_ = (rows + grid_rows_ - 1) / grid_rows_;
+  eff_cluster_cols_ = (cols + grid_cols_ - 1) / grid_cols_;
+  for (std::uint32_t gr = 0; gr < grid_rows_; ++gr) {
+    for (std::uint32_t gc = 0; gc < grid_cols_; ++gc) {
+      Cluster cl;
+      cl.row0 = gr * eff_cluster_rows_;
+      cl.col0 = gc * eff_cluster_cols_;
+      cl.crows = std::min(eff_cluster_rows_, rows - cl.row0);
+      cl.ccols = std::min(eff_cluster_cols_, cols - cl.col0);
+      cl.net = std::make_unique<BarrierNetwork>(engine, cl.crows, cl.ccols, sub, stats);
+      clusters_.push_back(std::move(cl));
+    }
+  }
+  top_ = std::make_unique<BarrierNetwork>(engine, grid_rows_, grid_cols_, sub, stats);
+
+  // Chain: cluster completion arrives at the top level; the top-level
+  // release triggers the cluster's deferred release wave.
+  for (std::uint32_t i = 0; i < clusters_.size(); ++i) {
+    clusters_[i].net->SetCompletionHook(0, [this, i]() {
+      top_->Arrive(0, static_cast<CoreId>(i), [this, i]() {
+        clusters_[i].net->TriggerRelease(0);
+      });
+    });
+  }
+  // The top level's own completion is the global barrier.
+  top_->SetCompletionHook(0, [this]() {
+    completed_->Inc();
+    top_->TriggerRelease(0);
+  });
+}
+
+std::uint32_t HierarchicalBarrierNetwork::ClusterIndexOf(CoreId core) const {
+  const std::uint32_t r = core / cols_, c = core % cols_;
+  return (r / eff_cluster_rows_) * grid_cols_ + (c / eff_cluster_cols_);
+}
+
+CoreId HierarchicalBarrierNetwork::LocalIdOf(CoreId core) const {
+  const std::uint32_t r = core / cols_, c = core % cols_;
+  const Cluster& cl = clusters_[ClusterIndexOf(core)];
+  return (r - cl.row0) * cl.ccols + (c - cl.col0);
+}
+
+void HierarchicalBarrierNetwork::Arrive(CoreId core,
+                                        std::function<void()> on_release) {
+  GLB_CHECK(core < num_cores()) << "bad core id " << core;
+  const std::uint32_t ci = ClusterIndexOf(core);
+  clusters_[ci].net->Arrive(0, LocalIdOf(core), std::move(on_release));
+}
+
+std::uint32_t HierarchicalBarrierNetwork::total_lines() const {
+  std::uint32_t total = top_->total_lines();
+  for (const auto& cl : clusters_) total += cl.net->total_lines();
+  return total;
+}
+
+}  // namespace glb::gline

@@ -1,0 +1,81 @@
+// Hierarchical (two-level) G-line barrier network — the paper's §5
+// future-work answer to the 7x7 technology limit ("design efficient and
+// scalable schemes to interconnect G-line-based networks").
+//
+// The mesh is tiled into clusters of at most `cluster_rows x
+// cluster_cols` nodes (7x7 by default, the largest a 6-transmitter
+// G-line supports). Each cluster runs a full Figure-1 barrier network;
+// its MasterV, instead of starting the release wave, signals a
+// *top-level* G-line network whose "nodes" are the cluster masters.
+// When the top level completes, its release wave triggers every
+// cluster's local release.
+//
+// Latency: gather(cluster) + gather(top) + release(top) + release
+// (cluster) ≈ 2+2+2+2 = 8-9 cycles for anything up to 49x49 = 2401
+// cores — doubling the paper's 4 cycles to scale 49x in cores, with
+// every individual line still inside the 6-transmitter budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "core/barrier_device.h"
+#include "gline/barrier_network.h"
+#include "sim/engine.h"
+
+namespace glb::gline {
+
+struct HierConfig {
+  /// Maximum cluster dimensions (default: the 7x7 technology limit).
+  std::uint32_t cluster_rows = 7;
+  std::uint32_t cluster_cols = 7;
+  std::uint32_t max_transmitters = 6;
+};
+
+class HierarchicalBarrierNetwork final : public core::BarrierDevice {
+ public:
+  HierarchicalBarrierNetwork(sim::Engine& engine, std::uint32_t rows,
+                             std::uint32_t cols, const HierConfig& cfg,
+                             StatSet& stats);
+
+  HierarchicalBarrierNetwork(const HierarchicalBarrierNetwork&) = delete;
+  HierarchicalBarrierNetwork& operator=(const HierarchicalBarrierNetwork&) = delete;
+
+  /// bar_reg write of a core (global id, row-major over the full mesh).
+  void Arrive(CoreId core, std::function<void()> on_release) override;
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+  std::uint32_t num_cores() const { return rows_ * cols_; }
+  std::uint32_t num_clusters() const {
+    return static_cast<std::uint32_t>(clusters_.size());
+  }
+  /// Total G-lines across all cluster networks plus the top level.
+  std::uint32_t total_lines() const;
+  std::uint64_t barriers_completed() const { return completed_->value(); }
+
+ private:
+  struct Cluster {
+    std::unique_ptr<BarrierNetwork> net;
+    std::uint32_t row0, col0;  // global position of the cluster origin
+    std::uint32_t crows, ccols;
+  };
+
+  std::uint32_t ClusterIndexOf(CoreId core) const;
+  CoreId LocalIdOf(CoreId core) const;
+
+  sim::Engine& engine_;
+  std::uint32_t rows_, cols_;
+  HierConfig cfg_;
+  std::uint32_t grid_rows_, grid_cols_;  // cluster grid dimensions
+  std::uint32_t eff_cluster_rows_ = 0, eff_cluster_cols_ = 0;  // balanced
+  std::vector<Cluster> clusters_;
+  std::unique_ptr<BarrierNetwork> top_;
+  Counter* completed_ = nullptr;
+};
+
+}  // namespace glb::gline

@@ -1,0 +1,63 @@
+#include "harness/experiment.h"
+
+#include "common/check.h"
+#include "sync/dissemination_barrier.h"
+#include "sync/hybrid_barrier.h"
+#include "sync/sw_barrier.h"
+
+namespace glb::harness {
+
+std::unique_ptr<sync::Barrier> MakeBarrier(BarrierKind kind, cmp::CmpSystem& sys) {
+  switch (kind) {
+    case BarrierKind::kGL:
+      return std::make_unique<sync::GlBarrier>();
+    case BarrierKind::kCSW:
+      return std::make_unique<sync::CentralBarrier>(sys.allocator(), sys.num_cores());
+    case BarrierKind::kDSW:
+      return std::make_unique<sync::TreeBarrier>(sys.allocator(), sys.num_cores());
+    case BarrierKind::kDIS:
+      return std::make_unique<sync::DisseminationBarrier>(sys.allocator(),
+                                                          sys.num_cores());
+    case BarrierKind::kHYB: {
+      // Unit at the central tile, minimizing worst-case hop distance.
+      const auto& cfg = sys.config();
+      const CoreId home = (cfg.rows / 2) * cfg.cols + cfg.cols / 2;
+      return std::make_unique<sync::HybridBarrier>(sys.mesh(), home,
+                                                   sys.num_cores(), sys.stats());
+    }
+  }
+  GLB_UNREACHABLE("bad barrier kind");
+}
+
+RunMetrics RunExperiment(const WorkloadFactory& make_workload, BarrierKind kind,
+                         const cmp::CmpConfig& cfg, Cycle max_cycles) {
+  cmp::CmpSystem sys(cfg);
+  auto workload = make_workload();
+  workload->Init(sys);
+  auto barrier = MakeBarrier(kind, sys);
+
+  RunMetrics m;
+  m.workload = workload->name();
+  m.barrier = ToString(kind);
+  m.cores = sys.num_cores();
+
+  m.completed = sys.RunPrograms(
+      [&](core::Core& core, CoreId id) { return workload->Body(core, id, *barrier); },
+      max_cycles);
+
+  m.cycles = sys.LastFinish();
+  const std::uint64_t total_arrivals = sys.stats().CounterValue("core.barriers");
+  m.barriers = total_arrivals / sys.num_cores();
+  m.barrier_period =
+      m.barriers == 0 ? 0.0
+                      : static_cast<double>(m.cycles) / static_cast<double>(m.barriers);
+  m.breakdown = sys.TotalBreakdown();
+  m.msgs_request = sys.stats().CounterValue("noc.msgs.request");
+  m.msgs_reply = sys.stats().CounterValue("noc.msgs.reply");
+  m.msgs_coherence = sys.stats().CounterValue("noc.msgs.coherence");
+  m.host_events = sys.engine().events_processed();
+  m.validation = m.completed ? workload->Validate(sys) : "run timed out";
+  return m;
+}
+
+}  // namespace glb::harness

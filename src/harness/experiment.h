@@ -1,0 +1,75 @@
+// Experiment harness: runs (workload x barrier mechanism x machine
+// configuration) combinations and extracts the metrics the paper
+// reports — execution time with its Figure-6 breakdown, Figure-7
+// network message counts by class, and Table-2 barrier statistics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cmp/cmp_system.h"
+#include "core/timebreak.h"
+#include "sync/barrier.h"
+#include "workloads/workload.h"
+
+namespace glb::harness {
+
+enum class BarrierKind {
+  kGL,   // the paper's G-line barrier network
+  kCSW,  // centralized sense-reversal software barrier
+  kDSW,  // binary combining-tree software barrier
+  kHYB,  // memory-mapped central hardware unit (Sartori/Kumar-style)
+  kDIS,  // dissemination barrier (extension baseline, MCS-style)
+};
+
+inline const char* ToString(BarrierKind k) {
+  switch (k) {
+    case BarrierKind::kGL: return "GL";
+    case BarrierKind::kCSW: return "CSW";
+    case BarrierKind::kDSW: return "DSW";
+    case BarrierKind::kHYB: return "HYB";
+    case BarrierKind::kDIS: return "DIS";
+  }
+  return "?";
+}
+
+/// Builds the requested barrier over a system's simulated memory.
+std::unique_ptr<sync::Barrier> MakeBarrier(BarrierKind kind, cmp::CmpSystem& sys);
+
+struct RunMetrics {
+  std::string workload;
+  std::string barrier;
+  std::uint32_t cores = 0;
+  /// Wall-clock of the parallel section (cycle of the last finisher).
+  Cycle cycles = 0;
+  /// Barrier episodes per core (Table 2's #Barriers).
+  std::uint64_t barriers = 0;
+  /// Average cycles between consecutive barriers (Table 2).
+  double barrier_period = 0.0;
+  /// Aggregate Figure-6 breakdown over all cores.
+  core::TimeBreakdown breakdown;
+  /// Figure-7 message classes over the data NoC.
+  std::uint64_t msgs_request = 0;
+  std::uint64_t msgs_reply = 0;
+  std::uint64_t msgs_coherence = 0;
+  /// Result of Workload::Validate ("" = results correct).
+  std::string validation;
+  /// Simulator health.
+  bool completed = false;
+  std::uint64_t host_events = 0;
+
+  std::uint64_t total_msgs() const {
+    return msgs_request + msgs_reply + msgs_coherence;
+  }
+};
+
+using WorkloadFactory = std::function<std::unique_ptr<workloads::Workload>()>;
+
+/// Runs one experiment to completion (or `max_cycles`) and collects the
+/// metrics. The system is built fresh, the workload initialized, one
+/// program launched per core.
+RunMetrics RunExperiment(const WorkloadFactory& make_workload, BarrierKind kind,
+                         const cmp::CmpConfig& cfg, Cycle max_cycles = kCycleNever);
+
+}  // namespace glb::harness

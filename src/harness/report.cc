@@ -1,0 +1,124 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace glb::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  GLB_CHECK(cells.size() == headers_.size())
+      << "row has " << cells.size() << " cells, table has " << headers_.size()
+      << " columns";
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(widths[i]))
+         << cells[i];
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+std::string Table::Num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::Num(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::Pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+void PrintMetrics(std::ostream& os, const RunMetrics& m) {
+  os << m.workload << " (" << m.barrier << ", " << m.cores << " cores): "
+     << m.cycles << " cycles, " << m.barriers << " barriers/core (period "
+     << Table::Num(m.barrier_period) << " cycles), " << m.total_msgs()
+     << " NoC messages";
+  if (!m.validation.empty()) os << " [VALIDATION FAILED: " << m.validation << "]";
+  os << '\n';
+}
+
+namespace {
+const RunMetrics* FindBaseline(const std::vector<RunMetrics>& runs,
+                               const std::string& workload,
+                               const std::string& barrier) {
+  for (const auto& r : runs) {
+    if (r.workload == workload && r.barrier == barrier) return &r;
+  }
+  return nullptr;
+}
+}  // namespace
+
+void PrintBreakdownTable(std::ostream& os, const std::vector<RunMetrics>& runs,
+                         const std::string& baseline_barrier) {
+  Table t({"Benchmark", "Barrier", "Norm.time", "Barrier", "Write", "Read", "Lock",
+           "Busy", "Valid"});
+  for (const auto& r : runs) {
+    const RunMetrics* base = FindBaseline(runs, r.workload, baseline_barrier);
+    GLB_CHECK(base != nullptr) << "no baseline run for " << r.workload;
+    const auto norm = static_cast<double>(base->cycles);
+    const auto total = static_cast<double>(r.breakdown.total());
+    auto frac = [&](core::TimeCat c) {
+      // Each category as a fraction of the *baseline* runtime so bars
+      // are directly comparable, like the paper's Figure 6.
+      return total == 0.0 ? 0.0
+                          : static_cast<double>(r.breakdown[c]) /
+                                total * (static_cast<double>(r.cycles) / norm);
+    };
+    t.AddRow({r.workload, r.barrier,
+              Table::Num(static_cast<double>(r.cycles) / norm),
+              Table::Num(frac(core::TimeCat::kBarrier)),
+              Table::Num(frac(core::TimeCat::kWrite)),
+              Table::Num(frac(core::TimeCat::kRead)),
+              Table::Num(frac(core::TimeCat::kLock)),
+              Table::Num(frac(core::TimeCat::kBusy)),
+              r.validation.empty() ? "ok" : "FAIL"});
+  }
+  t.Print(os);
+}
+
+void PrintTrafficTable(std::ostream& os, const std::vector<RunMetrics>& runs,
+                       const std::string& baseline_barrier) {
+  Table t({"Benchmark", "Barrier", "Norm.msgs", "Request", "Reply", "Coherence",
+           "Total msgs"});
+  for (const auto& r : runs) {
+    const RunMetrics* base = FindBaseline(runs, r.workload, baseline_barrier);
+    GLB_CHECK(base != nullptr) << "no baseline run for " << r.workload;
+    const auto norm = static_cast<double>(base->total_msgs());
+    auto f = [&](std::uint64_t v) {
+      return norm == 0.0 ? 0.0 : static_cast<double>(v) / norm;
+    };
+    t.AddRow({r.workload, r.barrier, Table::Num(f(r.total_msgs())),
+              Table::Num(f(r.msgs_request)), Table::Num(f(r.msgs_reply)),
+              Table::Num(f(r.msgs_coherence)), Table::Num(r.total_msgs())});
+  }
+  t.Print(os);
+}
+
+}  // namespace glb::harness

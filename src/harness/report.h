@@ -1,0 +1,41 @@
+// Report formatting: fixed-width tables matching the paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace glb::harness {
+
+/// Simple aligned-text table builder for bench output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+  static std::string Num(double v, int precision = 2);
+  static std::string Num(std::uint64_t v);
+  static std::string Pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints one RunMetrics as a paragraph (used by examples/quickstart).
+void PrintMetrics(std::ostream& os, const RunMetrics& m);
+
+/// Prints the Figure-6-style normalized breakdown for a set of runs:
+/// every run is normalized to the run named `baseline_barrier` of the
+/// same workload.
+void PrintBreakdownTable(std::ostream& os, const std::vector<RunMetrics>& runs,
+                         const std::string& baseline_barrier);
+
+/// Prints the Figure-7-style normalized traffic table.
+void PrintTrafficTable(std::ostream& os, const std::vector<RunMetrics>& runs,
+                       const std::string& baseline_barrier);
+
+}  // namespace glb::harness

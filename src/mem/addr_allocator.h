@@ -1,0 +1,46 @@
+// Bump allocator for the simulated physical address space.
+//
+// Workloads and the sync runtime carve their arrays and shared
+// synchronization variables out of one flat address space; alignment to
+// cache-line boundaries is the norm (false sharing is opt-in, never an
+// accident of allocation order).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace glb::mem {
+
+class AddrAllocator {
+ public:
+  explicit AddrAllocator(std::uint32_t line_bytes, Addr base = 0x10000)
+      : line_bytes_(line_bytes), next_(base) {
+    GLB_CHECK(base % line_bytes == 0) << "unaligned allocator base";
+  }
+
+  /// Allocates `bytes` rounded up to whole cache lines, line-aligned.
+  Addr AllocLines(std::uint64_t bytes) {
+    const Addr a = next_;
+    const std::uint64_t rounded =
+        (bytes + line_bytes_ - 1) / line_bytes_ * line_bytes_;
+    next_ += rounded == 0 ? line_bytes_ : rounded;
+    return a;
+  }
+
+  /// Allocates an array of `n` words, line-aligned at the start.
+  Addr AllocWords(std::uint64_t n) { return AllocLines(n * kWordBytes); }
+
+  /// One word on its own cache line (synchronization variables).
+  Addr AllocVar() { return AllocLines(line_bytes_); }
+
+  Addr next() const { return next_; }
+  std::uint32_t line_bytes() const { return line_bytes_; }
+
+ private:
+  std::uint32_t line_bytes_;
+  Addr next_;
+};
+
+}  // namespace glb::mem

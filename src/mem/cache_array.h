@@ -1,0 +1,144 @@
+// Generic set-associative cache array with true LRU replacement and
+// per-line data payload.
+//
+// The array is policy-free: coherence controllers own the line metadata
+// type `Meta` (stable/transient protocol state, sharer vectors, ...) and
+// drive allocation/eviction explicitly. Lines carry real data words so
+// that simulated loads observe exactly the bytes the coherence protocol
+// has made visible — spin-loop visibility then follows invalidations by
+// construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace glb::mem {
+
+struct CacheGeometry {
+  std::uint32_t size_bytes = 32 * 1024;
+  std::uint32_t ways = 4;
+  std::uint32_t line_bytes = 64;
+
+  std::uint32_t num_lines() const { return size_bytes / line_bytes; }
+  std::uint32_t num_sets() const { return num_lines() / ways; }
+};
+
+template <typename Meta>
+class CacheArray {
+ public:
+  struct Line {
+    bool valid = false;
+    Addr line_addr = 0;
+    std::uint64_t lru_stamp = 0;
+    Meta meta{};
+    std::vector<Word> data;
+  };
+
+  explicit CacheArray(const CacheGeometry& geo) : geo_(geo) {
+    GLB_CHECK(geo.ways > 0 && geo.line_bytes >= kWordBytes) << "bad geometry";
+    GLB_CHECK(geo.num_lines() % geo.ways == 0) << "size not divisible into sets";
+    GLB_CHECK((geo.num_sets() & (geo.num_sets() - 1)) == 0)
+        << "set count must be a power of two, got " << geo.num_sets();
+    lines_.resize(geo.num_lines());
+    for (auto& l : lines_) l.data.assign(geo.line_bytes / kWordBytes, 0);
+  }
+
+  const CacheGeometry& geometry() const { return geo_; }
+
+  Addr LineOf(Addr a) const { return a & ~static_cast<Addr>(geo_.line_bytes - 1); }
+
+  /// Returns the line holding `addr`'s cache line, or nullptr on miss.
+  /// Does not update LRU (call Touch on use).
+  Line* Lookup(Addr addr) {
+    const Addr la = LineOf(addr);
+    Line* set = SetFor(la);
+    for (std::uint32_t w = 0; w < geo_.ways; ++w) {
+      if (set[w].valid && set[w].line_addr == la) return &set[w];
+    }
+    return nullptr;
+  }
+  const Line* Lookup(Addr addr) const {
+    return const_cast<CacheArray*>(this)->Lookup(addr);
+  }
+
+  /// Chooses the replacement victim in `addr`'s set: an invalid way if
+  /// one exists, else the true-LRU valid way for which `evictable`
+  /// returns true. Returns nullptr if every way is pinned.
+  template <typename Pred>
+  Line* VictimFor(Addr addr, Pred&& evictable) {
+    Line* set = SetFor(LineOf(addr));
+    Line* victim = nullptr;
+    for (std::uint32_t w = 0; w < geo_.ways; ++w) {
+      Line& l = set[w];
+      if (!l.valid) return &l;
+      if (!evictable(l)) continue;
+      if (victim == nullptr || l.lru_stamp < victim->lru_stamp) victim = &l;
+    }
+    return victim;
+  }
+  Line* VictimFor(Addr addr) {
+    return VictimFor(addr, [](const Line&) { return true; });
+  }
+
+  /// Claims `line` for `addr`'s cache line: validates it, resets
+  /// metadata and zeroes data. The caller must already have disposed of
+  /// the previous occupant (writeback etc.).
+  void Install(Line* line, Addr addr) {
+    const Addr la = LineOf(addr);
+    GLB_CHECK(SetIndex(la) == SetIndexOfLine(line))
+        << "installing line into the wrong set";
+    line->valid = true;
+    line->line_addr = la;
+    line->meta = Meta{};
+    std::fill(line->data.begin(), line->data.end(), Word{0});
+    Touch(line);
+  }
+
+  void Invalidate(Line* line) {
+    line->valid = false;
+    line->meta = Meta{};
+  }
+
+  /// Marks `line` most-recently-used.
+  void Touch(Line* line) { line->lru_stamp = ++lru_clock_; }
+
+  Word ReadWord(const Line* line, Addr a) const {
+    return line->data[WordIndex(line, a)];
+  }
+  void WriteWord(Line* line, Addr a, Word v) { line->data[WordIndex(line, a)] = v; }
+
+  /// Iterates all valid lines (for invariant checkers).
+  template <typename Fn>
+  void ForEachValid(Fn&& fn) const {
+    for (const auto& l : lines_) {
+      if (l.valid) fn(l);
+    }
+  }
+
+  std::uint32_t SetIndex(Addr line_addr) const {
+    return static_cast<std::uint32_t>((line_addr / geo_.line_bytes) &
+                                      (geo_.num_sets() - 1));
+  }
+
+ private:
+  Line* SetFor(Addr line_addr) { return &lines_[SetIndex(line_addr) * geo_.ways]; }
+  std::uint32_t SetIndexOfLine(const Line* line) const {
+    const auto idx = static_cast<std::uint32_t>(line - lines_.data());
+    return idx / geo_.ways;
+  }
+  std::size_t WordIndex(const Line* line, Addr a) const {
+    GLB_CHECK(line->valid && LineOf(a) == line->line_addr)
+        << "word access outside the line";
+    GLB_CHECK(a % kWordBytes == 0) << "unaligned word access @" << a;
+    return (a - line->line_addr) / kWordBytes;
+  }
+
+  CacheGeometry geo_;
+  std::vector<Line> lines_;
+  std::uint64_t lru_clock_ = 0;
+};
+
+}  // namespace glb::mem

@@ -1,0 +1,133 @@
+#include "noc/mesh.h"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/log.h"
+
+namespace glb::noc {
+
+Mesh::Mesh(sim::Engine& engine, const MeshConfig& cfg, StatSet& stats)
+    : engine_(engine), cfg_(cfg), routers_(cfg.num_nodes()) {
+  GLB_CHECK(cfg.rows > 0 && cfg.cols > 0) << "empty mesh";
+  GLB_CHECK(cfg.link_bytes > 0) << "zero-width links";
+  for (int c = 0; c < kNumTrafficClasses; ++c) {
+    const std::string name = ToString(static_cast<TrafficClass>(c));
+    msgs_by_class_[static_cast<std::size_t>(c)] = stats.GetCounter("noc.msgs." + name);
+    bytes_by_class_[static_cast<std::size_t>(c)] = stats.GetCounter("noc.bytes." + name);
+  }
+  local_msgs_ = stats.GetCounter("noc.local_msgs");
+  total_hops_ = stats.GetCounter("noc.total_hops");
+  flits_sent_ = stats.GetCounter("noc.flits_sent");
+  latency_ = stats.GetHistogram("noc.msg_latency");
+}
+
+std::uint32_t Mesh::Hops(CoreId a, CoreId b) const {
+  const auto dr = static_cast<std::int64_t>(RowOf(a)) - static_cast<std::int64_t>(RowOf(b));
+  const auto dc = static_cast<std::int64_t>(ColOf(a)) - static_cast<std::int64_t>(ColOf(b));
+  return static_cast<std::uint32_t>(std::llabs(dr) + std::llabs(dc));
+}
+
+Mesh::Dir Mesh::NextDir(CoreId node, CoreId dst) const {
+  const std::uint32_t col = ColOf(node), dcol = ColOf(dst);
+  if (col < dcol) return kEast;
+  if (col > dcol) return kWest;
+  const std::uint32_t row = RowOf(node), drow = RowOf(dst);
+  if (row < drow) return kSouth;
+  GLB_CHECK(row > drow) << "NextDir called at destination";
+  return kNorth;
+}
+
+CoreId Mesh::Neighbour(CoreId node, Dir d) const {
+  switch (d) {
+    case kEast: return node + 1;
+    case kWest: return node - 1;
+    case kSouth: return node + cfg_.cols;
+    case kNorth: return node - cfg_.cols;
+    default: GLB_UNREACHABLE("bad direction");
+  }
+}
+
+void Mesh::Send(Packet pkt) {
+  GLB_CHECK(pkt.src < cfg_.num_nodes() && pkt.dst < cfg_.num_nodes())
+      << "packet endpoints out of range: " << pkt.src << "->" << pkt.dst;
+  GLB_CHECK(pkt.deliver != nullptr) << "packet without delivery closure";
+  InFlight flight{std::move(pkt), engine_.Now()};
+  if (flight.pkt.src == flight.pkt.dst) {
+    local_msgs_->Inc();
+    DeliverLocal(std::move(flight));
+    return;
+  }
+  const auto cls = static_cast<std::size_t>(flight.pkt.traffic);
+  msgs_by_class_[cls]->Inc();
+  bytes_by_class_[cls]->Inc(flight.pkt.bytes);
+  flits_sent_->Inc(static_cast<std::uint64_t>(FlitsOf(flight.pkt.bytes)) *
+                   Hops(flight.pkt.src, flight.pkt.dst));
+  total_hops_->Inc(Hops(flight.pkt.src, flight.pkt.dst));
+  const CoreId src = flight.pkt.src;
+  engine_.ScheduleIn(cfg_.router_latency,
+                     [this, src, f = std::move(flight)]() mutable {
+                       RouteAt(src, std::move(f));
+                     });
+}
+
+void Mesh::DeliverLocal(InFlight flight) {
+  engine_.ScheduleIn(cfg_.local_latency, [f = std::move(flight)]() mutable {
+    f.pkt.deliver();
+  });
+}
+
+void Mesh::RouteAt(CoreId node, InFlight flight) {
+  if (node == flight.pkt.dst) {
+    latency_->Record(engine_.Now() - flight.injected_at);
+    GLB_TRACE(engine_.Now(), "noc",
+              "deliver " << flight.pkt.src << "->" << flight.pkt.dst << " ("
+                         << ToString(flight.pkt.traffic) << ", " << flight.pkt.bytes
+                         << "B)");
+    flight.pkt.deliver();
+    return;
+  }
+  const Dir d = NextDir(node, flight.pkt.dst);
+  OutLink& link = routers_[node].out[d];
+  link.queues[static_cast<std::size_t>(flight.pkt.vnet)].push_back(std::move(flight));
+  PumpLink(node, d);
+}
+
+void Mesh::PumpLink(CoreId node, Dir d) {
+  OutLink& link = routers_[node].out[d];
+  if (link.transmitting) return;
+
+  // Round-robin across virtual-network queues.
+  int chosen = -1;
+  for (int i = 0; i < kNumVNets; ++i) {
+    const auto q = static_cast<std::size_t>((link.rr_next + i) % kNumVNets);
+    if (!link.queues[q].empty()) {
+      chosen = static_cast<int>(q);
+      break;
+    }
+  }
+  if (chosen < 0) return;
+  link.rr_next = static_cast<std::uint8_t>((chosen + 1) % kNumVNets);
+
+  InFlight flight = std::move(link.queues[static_cast<std::size_t>(chosen)].front());
+  link.queues[static_cast<std::size_t>(chosen)].pop_front();
+  link.transmitting = true;
+
+  const Cycle serialization = FlitsOf(flight.pkt.bytes);
+  const CoreId next = Neighbour(node, d);
+
+  // Link becomes free once the tail flit has left this router.
+  engine_.ScheduleIn(serialization, [this, node, d]() {
+    routers_[node].out[d].transmitting = false;
+    PumpLink(node, d);
+  });
+  // Packet appears at the neighbour's routing stage after serialization,
+  // wire propagation, and that router's pipeline.
+  engine_.ScheduleIn(serialization + cfg_.link_latency + cfg_.router_latency,
+                     [this, next, f = std::move(flight)]() mutable {
+                       RouteAt(next, std::move(f));
+                     });
+}
+
+}  // namespace glb::noc

@@ -1,0 +1,119 @@
+// 2D-mesh network-on-chip timing model.
+//
+// Topology: rows x cols routers, one per tile, with bidirectional links
+// between mesh neighbours. Routing is deterministic dimension-order
+// (X first, then Y), which together with per-link FIFO queues preserves
+// point-to-point ordering within a virtual network — a property the
+// coherence protocol relies on.
+//
+// Timing per hop: `router_latency` cycles of pipeline traversal, then
+// the packet queues for the output link; a link moves one flit per cycle
+// (flits = ceil(bytes / link_bytes)) and adds `link_latency` cycles of
+// propagation. Queueing delay emerges from link occupancy, which is how
+// software-barrier hot-spots show up as latency in the paper.
+// Buffers are unbounded, so the network itself cannot deadlock; virtual
+// networks exist for protocol-class separation and fair arbitration
+// (round-robin across VNets per link).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "noc/message.h"
+#include "sim/engine.h"
+
+namespace glb::noc {
+
+struct MeshConfig {
+  std::uint32_t rows = 4;
+  std::uint32_t cols = 8;
+  /// Cycles to traverse one router pipeline.
+  Cycle router_latency = 2;
+  /// Wire propagation cycles per link.
+  Cycle link_latency = 1;
+  /// Link width in bytes (Table 1: 75 bytes).
+  std::uint32_t link_bytes = 75;
+  /// Latency for a message whose source and destination share a tile
+  /// (never enters the mesh).
+  Cycle local_latency = 1;
+
+  std::uint32_t num_nodes() const { return rows * cols; }
+};
+
+class Mesh {
+ public:
+  Mesh(sim::Engine& engine, const MeshConfig& cfg, StatSet& stats);
+
+  Mesh(const Mesh&) = delete;
+  Mesh& operator=(const Mesh&) = delete;
+
+  /// Injects a packet at its source tile. The packet's `deliver`
+  /// closure runs at the destination at arrival time.
+  void Send(Packet pkt);
+
+  const MeshConfig& config() const { return cfg_; }
+
+  std::uint32_t RowOf(CoreId n) const { return n / cfg_.cols; }
+  std::uint32_t ColOf(CoreId n) const { return n % cfg_.cols; }
+  CoreId NodeAt(std::uint32_t row, std::uint32_t col) const {
+    return row * cfg_.cols + col;
+  }
+  /// Manhattan hop count between two nodes.
+  std::uint32_t Hops(CoreId a, CoreId b) const;
+
+  /// Number of flits a packet of `bytes` occupies on a link.
+  std::uint32_t FlitsOf(std::uint32_t bytes) const {
+    return bytes == 0 ? 1 : (bytes + cfg_.link_bytes - 1) / cfg_.link_bytes;
+  }
+
+ private:
+  // Output directions from a router.
+  enum Dir : std::uint8_t { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3, kNumDirs = 4 };
+
+  struct InFlight {
+    Packet pkt;
+    Cycle injected_at;
+  };
+
+  // One directed link: per-VNet FIFO + round-robin arbitration; the link
+  // transmits one flit per cycle while any queue is non-empty.
+  struct OutLink {
+    std::array<std::deque<InFlight>, kNumVNets> queues;
+    bool transmitting = false;
+    std::uint8_t rr_next = 0;
+  };
+
+  struct Router {
+    std::array<OutLink, kNumDirs> out;
+  };
+
+  // Computes the next direction for a packet at `node` heading to `dst`
+  // with X-then-Y dimension-order routing.
+  Dir NextDir(CoreId node, CoreId dst) const;
+  CoreId Neighbour(CoreId node, Dir d) const;
+
+  // Packet has finished the router pipeline at `node`; either ejects or
+  // enqueues on the proper output link.
+  void RouteAt(CoreId node, InFlight flight);
+  // Starts transmitting the next queued packet on (node, dir) if idle.
+  void PumpLink(CoreId node, Dir d);
+  void DeliverLocal(InFlight flight);
+
+  sim::Engine& engine_;
+  MeshConfig cfg_;
+  std::vector<Router> routers_;
+
+  // Stats (owned by the caller's StatSet; pointers are stable).
+  std::array<Counter*, kNumTrafficClasses> msgs_by_class_{};
+  std::array<Counter*, kNumTrafficClasses> bytes_by_class_{};
+  Counter* local_msgs_ = nullptr;
+  Counter* total_hops_ = nullptr;
+  Counter* flits_sent_ = nullptr;
+  Histogram* latency_ = nullptr;
+};
+
+}  // namespace glb::noc

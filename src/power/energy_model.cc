@@ -1,0 +1,57 @@
+#include "power/energy_model.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace glb::power {
+
+EnergyReport Estimate(const StatSet& stats, const EnergyCoefficients& coef) {
+  EnergyReport r;
+
+  // Every flit-hop switches one router crossbar and drives one link.
+  r.noc_pj = coef.noc_flit_hop_pj *
+             static_cast<double>(stats.CounterValue("noc.flits_sent"));
+
+  // L1 activity: each hit and each miss is a tag+data lookup, each fill
+  // a data write, each served forward and received invalidation another
+  // array access.
+  const double l1_ops =
+      static_cast<double>(stats.CounterValue("l1.hits")) +
+      2.0 * static_cast<double>(stats.CounterValue("l1.misses")) +
+      static_cast<double>(stats.CounterValue("l1.fwds_served")) +
+      static_cast<double>(stats.CounterValue("l1.invs_received")) +
+      static_cast<double>(stats.CounterValue("l1.writebacks"));
+  r.l1_pj = coef.l1_access_pj * l1_ops;
+
+  // L2 bank activity: one access per home request, plus owner-data
+  // write-ins.
+  const double l2_ops =
+      static_cast<double>(stats.CounterValue("l2.requests")) +
+      static_cast<double>(stats.CounterValue("coh.sent.DataWB"));
+  r.l2_pj = coef.l2_access_pj * l2_ops;
+
+  r.dram_pj = coef.dram_access_pj *
+              (static_cast<double>(stats.CounterValue("l2.dram_fetches")) +
+               static_cast<double>(stats.CounterValue("l2.recalls")));
+
+  // G-lines: each signal is one 1-bit broadcast; controllers toggle a
+  // couple of FSM latches per signal and per core arrival.
+  const double gl_signals = static_cast<double>(stats.CounterValue("gl.signals"));
+  const double gl_ctrl_ops =
+      2.0 * gl_signals + static_cast<double>(stats.CounterValue("core.barriers"));
+  r.gline_pj = coef.gline_signal_pj * gl_signals + coef.gline_ctrl_pj * gl_ctrl_ops;
+
+  return r;
+}
+
+void Print(std::ostream& os, const EnergyReport& r) {
+  auto nj = [](double pj) { return pj / 1000.0; };
+  os << std::fixed << std::setprecision(1);
+  os << "energy: total " << nj(r.total_pj()) << " nJ"
+     << " | noc " << nj(r.noc_pj) << " (" << std::setprecision(0)
+     << r.noc_fraction() * 100 << "%)" << std::setprecision(1)
+     << " | l1 " << nj(r.l1_pj) << " | l2 " << nj(r.l2_pj) << " | dram "
+     << nj(r.dram_pj) << " | gline " << nj(r.gline_pj) << '\n';
+}
+
+}  // namespace glb::power

@@ -1,0 +1,62 @@
+// Post-run energy estimation (the "Power" in Sim-PowerCMP).
+//
+// The paper stops at "we believe our method will also lead to
+// significant improvements in power consumption" (§1, §5 future work);
+// this module quantifies that claim. Energy is computed from the
+// event counters a run leaves in its StatSet, using per-event energy
+// coefficients representative of a 45nm-class CMP (Orion-2 / CACTI-era
+// numbers; the NoC share of total chip power approaching 40% in Raw is
+// the paper's own motivating citation [12]). Coefficients are plain
+// data so studies can sweep them.
+//
+// Event sources:
+//   * NoC: energy per flit-hop (link traversal + router switching),
+//   * caches: per L1/L2 access (hits, misses, fills, forwards),
+//   * DRAM: per access,
+//   * G-lines: per 1-bit signal transition plus controller FSM ops
+//     (tiny by construction; the paper cites [27] for low-power
+//     G-line/S-CSMA circuits).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "common/stats.h"
+
+namespace glb::power {
+
+/// Per-event energies in picojoules.
+struct EnergyCoefficients {
+  double noc_flit_hop_pj = 35.0;    // link + router per flit per hop
+  double l1_access_pj = 20.0;       // per L1 lookup/fill
+  double l2_access_pj = 90.0;       // per L2 bank access
+  double dram_access_pj = 12000.0;  // per off-chip access
+  double gline_signal_pj = 1.2;     // per 1-bit G-line broadcast
+  double gline_ctrl_pj = 0.4;       // per controller FSM transition (approx.)
+};
+
+/// A run's estimated dynamic energy, by component, in picojoules.
+struct EnergyReport {
+  double noc_pj = 0;
+  double l1_pj = 0;
+  double l2_pj = 0;
+  double dram_pj = 0;
+  double gline_pj = 0;
+
+  double total_pj() const { return noc_pj + l1_pj + l2_pj + dram_pj + gline_pj; }
+  /// Fraction of the total spent in the data network (the paper's
+  /// Raw-processor comparison point).
+  double noc_fraction() const {
+    const double t = total_pj();
+    return t == 0 ? 0 : noc_pj / t;
+  }
+};
+
+/// Derives the report from a finished run's statistics.
+EnergyReport Estimate(const StatSet& stats,
+                      const EnergyCoefficients& coef = EnergyCoefficients{});
+
+/// Human-readable summary (nanojoules, component shares).
+void Print(std::ostream& os, const EnergyReport& r);
+
+}  // namespace glb::power

@@ -1,0 +1,39 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace glb::sim {
+
+void Engine::ScheduleAt(Cycle at, Callback fn) {
+  GLB_CHECK(at >= now_) << "scheduling into the past: at=" << at << " now=" << now_;
+  GLB_CHECK(fn != nullptr) << "null event callback";
+  heap_.push_back(Event{at, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), After);
+}
+
+void Engine::Step() {
+  std::pop_heap(heap_.begin(), heap_.end(), After);
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  GLB_CHECK(ev.at >= now_) << "heap produced past event";
+  now_ = ev.at;
+  ++events_processed_;
+  ev.fn();
+}
+
+bool Engine::RunUntilIdle(Cycle max_cycles) {
+  while (!heap_.empty()) {
+    if (heap_.front().at > max_cycles) return false;
+    Step();
+  }
+  return true;
+}
+
+void Engine::RunUntil(Cycle until) {
+  GLB_CHECK(until >= now_) << "RunUntil into the past";
+  while (!heap_.empty() && heap_.front().at <= until) Step();
+  now_ = until;
+}
+
+}  // namespace glb::sim

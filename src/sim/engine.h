@@ -1,0 +1,70 @@
+// Deterministic discrete-event simulation engine.
+//
+// All glbarrier components (cores, cache controllers, routers, G-line
+// controllers) advance by scheduling callbacks on one shared Engine.
+// Determinism guarantee: events fire in (cycle, insertion-sequence)
+// order, so two runs with identical inputs produce identical event
+// interleavings regardless of host platform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace glb::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated cycle. During an event callback this is the
+  /// cycle the event was scheduled for.
+  Cycle Now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute cycle `at` (>= Now()).
+  /// Events scheduled for the same cycle run in scheduling order.
+  void ScheduleAt(Cycle at, Callback fn);
+
+  /// Schedules `fn` to run `delta` cycles from now (delta may be 0:
+  /// the event runs later this same cycle, after already-queued
+  /// same-cycle events).
+  void ScheduleIn(Cycle delta, Callback fn) { ScheduleAt(now_ + delta, std::move(fn)); }
+
+  /// Runs events until the queue empties or the simulated clock passes
+  /// `max_cycles`. Returns true if the queue drained (the simulated
+  /// machine went idle), false on cycle-limit timeout.
+  bool RunUntilIdle(Cycle max_cycles = kCycleNever);
+
+  /// Runs all events with cycle <= `until`, then sets Now() to `until`.
+  void RunUntil(Cycle until);
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t pending_events() const { return heap_.size(); }
+  bool idle() const { return heap_.empty(); }
+
+ private:
+  struct Event {
+    Cycle at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+
+  // Min-heap comparator expressed as "a ordered after b" for std::*_heap.
+  static bool After(const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  // Pops and runs the front event.
+  void Step();
+
+  std::vector<Event> heap_;
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace glb::sim

@@ -1,0 +1,31 @@
+// Uniform barrier interface.
+//
+// Workloads are written against sync::Barrier so the same program can
+// run over the hardware G-line barrier (GL), the centralized software
+// barrier (CSW) or the combining-tree software barrier (DSW) — exactly
+// the three mechanisms the paper evaluates.
+#pragma once
+
+#include "core/core.h"
+#include "core/task.h"
+
+namespace glb::sync {
+
+class Barrier {
+ public:
+  virtual ~Barrier() = default;
+  /// Blocks `core` until every participant has arrived.
+  virtual core::Task Wait(core::Core& core) = 0;
+  /// Short name for reports ("GL", "CSW", "DSW").
+  virtual const char* name() const = 0;
+};
+
+/// Adapter over the hardware G-line barrier: arrival is a bar_reg write,
+/// release is the register being cleared by the barrier network.
+class GlBarrier final : public Barrier {
+ public:
+  core::Task Wait(core::Core& core) override;
+  const char* name() const override { return "GL"; }
+};
+
+}  // namespace glb::sync

@@ -1,0 +1,59 @@
+#include "sync/dissemination_barrier.h"
+
+#include "common/check.h"
+#include "core/timebreak.h"
+
+namespace glb::sync {
+
+namespace {
+std::uint32_t CeilLog2(std::uint32_t n) {
+  std::uint32_t r = 0;
+  while ((1u << r) < n) ++r;
+  return r;
+}
+}  // namespace
+
+DisseminationBarrier::DisseminationBarrier(mem::AddrAllocator& alloc,
+                                           std::uint32_t num_cores)
+    : num_cores_(num_cores),
+      rounds_(CeilLog2(num_cores)),
+      parity_(num_cores, 0),
+      sense_(num_cores, 1) {
+  GLB_CHECK(num_cores > 0) << "barrier without participants";
+  // One line per flag: [parity][round][core].
+  const std::uint64_t count =
+      std::uint64_t{2} * std::max(rounds_, 1u) * num_cores_;
+  flags_ = alloc.AllocLines(count * 64);
+}
+
+Addr DisseminationBarrier::FlagAddr(std::uint32_t parity, std::uint32_t round,
+                                    CoreId core) const {
+  const std::uint64_t idx =
+      (static_cast<std::uint64_t>(parity) * std::max(rounds_, 1u) + round) *
+          num_cores_ +
+      core;
+  return flags_ + idx * 64;
+}
+
+core::Task DisseminationBarrier::Wait(core::Core& core) {
+  core::CategoryScope scope(core, core::TimeCat::kBarrier);
+  core.NoteBarrier();
+  const CoreId me = core.id();
+  const std::uint32_t parity = parity_[me];
+  const Word sense = sense_[me];
+  // Advance the per-core episode state (registers; no memory traffic).
+  if (parity == 1) sense_[me] = sense ^ 1;
+  parity_[me] ^= 1;
+
+  for (std::uint32_t k = 0; k < rounds_; ++k) {
+    const CoreId partner =
+        static_cast<CoreId>((me + (1u << k)) % num_cores_);
+    co_await core.Store(FlagAddr(parity, k, partner), sense);
+    while (true) {
+      const Word f = co_await core.Load(FlagAddr(parity, k, me));
+      if (f == sense) break;
+    }
+  }
+}
+
+}  // namespace glb::sync

@@ -1,0 +1,51 @@
+// DIS — dissemination barrier (Hensgen/Finkel/Manber; the form in
+// Mellor-Crummey & Scott, the paper's reference [15] for
+// synchronization without contention).
+//
+// ceil(log2 P) rounds; in round k core i signals core (i + 2^k) mod P
+// and busy-waits on its own flag. Every flag word sits on its own cache
+// line and has exactly one writer and one spinner, so unlike CSW/DSW
+// there is no shared counter at all — the strongest software baseline
+// on a coherence machine, included to stress-test the paper's claim
+// that *any* memory-based barrier loses to the G-line network.
+//
+// Reuse across episodes follows MCS: two parity buffers alternate per
+// episode, and the written sense value flips each time a parity buffer
+// is reused (every two episodes). The all-to-all dependence of the
+// rounds bounds any core's lead to one episode, which the two buffers
+// absorb.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/core.h"
+#include "core/task.h"
+#include "mem/addr_allocator.h"
+#include "sync/barrier.h"
+
+namespace glb::sync {
+
+class DisseminationBarrier final : public Barrier {
+ public:
+  DisseminationBarrier(mem::AddrAllocator& alloc, std::uint32_t num_cores);
+
+  core::Task Wait(core::Core& core) override;
+  const char* name() const override { return "DIS"; }
+
+  std::uint32_t rounds() const { return rounds_; }
+
+ private:
+  /// Flag written by `core`'s round-k partner, in the given parity set.
+  Addr FlagAddr(std::uint32_t parity, std::uint32_t round, CoreId core) const;
+
+  std::uint32_t num_cores_;
+  std::uint32_t rounds_;
+  Addr flags_ = 0;  // [2 parities][rounds][cores], one line each
+  /// Per-core episode state (architecturally registers).
+  std::vector<std::uint32_t> parity_;
+  std::vector<Word> sense_;
+};
+
+}  // namespace glb::sync

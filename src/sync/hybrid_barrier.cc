@@ -1,0 +1,72 @@
+#include "sync/hybrid_barrier.h"
+
+#include "common/check.h"
+#include "core/timebreak.h"
+
+namespace glb::sync {
+
+HybridBarrierUnit::HybridBarrierUnit(noc::Mesh& mesh, CoreId home_tile,
+                                     std::uint32_t num_cores, StatSet& stats)
+    : mesh_(mesh), home_(home_tile), num_cores_(num_cores),
+      release_cb_(num_cores) {
+  GLB_CHECK(home_tile < mesh.config().num_nodes()) << "unit tile out of range";
+  GLB_CHECK(num_cores <= mesh.config().num_nodes()) << "more cores than tiles";
+  episodes_ = stats.GetCounter("hyb.episodes");
+}
+
+void HybridBarrierUnit::Arrive(CoreId core, std::function<void()> on_release) {
+  GLB_CHECK(core < num_cores_) << "bad core " << core;
+  GLB_CHECK(release_cb_[core] == nullptr)
+      << "core " << core << " arrived twice at the hybrid barrier";
+  release_cb_[core] = std::move(on_release);
+  // The memory-mapped arrival store: one uncached control packet to the
+  // unit's tile, on the request network.
+  noc::Packet pkt;
+  pkt.src = core;
+  pkt.dst = home_;
+  pkt.vnet = noc::VNet::kRequest;
+  pkt.traffic = noc::TrafficClass::kRequest;
+  pkt.bytes = kCtlBytes;
+  pkt.deliver = [this, core]() { OnArrivalPacket(core); };
+  mesh_.Send(std::move(pkt));
+}
+
+void HybridBarrierUnit::OnArrivalPacket(CoreId core) {
+  GLB_CHECK(release_cb_[core] != nullptr) << "arrival packet without arrival";
+  if (++arrived_ < num_cores_) return;
+  // All present: one release packet per participant (fan-out through
+  // the mesh — this is the hot-spot the G-line network avoids; the
+  // unit's own counting is subsumed in the packet delivery cycle).
+  arrived_ = 0;
+  episodes_->Inc();
+  for (CoreId c = 0; c < num_cores_; ++c) {
+    noc::Packet pkt;
+    pkt.src = home_;
+    pkt.dst = c;
+    pkt.vnet = noc::VNet::kResponse;
+    pkt.traffic = noc::TrafficClass::kReply;
+    pkt.bytes = kCtlBytes;
+    pkt.deliver = [this, c]() {
+      auto cb = std::move(release_cb_[c]);
+      release_cb_[c] = nullptr;
+      GLB_CHECK(cb != nullptr) << "release without waiter";
+      cb();
+    };
+    mesh_.Send(std::move(pkt));
+  }
+}
+
+core::Task HybridBarrier::Wait(core::Core& core) {
+  core::CategoryScope scope(core, core::TimeCat::kBarrier);
+  core.NoteBarrier();
+  // Issue the memory-mapped store (1 cycle) and block until the release
+  // packet lands.
+  co_await core.Compute(1);
+  HybridBarrierUnit* unit = unit_.get();
+  const CoreId id = core.id();
+  co_await core.WaitFor(
+      [unit, id](std::function<void()> resume) { unit->Arrive(id, std::move(resume)); },
+      core::TimeCat::kBarrier);
+}
+
+}  // namespace glb::sync

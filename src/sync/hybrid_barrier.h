@@ -1,0 +1,73 @@
+// HYB — centralized *hardware* barrier reached over the data network
+// (a Sartori & Kumar-style hybrid, the design the paper's §2.2 argues
+// against).
+//
+// A dedicated barrier unit sits at one tile. Cores announce arrival
+// with a memory-mapped store — modeled as one control packet to the
+// unit's tile — and the unit, once all participants have arrived,
+// releases them with one control packet each. Synchronization is as
+// fast as hardware counting can make it, *but* every episode injects
+// 2P messages into the data NoC and funnels P of them into one tile:
+// exactly the overhead the G-line network exists to eliminate. The
+// `ablate_hybrid` bench quantifies the difference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "noc/mesh.h"
+#include "sync/barrier.h"
+
+namespace glb::sync {
+
+/// The barrier unit (one per chip, at `home_tile`).
+class HybridBarrierUnit {
+ public:
+  HybridBarrierUnit(noc::Mesh& mesh, CoreId home_tile, std::uint32_t num_cores,
+                    StatSet& stats);
+
+  HybridBarrierUnit(const HybridBarrierUnit&) = delete;
+  HybridBarrierUnit& operator=(const HybridBarrierUnit&) = delete;
+
+  /// Core-side arrival: sends the memory-mapped store packet; the unit
+  /// runs `on_release` when its release packet arrives back at the core.
+  void Arrive(CoreId core, std::function<void()> on_release);
+
+  CoreId home_tile() const { return home_; }
+  std::uint64_t episodes() const { return episodes_->value(); }
+
+ private:
+  /// Unit-side: an arrival packet reached the unit.
+  void OnArrivalPacket(CoreId core);
+
+  static constexpr std::uint32_t kCtlBytes = 11;
+
+  noc::Mesh& mesh_;
+  const CoreId home_;
+  const std::uint32_t num_cores_;
+  std::uint32_t arrived_ = 0;
+  std::vector<std::function<void()>> release_cb_;
+  Counter* episodes_ = nullptr;
+};
+
+/// sync::Barrier adapter: Wait() = memory-mapped arrival store + spin
+/// until the release packet clears the core's flag.
+class HybridBarrier final : public Barrier {
+ public:
+  HybridBarrier(noc::Mesh& mesh, CoreId home_tile, std::uint32_t num_cores,
+                StatSet& stats)
+      : unit_(std::make_unique<HybridBarrierUnit>(mesh, home_tile, num_cores, stats)) {}
+
+  core::Task Wait(core::Core& core) override;
+  const char* name() const override { return "HYB"; }
+  HybridBarrierUnit& unit() { return *unit_; }
+
+ private:
+  std::unique_ptr<HybridBarrierUnit> unit_;
+};
+
+}  // namespace glb::sync

@@ -1,0 +1,33 @@
+// Test-and-test-and-set spinlock with bounded exponential backoff.
+//
+// Used by the OCEAN- and UNSTRUCTURED-style workloads for their global
+// reductions (the paper's Figure-6 "Lock" category). All memory time
+// spent inside Acquire/Release is attributed to TimeCat::kLock.
+#pragma once
+
+#include "common/types.h"
+#include "core/core.h"
+#include "core/task.h"
+#include "mem/addr_allocator.h"
+
+namespace glb::sync {
+
+class SpinLock {
+ public:
+  explicit SpinLock(mem::AddrAllocator& alloc) : addr_(alloc.AllocVar()) {}
+
+  /// Spins (test-and-test-and-set) until the lock is taken.
+  core::Task Acquire(core::Core& core);
+  /// Releases the lock (plain store of 0).
+  core::Task Release(core::Core& core);
+
+  Addr addr() const { return addr_; }
+
+ private:
+  static constexpr Cycle kBackoffBase = 4;
+  static constexpr Cycle kBackoffMax = 64;
+
+  Addr addr_;
+};
+
+}  // namespace glb::sync

@@ -1,0 +1,76 @@
+// Software barrier implementations (the paper's baselines, §4.3).
+//
+// Both run entirely as loads/stores/atomics through the simulated cache
+// hierarchy, so their cost *is* the coherence and network traffic they
+// generate. All their memory time is attributed to the Barrier category
+// (Figure 6) via CategoryScope.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/core.h"
+#include "core/task.h"
+#include "mem/addr_allocator.h"
+#include "sync/barrier.h"
+
+namespace glb::sync {
+
+/// CSW — centralized sense-reversal barrier. One shared arrival counter
+/// (fetch&add) plus one global sense word that everyone spins on. The
+/// textbook implementation, and the textbook hot-spot: the counter line
+/// ping-pongs through every core on arrival, and the release store
+/// invalidates every spinner at once.
+class CentralBarrier final : public Barrier {
+ public:
+  CentralBarrier(mem::AddrAllocator& alloc, std::uint32_t num_cores);
+
+  core::Task Wait(core::Core& core) override;
+  const char* name() const override { return "CSW"; }
+
+  Addr counter_addr() const { return counter_; }
+  Addr sense_addr() const { return sense_; }
+
+ private:
+  std::uint32_t num_cores_;
+  Addr counter_;
+  Addr sense_;
+  /// Per-core private sense (architecturally a register / stack slot;
+  /// generates no coherence traffic).
+  std::vector<Word> local_sense_;
+};
+
+/// DSW — binary combining-tree (distributed) barrier. Cores are grouped
+/// in pairs at the leaves; the last arriver at each node ascends, and
+/// after the root completes, winners walk back down flipping per-node
+/// sense-reversed release words. Arrival contention is spread over
+/// ceil(P/2) + ... + 1 distinct cache lines instead of one.
+class TreeBarrier final : public Barrier {
+ public:
+  /// `fanin` children per tree node (the paper's DSW uses 2).
+  TreeBarrier(mem::AddrAllocator& alloc, std::uint32_t num_cores,
+              std::uint32_t fanin = 2);
+
+  core::Task Wait(core::Core& core) override;
+  const char* name() const override { return "DSW"; }
+
+  std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(nodes_.size()); }
+
+ private:
+  struct Node {
+    Addr count_addr;    // own cache line
+    Addr release_addr;  // own cache line
+    std::uint32_t expected;  // arrivals that complete this node
+    std::uint32_t parent;    // index, or kRoot
+  };
+  static constexpr std::uint32_t kRoot = 0xffffffff;
+
+  std::uint32_t num_cores_;
+  std::uint32_t fanin_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> leaf_of_core_;
+  std::vector<Word> local_sense_;
+};
+
+}  // namespace glb::sync

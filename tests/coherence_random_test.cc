@@ -1,0 +1,237 @@
+// Property-based stress test of the coherence protocol.
+//
+// Every core runs a random stream of loads/stores/AMOs over a small,
+// hot pool of lines (maximizing transaction races, evictions and
+// recalls). Discipline: each word has a single writer core, which writes
+// a strictly increasing sequence; this yields two checkable properties
+// without a full linearizability oracle:
+//   1. monotonic reads — a reader never observes a value older than one
+//      it has already observed for that word;
+//   2. bounded staleness at quiesce + final agreement — after the
+//      machine drains, every word reads back exactly the writer's last
+//      value;
+// plus the structural SWMR/inclusion/directory/data invariants checked
+// by CoherenceChecker during and after the run.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "coherence/checker.h"
+#include "coherence/fabric.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "noc/mesh.h"
+#include "sim/engine.h"
+
+namespace glb::coherence {
+namespace {
+
+struct Params {
+  std::uint32_t rows, cols;
+  std::uint32_t lines;        // shared pool size
+  std::uint32_t ops_per_core;
+  std::uint32_t l1_bytes, l2_bytes;
+  std::uint64_t seed;
+  /// Byte distance between consecutive pool lines. 64 = contiguous;
+  /// larger strides aim every line at the same home bank and the same
+  /// L1 set, maximizing evictions, recalls and message-overtake races.
+  std::uint32_t line_stride = 64;
+};
+
+class RandomTraffic : public ::testing::TestWithParam<Params> {};
+
+TEST_P(RandomTraffic, InvariantsHold) {
+  const Params p = GetParam();
+  const std::uint32_t n = p.rows * p.cols;
+
+  sim::Engine engine;
+  StatSet stats;
+  mem::BackingStore backing(64);
+  noc::MeshConfig mc;
+  mc.rows = p.rows;
+  mc.cols = p.cols;
+  noc::Mesh mesh(engine, mc, stats);
+  CoherenceConfig cc;
+  Fabric fabric(engine, mesh, backing, cc, mem::CacheGeometry{p.l1_bytes, 2, 64},
+                mem::CacheGeometry{p.l2_bytes, 4, 64}, stats);
+  CoherenceChecker checker(fabric);
+
+  // Word w of the pool lives in line w/8 (spaced line_stride bytes
+  // apart); its writer is w % n.
+  constexpr Addr kBase = 0x40000;
+  const std::uint32_t words = p.lines * 8;
+  auto addr_of = [&](std::uint32_t w) {
+    return kBase + static_cast<Addr>(w / 8) * p.line_stride +
+           static_cast<Addr>(w % 8) * 8;
+  };
+  auto writer_of = [&](std::uint32_t w) { return static_cast<CoreId>(w % n); };
+
+  std::vector<Word> next_value(words, 1);        // per-word write sequence
+  std::vector<Word> last_written(words, 0);      // shadow of committed writes
+  // Monotonic-read floor per (core, word).
+  std::vector<std::vector<Word>> seen(n, std::vector<Word>(words, 0));
+
+  std::vector<Rng> rng;
+  for (CoreId c = 0; c < n; ++c) rng.emplace_back(p.seed * 1000003 + c);
+
+  int active = static_cast<int>(n);
+  std::vector<std::shared_ptr<std::function<void(std::uint32_t)>>> drivers(n);
+  for (CoreId c = 0; c < n; ++c) {
+    drivers[c] = std::make_shared<std::function<void(std::uint32_t)>>();
+    *drivers[c] = [&, c](std::uint32_t remaining) {
+      if (remaining == 0) {
+        --active;
+        return;
+      }
+      auto& r = rng[c];
+      const auto w = static_cast<std::uint32_t>(r.NextBelow(words));
+      const Addr a = addr_of(w);
+      const auto cont = [&, c, remaining]() { (*drivers[c])(remaining - 1); };
+      const std::uint64_t kind = r.NextBelow(10);
+      if (kind < 6 || writer_of(w) != c) {
+        // Load (reads dominate; non-writers only read).
+        fabric.l1(c).Load(a, [&, c, w, cont](Word v) {
+          EXPECT_GE(v, seen[c][w]) << "non-monotonic read: core " << c << " word " << w;
+          EXPECT_LE(v, last_written[w]) << "value from the future";
+          seen[c][w] = v;
+          cont();
+        });
+      } else if (kind < 9) {
+        // Store of the next sequence value.
+        const Word v = next_value[w]++;
+        fabric.l1(c).Store(a, v, [&, w, v, cont]() {
+          last_written[w] = v;
+          cont();
+        });
+      } else {
+        // AMO: swap in the next sequence value, check the old one.
+        const Word v = next_value[w]++;
+        fabric.l1(c).Amo(a, AmoOp::kSwap, v, 0, [&, c, w, v, cont](Word old) {
+          EXPECT_GE(old, seen[c][w]);
+          seen[c][w] = old;
+          last_written[w] = v;
+          cont();
+        });
+      }
+    };
+  }
+
+  for (CoreId c = 0; c < n; ++c) {
+    engine.ScheduleAt(0, [&, c]() { (*drivers[c])(p.ops_per_core); });
+  }
+
+  // Interleave structural checks with the traffic.
+  for (Cycle t = 5000; t <= 50000; t += 5000) {
+    engine.ScheduleAt(t, [&]() {
+      for (const auto& e : checker.Check()) ADD_FAILURE() << "mid-run: " << e;
+    });
+  }
+
+  ASSERT_TRUE(engine.RunUntilIdle(200'000'000)) << "machine never drained";
+  EXPECT_EQ(active, 0);
+
+  for (const auto& e : checker.Check()) ADD_FAILURE() << "post-run: " << e;
+
+  // Final agreement: a fresh read of every word returns the last write.
+  for (std::uint32_t w = 0; w < words; ++w) {
+    Word got = 0;
+    bool done = false;
+    fabric.l1(static_cast<CoreId>((w + 1) % n)).Load(addr_of(w), [&](Word v) {
+      got = v;
+      done = true;
+    });
+    ASSERT_TRUE(engine.RunUntilIdle(1'000'000));
+    ASSERT_TRUE(done);
+    EXPECT_EQ(got, last_written[w]) << "word " << w << " diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomTraffic,
+    ::testing::Values(
+        // Hot pool smaller than one L1: pure transaction races.
+        Params{2, 2, 4, 400, 1024, 8192, 1},
+        Params{2, 2, 4, 400, 1024, 8192, 2},
+        Params{2, 2, 4, 400, 1024, 8192, 3},
+        // Pool larger than L1: eviction/fill races.
+        Params{2, 2, 32, 300, 1024, 8192, 4},
+        Params{2, 2, 32, 300, 1024, 8192, 5},
+        // Tiny L2: recall storms.
+        Params{2, 2, 32, 250, 2048, 1024, 6},
+        Params{2, 2, 32, 250, 2048, 1024, 7},
+        // Bigger machine.
+        Params{4, 4, 24, 150, 1024, 4096, 8},
+        Params{4, 4, 24, 150, 1024, 4096, 9},
+        Params{4, 8, 48, 100, 1024, 4096, 10},
+        // Conflict layout: every line shares one home bank and one L1
+        // set (16-node mesh, stride 1024) — the eviction/forward/
+        // overtake race factory (see RaceCoverage below).
+        Params{4, 4, 6, 400, 256, 8192, 11, 1024},
+        Params{4, 4, 6, 400, 256, 8192, 12, 1024},
+        Params{4, 4, 6, 400, 256, 8192, 13, 1024}),
+    [](const ::testing::TestParamInfo<Params>& pinfo) {
+      const Params& p = pinfo.param;
+      return std::to_string(p.rows) + "x" + std::to_string(p.cols) + "_lines" +
+             std::to_string(p.lines) + "_seed" + std::to_string(p.seed);
+    });
+
+// The transient-state race paths must actually be exercised by the
+// suite, or the handling code above is dead weight. This runs the
+// conflict layout across seeds and asserts every race counter fired at
+// least once in aggregate (deterministic engine => stable coverage).
+TEST(RaceCoverage, AllTransientPathsExercised) {
+  std::uint64_t fwd_buffered = 0, inv_during_fill = 0, wb_fwd = 0, stale_puts = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::Engine engine;
+    StatSet stats;
+    mem::BackingStore backing(64);
+    noc::MeshConfig mc;
+    mc.rows = 4;
+    mc.cols = 4;
+    // Narrow links: a 75-byte Data fill is 5 flits while control
+    // messages are 1, so forwards genuinely overtake fills in flight —
+    // the IM_D/IS_D buffered-forward races become routine.
+    mc.link_bytes = 16;
+    noc::Mesh mesh(engine, mc, stats);
+    CoherenceConfig cc;
+    Fabric fabric(engine, mesh, backing, cc, mem::CacheGeometry{256, 2, 64},
+                  mem::CacheGeometry{8192, 4, 64}, stats);
+    CoherenceChecker checker(fabric);
+    constexpr std::uint32_t kCores = 16, kLines = 6;
+    std::vector<Rng> rng;
+    for (CoreId c = 0; c < kCores; ++c) rng.emplace_back(seed * 7 + c);
+    std::vector<std::shared_ptr<std::function<void(int)>>> drv(kCores);
+    for (CoreId c = 0; c < kCores; ++c) {
+      drv[c] = std::make_shared<std::function<void(int)>>();
+      *drv[c] = [&, c](int rem) {
+        if (rem == 0) return;
+        auto& r = rng[c];
+        // Stride 1024: one home bank, one L1 set.
+        const Addr a = 0x40000 + r.NextBelow(kLines) * 1024 + r.NextBelow(8) * 8;
+        const auto cont = [&, c, rem]() { (*drv[c])(rem - 1); };
+        if (r.NextBool(0.5)) {
+          fabric.l1(c).Load(a, [cont](Word) { cont(); });
+        } else {
+          fabric.l1(c).Store(a, r.Next(), cont);
+        }
+      };
+      engine.ScheduleAt(0, [&, c]() { (*drv[c])(1200); });
+    }
+    ASSERT_TRUE(engine.RunUntilIdle(500'000'000)) << "seed " << seed;
+    for (const auto& e : checker.Check()) ADD_FAILURE() << "seed " << seed << ": " << e;
+    fwd_buffered += stats.CounterValue("l1.race.fwd_buffered");
+    inv_during_fill += stats.CounterValue("l1.race.inv_during_fill");
+    wb_fwd += stats.CounterValue("l1.race.wb_fwd_served");
+    stale_puts += stats.CounterValue("l1.race.stale_puts");
+  }
+  EXPECT_GT(fwd_buffered, 0u) << "Data-overtaken-by-forward never happened";
+  EXPECT_GT(inv_during_fill, 0u) << "Inv-during-IS_D never happened";
+  EXPECT_GT(wb_fwd, 0u) << "forward-served-from-WB-buffer never happened";
+  EXPECT_GT(stale_puts, 0u) << "stale PutM retirement never happened";
+}
+
+}  // namespace
+}  // namespace glb::coherence

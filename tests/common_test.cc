@@ -1,0 +1,182 @@
+// Unit tests for the common substrate: RNG, stats, flags.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace glb {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.NextBelow(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(r.NextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.NextInRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformityRoughCheck) {
+  Rng r(13);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[r.NextBelow(kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.08) << "bucket " << b;
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng r(19);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto orig = v;
+  r.Shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(Stats, CounterBasics) {
+  StatSet s;
+  Counter* c = s.GetCounter("a.b");
+  c->Inc();
+  c->Inc(4);
+  EXPECT_EQ(s.CounterValue("a.b"), 5u);
+  EXPECT_EQ(s.CounterValue("missing"), 0u);
+}
+
+TEST(Stats, GetCounterReturnsSamePointer) {
+  StatSet s;
+  EXPECT_EQ(s.GetCounter("x"), s.GetCounter("x"));
+  EXPECT_NE(s.GetCounter("x"), s.GetCounter("y"));
+}
+
+TEST(Stats, PrefixSum) {
+  StatSet s;
+  s.GetCounter("noc.msgs.request")->Inc(3);
+  s.GetCounter("noc.msgs.reply")->Inc(4);
+  s.GetCounter("noc.bytes.reply")->Inc(100);
+  EXPECT_EQ(s.SumCountersWithPrefix("noc.msgs."), 7u);
+  EXPECT_EQ(s.SumCountersWithPrefix("noc."), 107u);
+  EXPECT_EQ(s.SumCountersWithPrefix("zzz"), 0u);
+}
+
+TEST(Stats, HistogramAggregates) {
+  Histogram h;
+  h.Record(1);
+  h.Record(2);
+  h.Record(9);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 12u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 9u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Stats, HistogramBuckets) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 0);
+  EXPECT_EQ(Histogram::BucketOf(2), 1);
+  EXPECT_EQ(Histogram::BucketOf(3), 1);
+  EXPECT_EQ(Histogram::BucketOf(4), 2);
+  EXPECT_EQ(Histogram::BucketOf(1024), 10);
+}
+
+TEST(Stats, ResetZeroesEverything) {
+  StatSet s;
+  s.GetCounter("c")->Inc(10);
+  s.GetHistogram("h")->Record(5);
+  s.Reset();
+  EXPECT_EQ(s.CounterValue("c"), 0u);
+  EXPECT_EQ(s.FindHistogram("h")->count(), 0u);
+}
+
+TEST(Stats, PrintContainsNames) {
+  StatSet s;
+  s.GetCounter("alpha")->Inc(1);
+  s.GetHistogram("beta")->Record(2);
+  std::ostringstream os;
+  s.Print(os);
+  EXPECT_NE(os.str().find("alpha"), std::string::npos);
+  EXPECT_NE(os.str().find("beta"), std::string::npos);
+}
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog", "pos", "--a=1", "--b", "2", "--d=x", "--c"};
+  Flags f(7, const_cast<char**>(argv));
+  EXPECT_EQ(f.GetInt("a", 0), 1);
+  EXPECT_EQ(f.GetInt("b", 0), 2);
+  EXPECT_TRUE(f.GetBool("c", false)) << "bare trailing flag means true";
+  EXPECT_EQ(f.GetString("d", ""), "x");
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags f(1, const_cast<char**>(argv));
+  EXPECT_EQ(f.GetInt("n", 42), 42);
+  EXPECT_EQ(f.GetString("s", "dft"), "dft");
+  EXPECT_FALSE(f.GetBool("b", false));
+  EXPECT_DOUBLE_EQ(f.GetDouble("d", 2.5), 2.5);
+}
+
+TEST(Flags, BoolSpellings) {
+  const char* argv[] = {"prog", "--t1=true", "--t2=1", "--t3=yes", "--f1=false"};
+  Flags f(5, const_cast<char**>(argv));
+  EXPECT_TRUE(f.GetBool("t1", false));
+  EXPECT_TRUE(f.GetBool("t2", false));
+  EXPECT_TRUE(f.GetBool("t3", false));
+  EXPECT_FALSE(f.GetBool("f1", true));
+}
+
+}  // namespace
+}  // namespace glb

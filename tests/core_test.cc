@@ -1,0 +1,212 @@
+// Core-model tests: coroutine execution, in-order semantics, timing
+// attribution, nested tasks, AMO behaviour through the full stack.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cmp/cmp_system.h"
+#include "core/core.h"
+#include "core/task.h"
+
+namespace glb::core {
+namespace {
+
+using cmp::CmpConfig;
+using cmp::CmpSystem;
+
+CmpConfig SmallConfig(std::uint32_t rows = 2, std::uint32_t cols = 2) {
+  CmpConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  return cfg;
+}
+
+TEST(Core, ComputeAdvancesSimulatedTime) {
+  CmpSystem sys(SmallConfig());
+  Cycle end = 0;
+  auto body = [](Core& c, Cycle* out) -> Task {
+    co_await c.Compute(100);
+    *out = c.engine().Now();
+  };
+  sys.core(0).Run(body(sys.core(0), &end));
+  ASSERT_TRUE(sys.engine().RunUntilIdle(10'000));
+  EXPECT_EQ(end, 100u);
+  EXPECT_EQ(sys.core(0).breakdown()[TimeCat::kBusy], 100u);
+}
+
+TEST(Core, LoadStoreRoundTrip) {
+  CmpSystem sys(SmallConfig());
+  Word got = 0;
+  auto body = [](Core& c, Word* out) -> Task {
+    co_await c.Store(0x1000, 321);
+    *out = co_await c.Load(0x1000);
+  };
+  sys.core(1).Run(body(sys.core(1), &got));
+  ASSERT_TRUE(sys.engine().RunUntilIdle(100'000));
+  EXPECT_EQ(got, 321u);
+}
+
+TEST(Core, OperationsRunInProgramOrder) {
+  CmpSystem sys(SmallConfig());
+  std::vector<int> order;
+  auto body = [](Core& c, std::vector<int>* out) -> Task {
+    out->push_back(1);
+    co_await c.Store(0x2000, 1);
+    out->push_back(2);
+    co_await c.Compute(10);
+    out->push_back(3);
+    (void)co_await c.Load(0x2000);
+    out->push_back(4);
+  };
+  sys.core(0).Run(body(sys.core(0), &order));
+  ASSERT_TRUE(sys.engine().RunUntilIdle(100'000));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Core, BreakdownAttributesReadWriteBusy) {
+  CmpSystem sys(SmallConfig());
+  auto body = [](Core& c) -> Task {
+    co_await c.Compute(50);
+    co_await c.Store(0x3000, 1);   // write (miss)
+    (void)co_await c.Load(0x3000); // read (hit, 1 cycle)
+  };
+  sys.core(0).Run(body(sys.core(0)));
+  ASSERT_TRUE(sys.engine().RunUntilIdle(100'000));
+  const auto& bd = sys.core(0).breakdown();
+  EXPECT_EQ(bd[TimeCat::kBusy], 50u);
+  EXPECT_GE(bd[TimeCat::kWrite], 400u) << "store miss includes DRAM";
+  EXPECT_EQ(bd[TimeCat::kRead], 1u);
+  EXPECT_EQ(bd.total(), sys.core(0).finished_at() - sys.core(0).started_at());
+}
+
+TEST(Core, CategoryScopeRelabelsMemoryTime) {
+  CmpSystem sys(SmallConfig());
+  auto body = [](Core& c) -> Task {
+    CategoryScope scope(c, TimeCat::kLock);
+    co_await c.Store(0x4000, 1);
+    (void)co_await c.Load(0x4000);
+    co_await c.Compute(7);
+  };
+  sys.core(0).Run(body(sys.core(0)));
+  ASSERT_TRUE(sys.engine().RunUntilIdle(100'000));
+  const auto& bd = sys.core(0).breakdown();
+  EXPECT_EQ(bd[TimeCat::kRead], 0u);
+  EXPECT_EQ(bd[TimeCat::kWrite], 0u);
+  EXPECT_EQ(bd[TimeCat::kBusy], 0u);
+  EXPECT_EQ(bd[TimeCat::kLock], bd.total());
+}
+
+TEST(Core, NestedTasksRunInline) {
+  CmpSystem sys(SmallConfig());
+  std::vector<int> order;
+  struct Helper {
+    static Task Inner(Core& c, std::vector<int>* out) {
+      out->push_back(2);
+      co_await c.Compute(5);
+      out->push_back(3);
+    }
+    static Task Outer(Core& c, std::vector<int>* out) {
+      out->push_back(1);
+      co_await Inner(c, out);
+      out->push_back(4);
+      co_await c.Compute(5);
+      out->push_back(5);
+    }
+  };
+  sys.core(0).Run(Helper::Outer(sys.core(0), &order));
+  ASSERT_TRUE(sys.engine().RunUntilIdle(10'000));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(sys.core(0).breakdown()[TimeCat::kBusy], 10u);
+}
+
+TEST(Core, AmoThroughCoreReturnsOldValue) {
+  CmpSystem sys(SmallConfig());
+  std::vector<Word> olds;
+  auto body = [](Core& c, std::vector<Word>* out) -> Task {
+    out->push_back(co_await c.Amo(0x5000, coherence::AmoOp::kFetchAdd, 10));
+    out->push_back(co_await c.Amo(0x5000, coherence::AmoOp::kFetchAdd, 10));
+    out->push_back(co_await c.Load(0x5000));
+  };
+  sys.core(0).Run(body(sys.core(0), &olds));
+  ASSERT_TRUE(sys.engine().RunUntilIdle(100'000));
+  EXPECT_EQ(olds, (std::vector<Word>{0, 10, 20}));
+}
+
+TEST(Core, TwoCoresCommunicateThroughMemory) {
+  CmpSystem sys(SmallConfig());
+  Word got = 0;
+  auto producer = [](Core& c) -> Task {
+    co_await c.Compute(100);
+    co_await c.Store(0x6000, 55);
+    co_await c.Store(0x6040, 1);  // flag on its own line
+  };
+  auto consumer = [](Core& c, Word* out) -> Task {
+    while (true) {
+      const Word flag = co_await c.Load(0x6040);
+      if (flag == 1) break;
+    }
+    *out = co_await c.Load(0x6000);
+  };
+  sys.core(0).Run(producer(sys.core(0)));
+  sys.core(1).Run(consumer(sys.core(1), &got));
+  ASSERT_TRUE(sys.engine().RunUntilIdle(1'000'000));
+  EXPECT_EQ(got, 55u);
+}
+
+TEST(Core, GlBarrierSynchronizesAllCores) {
+  CmpSystem sys(SmallConfig(2, 2));
+  std::vector<Cycle> release(4, 0);
+  std::vector<Cycle> arrive(4, 0);
+  auto body = [](Core& c, Cycle* arr, Cycle* rel, Cycle delay) -> Task {
+    co_await c.Compute(delay);
+    *arr = c.engine().Now();
+    co_await c.GlBarrier();
+    *rel = c.engine().Now();
+  };
+  const bool ok = sys.RunPrograms([&](Core& c, CoreId id) {
+    return body(c, &arrive[id], &release[id], 10 * (id + 1));
+  });
+  ASSERT_TRUE(ok);
+  const Cycle last_arrival = *std::max_element(arrive.begin(), arrive.end());
+  for (CoreId id = 0; id < 4; ++id) {
+    EXPECT_GT(release[id], last_arrival)
+        << "core " << id << " released before all arrived";
+    EXPECT_LE(release[id] - last_arrival, 10u) << "release should be fast";
+  }
+}
+
+TEST(Core, RunProgramsReportsLastFinish) {
+  CmpSystem sys(SmallConfig());
+  auto body = [](Core& c, Cycle amount) -> Task { co_await c.Compute(amount); };
+  ASSERT_TRUE(sys.RunPrograms(
+      [&](Core& c, CoreId id) { return body(c, 100 * (id + 1)); }));
+  EXPECT_EQ(sys.LastFinish(), 400u);
+  for (CoreId id = 0; id < 4; ++id) EXPECT_TRUE(sys.core(id).done());
+}
+
+TEST(Core, BarrierCounterTracksGlBarriers) {
+  CmpSystem sys(SmallConfig());
+  auto body = [](Core& c) -> Task {
+    for (int i = 0; i < 3; ++i) co_await c.GlBarrier();
+  };
+  ASSERT_TRUE(sys.RunPrograms([&](Core& c, CoreId) { return body(c); }));
+  EXPECT_EQ(sys.stats().CounterValue("core.barriers"), 12u);  // 4 cores x 3
+  EXPECT_EQ(sys.stats().CounterValue("gl.barriers_completed"), 3u);
+}
+
+TEST(Core, ZeroCycleComputeIsFree) {
+  CmpSystem sys(SmallConfig());
+  Cycle end = kCycleNever;
+  auto body = [](Core& c, Cycle* out) -> Task {
+    co_await c.Compute(0);
+    co_await c.Compute(0);
+    *out = c.engine().Now();
+  };
+  sys.core(0).Run(body(sys.core(0), &end));
+  ASSERT_TRUE(sys.engine().RunUntilIdle(1'000));
+  EXPECT_EQ(end, 0u);
+}
+
+}  // namespace
+}  // namespace glb::core

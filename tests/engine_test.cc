@@ -1,0 +1,139 @@
+// Unit tests for the discrete-event engine: ordering, determinism,
+// run-control semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace glb::sim {
+namespace {
+
+TEST(Engine, StartsAtCycleZeroIdle) {
+  Engine e;
+  EXPECT_EQ(e.Now(), 0u);
+  EXPECT_TRUE(e.idle());
+  EXPECT_TRUE(e.RunUntilIdle());
+}
+
+TEST(Engine, EventsFireAtScheduledCycle) {
+  Engine e;
+  Cycle seen = kCycleNever;
+  e.ScheduleAt(17, [&]() { seen = e.Now(); });
+  EXPECT_TRUE(e.RunUntilIdle());
+  EXPECT_EQ(seen, 17u);
+  EXPECT_EQ(e.Now(), 17u);
+}
+
+TEST(Engine, SameCycleEventsRunInSchedulingOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(5, [&]() { order.push_back(1); });
+  e.ScheduleAt(5, [&]() { order.push_back(2); });
+  e.ScheduleAt(5, [&]() { order.push_back(3); });
+  e.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, CrossCycleOrdering) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(10, [&]() { order.push_back(10); });
+  e.ScheduleAt(3, [&]() { order.push_back(3); });
+  e.ScheduleAt(7, [&]() { order.push_back(7); });
+  e.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{3, 7, 10}));
+}
+
+TEST(Engine, ZeroDelayRunsLaterSameCycle) {
+  Engine e;
+  std::vector<int> order;
+  e.ScheduleAt(4, [&]() {
+    order.push_back(1);
+    e.ScheduleIn(0, [&]() { order.push_back(3); });
+    order.push_back(2);
+  });
+  e.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.Now(), 4u);
+}
+
+TEST(Engine, NestedSchedulingChains) {
+  Engine e;
+  Cycle final_cycle = 0;
+  e.ScheduleAt(1, [&]() {
+    e.ScheduleIn(2, [&]() {
+      e.ScheduleIn(3, [&]() { final_cycle = e.Now(); });
+    });
+  });
+  e.RunUntilIdle();
+  EXPECT_EQ(final_cycle, 6u);
+}
+
+TEST(Engine, RunUntilIdleHonoursCycleLimit) {
+  Engine e;
+  bool late_ran = false;
+  e.ScheduleAt(5, []() {});
+  e.ScheduleAt(100, [&]() { late_ran = true; });
+  EXPECT_FALSE(e.RunUntilIdle(50));
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(e.pending_events(), 1u);
+  EXPECT_TRUE(e.RunUntilIdle());
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Engine, RunUntilAdvancesClockWithoutEvents) {
+  Engine e;
+  e.RunUntil(123);
+  EXPECT_EQ(e.Now(), 123u);
+}
+
+TEST(Engine, RunUntilProcessesOnlyDueEvents) {
+  Engine e;
+  int ran = 0;
+  e.ScheduleAt(10, [&]() { ++ran; });
+  e.ScheduleAt(20, [&]() { ++ran; });
+  e.RunUntil(15);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(e.Now(), 15u);
+  e.RunUntilIdle();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Engine, EventCountTracksProcessing) {
+  Engine e;
+  for (int i = 0; i < 10; ++i) e.ScheduleAt(static_cast<Cycle>(i), []() {});
+  e.RunUntilIdle();
+  EXPECT_EQ(e.events_processed(), 10u);
+}
+
+TEST(Engine, ManyEventsStressOrdering) {
+  // Events inserted in pseudo-random cycle order must still fire in
+  // non-decreasing cycle order, with FIFO ties.
+  Engine e;
+  std::vector<std::pair<Cycle, int>> fired;
+  int seq = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Cycle at = static_cast<Cycle>((i * 7919) % 101);
+    e.ScheduleAt(at, [&fired, &e, s = seq++]() { fired.emplace_back(e.Now(), s); });
+  }
+  e.RunUntilIdle();
+  ASSERT_EQ(fired.size(), 1000u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LE(fired[i - 1].first, fired[i].first);
+    if (fired[i - 1].first == fired[i].first) {
+      ASSERT_LT(fired[i - 1].second, fired[i].second) << "FIFO tie-break violated";
+    }
+  }
+}
+
+TEST(EngineDeath, SchedulingIntoThePastAborts) {
+  Engine e;
+  e.ScheduleAt(10, [&]() {
+    EXPECT_DEATH(e.ScheduleAt(5, []() {}), "scheduling into the past");
+  });
+  e.RunUntilIdle();
+}
+
+}  // namespace
+}  // namespace glb::sim

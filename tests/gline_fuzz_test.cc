@@ -1,0 +1,182 @@
+// Fuzz tests for the G-line barrier layer against an independent
+// closed-form oracle, plus randomized multiplexer workloads.
+//
+// The oracle re-derives the release cycle of every core from first
+// principles (it shares no code with the FSM implementation):
+//
+//   row r completes at      C_r = max(max_s(t_s + Lh), m_r)
+//   vertical completes at   V   = max(max_{r>0}(C_r + Lv), C_0)
+//   column-0 cores release at   V + 1
+//   all other cores release at  V + 2
+//
+// where t_s are the row's slave arrival cycles, m_r the master-node
+// arrival, and Lh/Lv the arrival-line latencies (ceil(tx/6) under the
+// relaxed policy; the release lines have one transmitter each and are
+// always 1 cycle). Any divergence between this formula and the
+// simulated network is a bug in one of them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "gline/barrier_mux.h"
+#include "gline/barrier_network.h"
+#include "sim/engine.h"
+
+namespace glb::gline {
+namespace {
+
+Cycle LineLatency(std::uint32_t transmitters, std::uint32_t max_tx) {
+  return transmitters <= max_tx ? 1 : (transmitters + max_tx - 1) / max_tx;
+}
+
+struct Oracle {
+  std::uint32_t rows, cols, max_tx;
+
+  std::vector<Cycle> ReleaseCycles(const std::vector<Cycle>& arrival) const {
+    const Cycle lh = LineLatency(cols - 1, max_tx);
+    const Cycle lv = LineLatency(rows - 1, max_tx);
+    std::vector<Cycle> row_complete(rows, 0);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      Cycle c = arrival[r * cols + 0];  // master-node arrival (Mcnt)
+      for (std::uint32_t col = 1; col < cols; ++col) {
+        c = std::max(c, arrival[r * cols + col] + lh);
+      }
+      row_complete[r] = c;
+    }
+    Cycle v = row_complete[0];
+    for (std::uint32_t r = 1; r < rows; ++r) v = std::max(v, row_complete[r] + lv);
+    std::vector<Cycle> release(rows * cols);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      for (std::uint32_t col = 0; col < cols; ++col) {
+        // Release lines (MglineV/MglineH) have one transmitter each,
+        // so the wave is 1 cycle per stage regardless of mesh width.
+        release[r * cols + col] = v + 1 + (col == 0 ? 0 : 1);
+      }
+    }
+    return release;
+  }
+};
+
+class ArrivalFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArrivalFuzz, SimulationMatchesClosedForm) {
+  Rng rng(GetParam());
+  const std::pair<std::uint32_t, std::uint32_t> shapes[] = {
+      {1, 1}, {1, 5}, {5, 1}, {2, 2}, {3, 4}, {4, 8}, {7, 7}, {8, 8}};
+  for (auto [rows, cols] : shapes) {
+    sim::Engine engine;
+    StatSet stats;
+    BarrierNetwork net(engine, rows, cols, BarrierNetConfig{}, stats);
+    const std::uint32_t n = rows * cols;
+    const Oracle oracle{rows, cols, BarrierNetConfig{}.max_transmitters};
+
+    Cycle base = 0;
+    for (int episode = 0; episode < 8; ++episode) {
+      std::vector<Cycle> arrival(n);
+      for (CoreId c = 0; c < n; ++c) {
+        arrival[c] = base + 1 + rng.NextBelow(60);
+      }
+      std::vector<Cycle> released(n, kCycleNever);
+      for (CoreId c = 0; c < n; ++c) {
+        engine.ScheduleAt(arrival[c], [&net, &engine, &released, c]() {
+          net.Arrive(0, c, [&engine, &released, c]() {
+            released[c] = engine.Now();
+          });
+        });
+      }
+      ASSERT_TRUE(engine.RunUntilIdle(1'000'000));
+      const auto expected = oracle.ReleaseCycles(arrival);
+      for (CoreId c = 0; c < n; ++c) {
+        ASSERT_EQ(released[c], expected[c])
+            << rows << "x" << cols << " episode " << episode << " core " << c;
+      }
+      base = *std::max_element(expected.begin(), expected.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArrivalFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Multiplexer fuzz: random masks, more logical barriers than contexts,
+// episodes racing each other; every participant must be released
+// exactly once per episode and never before all its peers arrived.
+// ---------------------------------------------------------------------------
+
+class MuxFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MuxFuzz, RandomLogicalBarrierTraffic) {
+  Rng rng(GetParam() * 7919);
+  sim::Engine engine;
+  StatSet stats;
+  BarrierNetConfig cfg;
+  cfg.contexts = 2;
+  const std::uint32_t rows = 3, cols = 4, n = rows * cols;
+  BarrierNetwork net(engine, rows, cols, cfg, stats);
+  BarrierMux mux(net, stats);
+
+  constexpr int kLogical = 5;
+  constexpr int kEpisodes = 6;
+  struct LogicalRun {
+    BarrierMux::LogicalId id;
+    std::vector<CoreId> members;
+    int episode = 0;
+    std::uint32_t arrived = 0;   // arrivals in the current episode
+    std::uint32_t released = 0;  // releases in the current episode
+    bool violated = false;
+  };
+  std::vector<std::unique_ptr<LogicalRun>> runs;
+
+  for (int l = 0; l < kLogical; ++l) {
+    std::vector<bool> mask(n, false);
+    auto run = std::make_unique<LogicalRun>();
+    while (run->members.empty()) {
+      for (CoreId c = 0; c < n; ++c) {
+        if (rng.NextBool(0.4)) {
+          if (!mask[c]) run->members.push_back(c);
+          mask[c] = true;
+        }
+      }
+    }
+    run->id = mux.CreateBarrier(mask);
+    runs.push_back(std::move(run));
+  }
+
+  // Episode driver: schedule all arrivals for a run's current episode;
+  // when the last release lands, start the next episode.
+  std::function<void(LogicalRun*)> start_episode = [&](LogicalRun* run) {
+    run->arrived = 0;
+    run->released = 0;
+    const Cycle now = engine.Now();
+    for (CoreId c : run->members) {
+      const Cycle at = now + 1 + rng.NextBelow(40);
+      engine.ScheduleAt(at, [&, run, c]() {
+        ++run->arrived;
+        mux.Arrive(run->id, c, [&, run]() {
+          if (run->arrived != run->members.size()) run->violated = true;
+          if (++run->released == run->members.size()) {
+            if (++run->episode < kEpisodes) start_episode(run);
+          }
+        });
+      });
+    }
+  };
+  for (auto& run : runs) start_episode(run.get());
+
+  ASSERT_TRUE(engine.RunUntilIdle(10'000'000)) << "mux deadlocked";
+  for (auto& run : runs) {
+    EXPECT_EQ(run->episode, kEpisodes) << "logical " << run->id << " starved";
+    EXPECT_FALSE(run->violated) << "logical " << run->id << " released early";
+  }
+  EXPECT_EQ(net.barriers_completed(),
+            static_cast<std::uint64_t>(kLogical) * kEpisodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MuxFuzz, ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace glb::gline

@@ -1,0 +1,105 @@
+// Harness tests: metric extraction, table formatting, barrier factory.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "workloads/synthetic.h"
+
+namespace glb::harness {
+namespace {
+
+TEST(Harness, MakeBarrierProducesRequestedKinds) {
+  cmp::CmpSystem sys(cmp::CmpConfig::WithCores(4));
+  EXPECT_STREQ(MakeBarrier(BarrierKind::kGL, sys)->name(), "GL");
+  EXPECT_STREQ(MakeBarrier(BarrierKind::kCSW, sys)->name(), "CSW");
+  EXPECT_STREQ(MakeBarrier(BarrierKind::kDSW, sys)->name(), "DSW");
+}
+
+TEST(Harness, RunExperimentCollectsMetrics) {
+  const RunMetrics m = RunExperiment(
+      []() { return std::make_unique<workloads::Synthetic>(10); },
+      BarrierKind::kGL, cmp::CmpConfig::WithCores(4), 1'000'000);
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(m.workload, "Synthetic");
+  EXPECT_EQ(m.barrier, "GL");
+  EXPECT_EQ(m.cores, 4u);
+  EXPECT_EQ(m.barriers, 40u);
+  EXPECT_GT(m.cycles, 0u);
+  EXPECT_GT(m.barrier_period, 0.0);
+  EXPECT_EQ(m.validation, "");
+  EXPECT_GT(m.host_events, 0u);
+}
+
+TEST(Harness, TimeoutIsReported) {
+  const RunMetrics m = RunExperiment(
+      []() { return std::make_unique<workloads::Synthetic>(100000); },
+      BarrierKind::kGL, cmp::CmpConfig::WithCores(4), /*max_cycles=*/100);
+  EXPECT_FALSE(m.completed);
+  EXPECT_EQ(m.validation, "run timed out");
+}
+
+TEST(Harness, TableAlignsAndPrints) {
+  Table t({"A", "LongHeader", "C"});
+  t.AddRow({"x", "1", "22"});
+  t.AddRow({"yyyy", "2", "3"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("LongHeader"), std::string::npos);
+  EXPECT_NE(s.find("yyyy"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Harness, TableDeathOnRaggedRow) {
+  Table t({"A", "B"});
+  EXPECT_DEATH(t.AddRow({"only one"}), "cells");
+}
+
+TEST(Harness, NumberFormatting) {
+  EXPECT_EQ(Table::Num(1.234, 2), "1.23");
+  EXPECT_EQ(Table::Num(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::Pct(0.683), "68.3%");
+}
+
+TEST(Harness, BreakdownTableNormalizesToBaseline) {
+  std::vector<RunMetrics> runs(2);
+  runs[0].workload = "W";
+  runs[0].barrier = "DSW";
+  runs[0].cycles = 1000;
+  runs[0].breakdown[core::TimeCat::kBusy] = 500;
+  runs[0].breakdown[core::TimeCat::kBarrier] = 500;
+  runs[1].workload = "W";
+  runs[1].barrier = "GL";
+  runs[1].cycles = 600;
+  runs[1].breakdown[core::TimeCat::kBusy] = 550;
+  runs[1].breakdown[core::TimeCat::kBarrier] = 50;
+  std::ostringstream os;
+  PrintBreakdownTable(os, runs, "DSW");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("1.00"), std::string::npos) << "baseline normalizes to 1.0";
+  EXPECT_NE(s.find("0.60"), std::string::npos) << "GL run at 0.6 of baseline";
+}
+
+TEST(Harness, TrafficTableNormalizesToBaseline) {
+  std::vector<RunMetrics> runs(2);
+  runs[0].workload = "W";
+  runs[0].barrier = "DSW";
+  runs[0].msgs_request = 50;
+  runs[0].msgs_reply = 30;
+  runs[0].msgs_coherence = 20;
+  runs[1].workload = "W";
+  runs[1].barrier = "GL";
+  runs[1].msgs_request = 10;
+  runs[1].msgs_reply = 10;
+  runs[1].msgs_coherence = 5;
+  std::ostringstream os;
+  PrintTrafficTable(os, runs, "DSW");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("1.00"), std::string::npos);
+  EXPECT_NE(s.find("0.25"), std::string::npos) << "GL at 25/100 of baseline";
+}
+
+}  // namespace
+}  // namespace glb::harness

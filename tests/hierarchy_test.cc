@@ -1,0 +1,134 @@
+// Hierarchical (two-level) G-line barrier network tests — the §5
+// future-work scheme for meshes beyond 7x7.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "gline/hierarchy.h"
+#include "sim/engine.h"
+
+namespace glb::gline {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  StatSet stats;
+  std::unique_ptr<HierarchicalBarrierNetwork> net;
+
+  Fixture(std::uint32_t rows, std::uint32_t cols, HierConfig cfg = {}) {
+    net = std::make_unique<HierarchicalBarrierNetwork>(engine, rows, cols, cfg, stats);
+  }
+
+  std::vector<Cycle> RunEpisode(const std::vector<Cycle>& arrivals) {
+    std::vector<Cycle> rel(net->num_cores(), kCycleNever);
+    for (CoreId c = 0; c < net->num_cores(); ++c) {
+      engine.ScheduleAt(arrivals[c], [this, c, &rel]() {
+        net->Arrive(c, [this, c, &rel]() { rel[c] = engine.Now(); });
+      });
+    }
+    EXPECT_TRUE(engine.RunUntilIdle(1'000'000));
+    return rel;
+  }
+};
+
+TEST(Hierarchy, SingleClusterDegeneratesToFlatNetwork) {
+  // 4x4 fits one 7x7 cluster: one cluster + a 1x1 top level.
+  Fixture f(4, 4);
+  EXPECT_EQ(f.net->num_clusters(), 1u);
+  const auto rel = f.RunEpisode(std::vector<Cycle>(16, 10));
+  const Cycle hi = *std::max_element(rel.begin(), rel.end());
+  // Flat cost (4) + the top-level round trip on a 1x1 grid.
+  EXPECT_LE(hi, 10u + 8u);
+  EXPECT_EQ(f.net->barriers_completed(), 1u);
+}
+
+TEST(Hierarchy, EightByEightUsesFourClusters) {
+  // 8x8 = 64 cores: balanced into 2x2 clusters of 4x4.
+  Fixture f(8, 8);
+  EXPECT_EQ(f.net->num_clusters(), 4u);
+  const auto rel = f.RunEpisode(std::vector<Cycle>(64, 20));
+  for (CoreId c = 0; c < 64; ++c) {
+    ASSERT_NE(rel[c], kCycleNever) << "core " << c;
+    EXPECT_GE(rel[c], 20u + 6u) << "two levels cannot beat one";
+    EXPECT_LE(rel[c], 20u + 12u) << "should stay near 8-9 cycles";
+  }
+}
+
+TEST(Hierarchy, LineBudgetIsStrictEverywhere) {
+  // Every line in every sub-network obeys the 6-transmitter limit —
+  // constructing with TxPolicy::kReject inside proves it. Line budget:
+  // 4 balanced 4x4 clusters x 2*(4+1) + top 2x2 level 2*(2+1) = 46.
+  Fixture f(8, 8);
+  EXPECT_EQ(f.net->total_lines(), 46u);
+}
+
+TEST(Hierarchy, NoEarlyReleaseAcrossClusters) {
+  // The straggler sits in a different cluster than everyone else; no
+  // other cluster may release before it arrives.
+  Fixture f(8, 8);
+  std::vector<Cycle> arrivals(64, 10);
+  arrivals[63] = 400;  // bottom-right cluster straggler
+  const auto rel = f.RunEpisode(arrivals);
+  for (CoreId c = 0; c < 64; ++c) {
+    EXPECT_GE(rel[c], 400u) << "core " << c << " released before the straggler";
+    EXPECT_LE(rel[c], 412u);
+  }
+}
+
+TEST(Hierarchy, BackToBackEpisodes) {
+  Fixture f(8, 8);
+  for (int e = 0; e < 20; ++e) {
+    const Cycle t = f.engine.Now() + 3;
+    const auto rel = f.RunEpisode(std::vector<Cycle>(64, t));
+    for (CoreId c = 0; c < 64; ++c) ASSERT_NE(rel[c], kCycleNever);
+  }
+  EXPECT_EQ(f.net->barriers_completed(), 20u);
+}
+
+TEST(Hierarchy, LargeMeshesUpTo49x49) {
+  // 14x14 = 196 cores (4 clusters of 7x7).
+  {
+    Fixture f(14, 14);
+    EXPECT_EQ(f.net->num_clusters(), 4u);
+    const auto rel = f.RunEpisode(std::vector<Cycle>(196, 10));
+    const Cycle hi = *std::max_element(rel.begin(), rel.end());
+    EXPECT_LE(hi, 10u + 12u);
+  }
+  // 21x21 = 441 cores (9 clusters) — far beyond the flat 7x7 limit,
+  // barrier latency unchanged.
+  {
+    Fixture f(21, 21);
+    EXPECT_EQ(f.net->num_clusters(), 9u);
+    const auto rel = f.RunEpisode(std::vector<Cycle>(441, 10));
+    const Cycle hi = *std::max_element(rel.begin(), rel.end());
+    EXPECT_LE(hi, 10u + 12u);
+  }
+}
+
+TEST(Hierarchy, RaggedEdgeClusters) {
+  // 9x10: balanced grid 2x2 -> clusters 5x5, 5x5, 4x5, 4x5.
+  Fixture f(9, 10);
+  EXPECT_EQ(f.net->num_clusters(), 4u);
+  std::vector<Cycle> arrivals(90);
+  for (CoreId c = 0; c < 90; ++c) arrivals[c] = 5 + (c * 13) % 29;
+  const Cycle last = *std::max_element(arrivals.begin(), arrivals.end());
+  const auto rel = f.RunEpisode(arrivals);
+  for (CoreId c = 0; c < 90; ++c) {
+    ASSERT_NE(rel[c], kCycleNever) << "core " << c;
+    EXPECT_GE(rel[c], last);
+  }
+}
+
+TEST(HierarchyDeath, ThreeLevelMeshesRejected) {
+  sim::Engine engine;
+  StatSet stats;
+  HierConfig cfg;
+  EXPECT_DEATH(HierarchicalBarrierNetwork(engine, 50, 50, cfg, stats),
+               "more than two levels");
+}
+
+}  // namespace
+}  // namespace glb::gline

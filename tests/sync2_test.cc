@@ -1,0 +1,184 @@
+// Second sync-runtime test batch: dissemination barrier properties,
+// combining-tree fan-in sweep, cross-mechanism latency ordering, and
+// the application workloads' barrier census.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cmp/cmp_system.h"
+#include "harness/experiment.h"
+#include "sync/dissemination_barrier.h"
+#include "sync/sw_barrier.h"
+#include "workloads/em3d.h"
+#include "workloads/ocean.h"
+#include "workloads/synthetic.h"
+#include "workloads/unstructured.h"
+
+namespace glb::sync {
+namespace {
+
+using cmp::CmpConfig;
+using cmp::CmpSystem;
+using core::Core;
+using core::Task;
+using harness::BarrierKind;
+using harness::RunExperiment;
+
+// ---------------------------------------------------------------------------
+// Dissemination barrier
+// ---------------------------------------------------------------------------
+
+TEST(Dissemination, RoundCountIsCeilLog2) {
+  CmpSystem sys(CmpConfig::WithCores(4));
+  EXPECT_EQ(DisseminationBarrier(sys.allocator(), 1).rounds(), 0u);
+  EXPECT_EQ(DisseminationBarrier(sys.allocator(), 2).rounds(), 1u);
+  EXPECT_EQ(DisseminationBarrier(sys.allocator(), 3).rounds(), 2u);
+  EXPECT_EQ(DisseminationBarrier(sys.allocator(), 8).rounds(), 3u);
+  EXPECT_EQ(DisseminationBarrier(sys.allocator(), 9).rounds(), 4u);
+  EXPECT_EQ(DisseminationBarrier(sys.allocator(), 32).rounds(), 5u);
+}
+
+// Lap-resistance: the two parity buffers must absorb a one-episode lead
+// even when arrival skew alternates direction every episode.
+TEST(Dissemination, ManyEpisodesWithAlternatingSkew) {
+  CmpSystem sys(CmpConfig::WithCores(8));
+  DisseminationBarrier barrier(sys.allocator(), 8);
+  std::vector<int> arrived(40, 0);
+  bool violated = false;
+  auto body = [](Core& c, Barrier* b, std::vector<int>* arr, bool* bad) -> Task {
+    for (int e = 0; e < 40; ++e) {
+      const auto skew = (e % 2 == 0) ? c.id() * 37u : (7u - c.id()) * 37u;
+      co_await c.Compute(1 + skew);
+      ++(*arr)[static_cast<std::size_t>(e)];
+      co_await b->Wait(c);
+      if ((*arr)[static_cast<std::size_t>(e)] != 8) *bad = true;
+    }
+  };
+  ASSERT_TRUE(sys.RunPrograms(
+      [&](Core& c, CoreId) { return body(c, &barrier, &arrived, &violated); },
+      500'000'000ull));
+  EXPECT_FALSE(violated);
+}
+
+// Non-power-of-two core counts exercise the modular partner arithmetic.
+TEST(Dissemination, NonPowerOfTwoCoreCounts) {
+  for (std::uint32_t n : {3u, 6u, 12u}) {
+    CmpSystem sys(CmpConfig::WithCores(n));
+    DisseminationBarrier barrier(sys.allocator(), n);
+    auto body = [](Core& c, Barrier* b) -> Task {
+      for (int e = 0; e < 10; ++e) {
+        co_await c.Compute(1 + c.id() * 7);
+        co_await b->Wait(c);
+      }
+    };
+    ASSERT_TRUE(sys.RunPrograms([&](Core& c, CoreId) { return body(c, &barrier); },
+                                100'000'000ull))
+        << n << " cores";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Combining-tree fan-in sweep
+// ---------------------------------------------------------------------------
+
+class TreeFanin : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TreeFanin, CorrectAcrossEpisodes) {
+  const std::uint32_t fanin = GetParam();
+  CmpSystem sys(CmpConfig::WithCores(16));
+  TreeBarrier barrier(sys.allocator(), 16, fanin);
+  std::vector<int> arrived(10, 0);
+  bool violated = false;
+  auto body = [](Core& c, Barrier* b, std::vector<int>* arr, bool* bad) -> Task {
+    for (int e = 0; e < 10; ++e) {
+      co_await c.Compute(1 + (c.id() * 13 + static_cast<std::uint32_t>(e)) % 41);
+      ++(*arr)[static_cast<std::size_t>(e)];
+      co_await b->Wait(c);
+      if ((*arr)[static_cast<std::size_t>(e)] != 16) *bad = true;
+    }
+  };
+  ASSERT_TRUE(sys.RunPrograms(
+      [&](Core& c, CoreId) { return body(c, &barrier, &arrived, &violated); },
+      500'000'000ull));
+  EXPECT_FALSE(violated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanins, TreeFanin, ::testing::Values(2u, 3u, 4u, 8u, 16u));
+
+TEST(TreeFanin, NodeCountsByFanin) {
+  CmpSystem sys(CmpConfig::WithCores(16));
+  EXPECT_EQ(TreeBarrier(sys.allocator(), 16, 2).num_nodes(), 15u);  // 8+4+2+1
+  EXPECT_EQ(TreeBarrier(sys.allocator(), 16, 4).num_nodes(), 5u);   // 4+1
+  EXPECT_EQ(TreeBarrier(sys.allocator(), 16, 16).num_nodes(), 1u);  // flat
+}
+
+// ---------------------------------------------------------------------------
+// Cross-mechanism latency ordering (the Figure-5 claim, plus extensions)
+// ---------------------------------------------------------------------------
+
+TEST(BarrierOrdering, FullZooAt16Cores) {
+  auto run = [](BarrierKind k) {
+    return RunExperiment(
+        []() { return std::make_unique<workloads::Synthetic>(40); }, k,
+        CmpConfig::WithCores(16), 1'000'000'000ull);
+  };
+  const auto gl = run(BarrierKind::kGL);
+  const auto hyb = run(BarrierKind::kHYB);
+  const auto dis = run(BarrierKind::kDIS);
+  const auto dsw = run(BarrierKind::kDSW);
+  ASSERT_TRUE(gl.completed && hyb.completed && dis.completed && dsw.completed);
+  EXPECT_LT(gl.cycles, hyb.cycles);
+  EXPECT_LT(hyb.cycles, dis.cycles);
+  EXPECT_LT(dis.cycles, dsw.cycles)
+      << "dissemination should beat the combining tree";
+  EXPECT_EQ(gl.total_msgs(), 0u);
+  EXPECT_GT(dis.total_msgs(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Application barrier census (Table-2 structure for the apps)
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadCensusApps, OceanBarriersPerSweep) {
+  workloads::Ocean::Config cfg;
+  cfg.grid = 20;
+  cfg.iterations = 4;
+  const auto m = RunExperiment(
+      [cfg]() { return std::make_unique<workloads::Ocean>(cfg); },
+      BarrierKind::kGL, CmpConfig::WithCores(4), 1'000'000'000ull);
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(m.validation, "");
+  // 1 init + 3 per sweep (red, black, post-reduction).
+  EXPECT_EQ(m.barriers, 1u + 3u * 4u);
+}
+
+TEST(WorkloadCensusApps, UnstructuredBarriersPerStep) {
+  workloads::Unstructured::Config cfg;
+  cfg.nodes = 128;
+  cfg.edges = 512;
+  cfg.timesteps = 3;
+  const auto m = RunExperiment(
+      [cfg]() { return std::make_unique<workloads::Unstructured>(cfg); },
+      BarrierKind::kGL, CmpConfig::WithCores(4), 1'000'000'000ull);
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(m.validation, "");
+  // 1 init + 2 per time step.
+  EXPECT_EQ(m.barriers, 1u + 2u * 3u);
+}
+
+TEST(WorkloadCensusApps, Em3dBarriersPerStep) {
+  workloads::Em3d::Config cfg;
+  cfg.nodes = 256;
+  cfg.timesteps = 5;
+  const auto m = RunExperiment(
+      [cfg]() { return std::make_unique<workloads::Em3d>(cfg); },
+      BarrierKind::kGL, CmpConfig::WithCores(4), 1'000'000'000ull);
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(m.validation, "");
+  // 1 init + 2 per time step (E-phase, H-phase).
+  EXPECT_EQ(m.barriers, 1u + 2u * 5u);
+}
+
+}  // namespace
+}  // namespace glb::sync

@@ -1,0 +1,122 @@
+// glbsim — one-shot simulation driver.
+//
+// Runs any (workload, barrier, machine) combination and dumps
+// everything a study needs: run metrics, the Figure-6 breakdown, the
+// Figure-7 traffic classes, the energy estimate, and (with --stats) the
+// raw counter set. The Swiss-army knife the table/figure benches are
+// specializations of.
+//
+//   glbsim --workload Kernel3 --barrier GL --cores 32
+//   glbsim --workload OCEAN --barrier DSW --cores 16 --ocean-iters 10 --stats
+//   glbsim --workload Synthetic --barrier HYB --synthetic-iters 500 --csv
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "power/energy_model.h"
+
+namespace {
+
+void Usage() {
+  std::cout <<
+      "glbsim — G-line barrier CMP simulator driver\n"
+      "  --workload W    Synthetic|Kernel2|Kernel3|Kernel6|EM3D|OCEAN|UNSTRUCTURED\n"
+      "  --barrier B     GL|DSW|CSW|HYB (default GL)\n"
+      "  --cores N       core count, mesh auto-factored (default 32)\n"
+      "  --paper-scale   exact Table-2 inputs (slow)\n"
+      "  --<wl>-iters N  per-workload iteration overrides (see bench_util.h)\n"
+      "  --stats         dump the raw statistics registry\n"
+      "  --csv           emit machine-readable key,value lines\n";
+}
+
+glb::harness::BarrierKind ParseBarrier(const std::string& s) {
+  if (s == "GL") return glb::harness::BarrierKind::kGL;
+  if (s == "DSW") return glb::harness::BarrierKind::kDSW;
+  if (s == "CSW") return glb::harness::BarrierKind::kCSW;
+  if (s == "HYB") return glb::harness::BarrierKind::kHYB;
+  std::cerr << "unknown barrier kind: " << s << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace glb;
+  Flags flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    Usage();
+    return 0;
+  }
+  const std::string wl = flags.GetString("workload", "Synthetic");
+  const auto kind = ParseBarrier(flags.GetString("barrier", "GL"));
+  const bench::Scale scale = bench::Scale::FromFlags(flags);
+  const auto cfg = bench::ConfigFromFlags(flags);
+
+  // Build and run manually (RunExperiment hides the StatSet, which
+  // --stats and the energy estimate need).
+  cmp::CmpSystem sys(cfg);
+  auto workload = bench::FactoryFor(wl, scale)();
+  workload->Init(sys);
+  auto barrier = harness::MakeBarrier(kind, sys);
+  const bool completed = sys.RunPrograms([&](core::Core& c, CoreId id) {
+    return workload->Body(c, id, *barrier);
+  });
+  if (!completed) {
+    std::cerr << "simulation did not complete\n";
+    return 1;
+  }
+  const std::string validation = workload->Validate(sys);
+  const auto bd = sys.TotalBreakdown();
+  const auto energy = power::Estimate(sys.stats());
+  const std::uint64_t barriers =
+      sys.stats().CounterValue("core.barriers") / sys.num_cores();
+  const auto msgs = sys.stats().SumCountersWithPrefix("noc.msgs.");
+
+  if (flags.GetBool("csv", false)) {
+    auto kv = [](const std::string& k, const std::string& v) {
+      std::cout << k << ',' << v << '\n';
+    };
+    kv("workload", workload->name());
+    kv("barrier", barrier->name());
+    kv("cores", std::to_string(sys.num_cores()));
+    kv("cycles", std::to_string(sys.LastFinish()));
+    kv("barriers_per_core", std::to_string(barriers));
+    kv("noc_msgs", std::to_string(msgs));
+    for (int c = 0; c < core::kNumTimeCats; ++c) {
+      kv(std::string("cycles_") + ToString(static_cast<core::TimeCat>(c)),
+         std::to_string(bd[static_cast<core::TimeCat>(c)]));
+    }
+    kv("energy_total_pj", harness::Table::Num(energy.total_pj()));
+    kv("energy_noc_pj", harness::Table::Num(energy.noc_pj));
+    kv("valid", validation.empty() ? "ok" : validation);
+    return validation.empty() ? 0 : 1;
+  }
+
+  std::cout << workload->name() << " (" << workload->input_desc() << ") under "
+            << barrier->name() << " on " << sys.num_cores() << " cores ("
+            << cfg.rows << "x" << cfg.cols << " mesh)\n\n";
+  std::cout << "  cycles          " << sys.LastFinish() << '\n';
+  std::cout << "  barriers/core   " << barriers;
+  if (barriers > 0) {
+    std::cout << "  (period " << sys.LastFinish() / barriers << " cycles)";
+  }
+  std::cout << '\n';
+  std::cout << "  noc messages    " << msgs << '\n';
+  std::cout << "  time breakdown  ";
+  for (int c = 0; c < core::kNumTimeCats; ++c) {
+    const auto cat = static_cast<core::TimeCat>(c);
+    std::cout << ToString(cat) << "=" << bd[cat] << ' ';
+  }
+  std::cout << '\n';
+  std::cout << "  ";
+  power::Print(std::cout, energy);
+  std::cout << "  validation      " << (validation.empty() ? "ok" : validation)
+            << '\n';
+  std::cout << "  host events     " << sys.engine().events_processed() << '\n';
+
+  if (flags.GetBool("stats", false)) {
+    std::cout << "\n--- statistics registry ---\n";
+    sys.stats().Print(std::cout);
+  }
+  return validation.empty() ? 0 : 1;
+}
