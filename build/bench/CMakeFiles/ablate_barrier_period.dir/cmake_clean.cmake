@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_barrier_period.dir/ablate_barrier_period.cc.o"
+  "CMakeFiles/ablate_barrier_period.dir/ablate_barrier_period.cc.o.d"
+  "ablate_barrier_period"
+  "ablate_barrier_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_barrier_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_gline_scaling.dir/ablate_gline_scaling.cc.o"
+  "CMakeFiles/ablate_gline_scaling.dir/ablate_gline_scaling.cc.o.d"
+  "ablate_gline_scaling"
+  "ablate_gline_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_gline_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

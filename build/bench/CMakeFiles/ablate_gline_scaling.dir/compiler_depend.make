@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablate_gline_scaling.
+# This may be replaced when dependencies are built.

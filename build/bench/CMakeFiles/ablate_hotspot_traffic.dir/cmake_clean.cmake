@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_hotspot_traffic.dir/ablate_hotspot_traffic.cc.o"
+  "CMakeFiles/ablate_hotspot_traffic.dir/ablate_hotspot_traffic.cc.o.d"
+  "ablate_hotspot_traffic"
+  "ablate_hotspot_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_hotspot_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_hybrid.dir/ablate_hybrid.cc.o"
+  "CMakeFiles/ablate_hybrid.dir/ablate_hybrid.cc.o.d"
+  "ablate_hybrid"
+  "ablate_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_gline_walkthrough.dir/fig2_gline_walkthrough.cc.o"
+  "CMakeFiles/fig2_gline_walkthrough.dir/fig2_gline_walkthrough.cc.o.d"
+  "fig2_gline_walkthrough"
+  "fig2_gline_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_gline_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

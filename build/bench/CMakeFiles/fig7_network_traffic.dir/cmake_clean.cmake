@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_network_traffic.dir/fig7_network_traffic.cc.o"
+  "CMakeFiles/fig7_network_traffic.dir/fig7_network_traffic.cc.o.d"
+  "fig7_network_traffic"
+  "fig7_network_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_network_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_shootout.dir/barrier_shootout.cpp.o"
+  "CMakeFiles/barrier_shootout.dir/barrier_shootout.cpp.o.d"
+  "barrier_shootout"
+  "barrier_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gline_scaling.dir/gline_scaling.cpp.o"
+  "CMakeFiles/gline_scaling.dir/gline_scaling.cpp.o.d"
+  "gline_scaling"
+  "gline_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gline_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

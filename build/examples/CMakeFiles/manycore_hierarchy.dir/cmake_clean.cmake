@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manycore_hierarchy.dir/manycore_hierarchy.cpp.o"
+  "CMakeFiles/manycore_hierarchy.dir/manycore_hierarchy.cpp.o.d"
+  "manycore_hierarchy"
+  "manycore_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manycore_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

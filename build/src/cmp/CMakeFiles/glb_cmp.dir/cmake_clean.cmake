@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glb_cmp.dir/cmp_system.cc.o"
+  "CMakeFiles/glb_cmp.dir/cmp_system.cc.o.d"
+  "libglb_cmp.a"
+  "libglb_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glb_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libglb_cmp.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/checker.cc" "src/coherence/CMakeFiles/glb_coherence.dir/checker.cc.o" "gcc" "src/coherence/CMakeFiles/glb_coherence.dir/checker.cc.o.d"
+  "/root/repo/src/coherence/dir_controller.cc" "src/coherence/CMakeFiles/glb_coherence.dir/dir_controller.cc.o" "gcc" "src/coherence/CMakeFiles/glb_coherence.dir/dir_controller.cc.o.d"
+  "/root/repo/src/coherence/fabric.cc" "src/coherence/CMakeFiles/glb_coherence.dir/fabric.cc.o" "gcc" "src/coherence/CMakeFiles/glb_coherence.dir/fabric.cc.o.d"
+  "/root/repo/src/coherence/l1_controller.cc" "src/coherence/CMakeFiles/glb_coherence.dir/l1_controller.cc.o" "gcc" "src/coherence/CMakeFiles/glb_coherence.dir/l1_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/glb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/glb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/glb_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/glb_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

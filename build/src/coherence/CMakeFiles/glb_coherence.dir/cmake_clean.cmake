@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glb_coherence.dir/checker.cc.o"
+  "CMakeFiles/glb_coherence.dir/checker.cc.o.d"
+  "CMakeFiles/glb_coherence.dir/dir_controller.cc.o"
+  "CMakeFiles/glb_coherence.dir/dir_controller.cc.o.d"
+  "CMakeFiles/glb_coherence.dir/fabric.cc.o"
+  "CMakeFiles/glb_coherence.dir/fabric.cc.o.d"
+  "CMakeFiles/glb_coherence.dir/l1_controller.cc.o"
+  "CMakeFiles/glb_coherence.dir/l1_controller.cc.o.d"
+  "libglb_coherence.a"
+  "libglb_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glb_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glb_common.dir/flags.cc.o"
+  "CMakeFiles/glb_common.dir/flags.cc.o.d"
+  "CMakeFiles/glb_common.dir/log.cc.o"
+  "CMakeFiles/glb_common.dir/log.cc.o.d"
+  "CMakeFiles/glb_common.dir/stats.cc.o"
+  "CMakeFiles/glb_common.dir/stats.cc.o.d"
+  "libglb_common.a"
+  "libglb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

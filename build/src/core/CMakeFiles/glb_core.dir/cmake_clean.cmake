@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glb_core.dir/core.cc.o"
+  "CMakeFiles/glb_core.dir/core.cc.o.d"
+  "libglb_core.a"
+  "libglb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glb_gline.dir/barrier_mux.cc.o"
+  "CMakeFiles/glb_gline.dir/barrier_mux.cc.o.d"
+  "CMakeFiles/glb_gline.dir/barrier_network.cc.o"
+  "CMakeFiles/glb_gline.dir/barrier_network.cc.o.d"
+  "CMakeFiles/glb_gline.dir/gline.cc.o"
+  "CMakeFiles/glb_gline.dir/gline.cc.o.d"
+  "CMakeFiles/glb_gline.dir/hierarchy.cc.o"
+  "CMakeFiles/glb_gline.dir/hierarchy.cc.o.d"
+  "libglb_gline.a"
+  "libglb_gline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glb_gline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

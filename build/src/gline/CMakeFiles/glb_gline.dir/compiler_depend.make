@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for glb_gline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cc" "src/harness/CMakeFiles/glb_harness.dir/experiment.cc.o" "gcc" "src/harness/CMakeFiles/glb_harness.dir/experiment.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/harness/CMakeFiles/glb_harness.dir/report.cc.o" "gcc" "src/harness/CMakeFiles/glb_harness.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/glb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmp/CMakeFiles/glb_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/glb_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/glb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/gline/CMakeFiles/glb_gline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/glb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/glb_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/glb_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/glb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/glb_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

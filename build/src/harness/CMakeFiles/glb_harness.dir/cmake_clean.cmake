@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glb_harness.dir/experiment.cc.o"
+  "CMakeFiles/glb_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/glb_harness.dir/report.cc.o"
+  "CMakeFiles/glb_harness.dir/report.cc.o.d"
+  "libglb_harness.a"
+  "libglb_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glb_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glb_mem.dir/backing_store.cc.o"
+  "CMakeFiles/glb_mem.dir/backing_store.cc.o.d"
+  "libglb_mem.a"
+  "libglb_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glb_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glb_noc.dir/mesh.cc.o"
+  "CMakeFiles/glb_noc.dir/mesh.cc.o.d"
+  "libglb_noc.a"
+  "libglb_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glb_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glb_power.dir/energy_model.cc.o"
+  "CMakeFiles/glb_power.dir/energy_model.cc.o.d"
+  "libglb_power.a"
+  "libglb_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glb_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glb_sim.dir/engine.cc.o"
+  "CMakeFiles/glb_sim.dir/engine.cc.o.d"
+  "libglb_sim.a"
+  "libglb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

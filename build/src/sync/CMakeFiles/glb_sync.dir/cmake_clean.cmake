@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glb_sync.dir/dissemination_barrier.cc.o"
+  "CMakeFiles/glb_sync.dir/dissemination_barrier.cc.o.d"
+  "CMakeFiles/glb_sync.dir/hybrid_barrier.cc.o"
+  "CMakeFiles/glb_sync.dir/hybrid_barrier.cc.o.d"
+  "CMakeFiles/glb_sync.dir/spinlock.cc.o"
+  "CMakeFiles/glb_sync.dir/spinlock.cc.o.d"
+  "CMakeFiles/glb_sync.dir/sw_barrier.cc.o"
+  "CMakeFiles/glb_sync.dir/sw_barrier.cc.o.d"
+  "libglb_sync.a"
+  "libglb_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glb_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

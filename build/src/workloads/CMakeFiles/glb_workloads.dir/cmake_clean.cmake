@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glb_workloads.dir/em3d.cc.o"
+  "CMakeFiles/glb_workloads.dir/em3d.cc.o.d"
+  "CMakeFiles/glb_workloads.dir/livermore.cc.o"
+  "CMakeFiles/glb_workloads.dir/livermore.cc.o.d"
+  "CMakeFiles/glb_workloads.dir/ocean.cc.o"
+  "CMakeFiles/glb_workloads.dir/ocean.cc.o.d"
+  "CMakeFiles/glb_workloads.dir/unstructured.cc.o"
+  "CMakeFiles/glb_workloads.dir/unstructured.cc.o.d"
+  "libglb_workloads.a"
+  "libglb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gline_fuzz_test.dir/gline_fuzz_test.cc.o"
+  "CMakeFiles/gline_fuzz_test.dir/gline_fuzz_test.cc.o.d"
+  "gline_fuzz_test"
+  "gline_fuzz_test.pdb"
+  "gline_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gline_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

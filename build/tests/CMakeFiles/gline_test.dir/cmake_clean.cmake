@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gline_test.dir/gline_test.cc.o"
+  "CMakeFiles/gline_test.dir/gline_test.cc.o.d"
+  "gline_test"
+  "gline_test.pdb"
+  "gline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

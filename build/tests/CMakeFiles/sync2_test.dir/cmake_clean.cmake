@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync2_test.dir/sync2_test.cc.o"
+  "CMakeFiles/sync2_test.dir/sync2_test.cc.o.d"
+  "sync2_test"
+  "sync2_test.pdb"
+  "sync2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glbsim.dir/glbsim.cc.o"
+  "CMakeFiles/glbsim.dir/glbsim.cc.o.d"
+  "glbsim"
+  "glbsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glbsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for glbsim.
+# This may be replaced when dependencies are built.
