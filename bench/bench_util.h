@@ -10,6 +10,7 @@
 
 #include "cmp/cmp_system.h"
 #include "common/flags.h"
+#include "fault/fault_model.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "workloads/em3d.h"
@@ -109,6 +110,17 @@ inline const char* const kApplications[] = {"UNSTRUCTURED", "OCEAN", "EM3D"};
 inline cmp::CmpConfig ConfigFromFlags(const Flags& flags) {
   const auto cores = static_cast<std::uint32_t>(flags.GetInt("cores", 32));
   auto cfg = cmp::CmpConfig::WithCores(cores);
+  // Fault campaign / resilience knobs (all off by default).
+  cfg.fault = fault::PlanFromFlags(flags);
+  cfg.gline.watchdog_timeout =
+      static_cast<Cycle>(flags.GetInt("fault_watchdog", 0));
+  cfg.gline.max_retries =
+      static_cast<std::uint32_t>(flags.GetInt("fault_retries", 2));
+  if (cfg.fault.enabled() && !cfg.gline.resilient()) {
+    std::cerr << "note: --fault_* injection enabled without --fault_watchdog; "
+                 "the barrier network may hang (that is the point of the "
+                 "watchdog) — the run will stop at --max-cycles.\n";
+  }
   return cfg;
 }
 

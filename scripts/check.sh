@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Gatekeeper: build the default and sanitizer configurations and run the
+# full test suite under both. Every test gets a per-test timeout so a
+# hung simulation fails loudly instead of wedging CI.
+#
+#   scripts/check.sh            # default + asan
+#   scripts/check.sh --fast     # default only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESETS=(default asan)
+if [ "${1:-}" = "--fast" ]; then
+  PRESETS=(default)
+fi
+
+for preset in "${PRESETS[@]}"; do
+  echo "=== configure+build+test [$preset] ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j
+  ctest --preset "$preset" -j "$(nproc)"
+done
+
+echo "check.sh: all configurations green"

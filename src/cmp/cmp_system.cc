@@ -39,15 +39,38 @@ CmpSystem::CmpSystem(const CmpConfig& cfg)
         std::make_unique<core::Core>(engine_, fabric_.l1(c), c, cfg.core, stats_));
     cores_.back()->SetBarrierDevice(gline_.Device(0));
   }
+
+  if (cfg.gline.resilient()) {
+    // Degraded-mode fallback: a hybrid barrier unit per context at a
+    // central tile, reached over the coherent data NoC.
+    const CoreId home = mesh_.NodeAt(cfg.rows / 2, cfg.cols / 2);
+    for (std::uint32_t ctx = 0; ctx < cfg.gline.contexts; ++ctx) {
+      fallback_units_.push_back(std::make_unique<sync::HybridBarrierUnit>(
+          mesh_, home, cfg.num_cores(), stats_));
+    }
+    gline_.SetFallback(
+        [this](std::uint32_t ctx, CoreId core, std::function<void()> on_release) {
+          fallback_units_[ctx]->Arrive(core, std::move(on_release));
+        },
+        [this](std::uint32_t ctx, std::uint32_t expected) {
+          fallback_units_[ctx]->SetExpected(expected);
+        });
+  }
+
+  if (cfg.fault.enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(engine_, cfg.fault, stats_);
+    injector_->Arm(gline_);
+    injector_->Arm(mesh_);
+  }
 }
 
-bool CmpSystem::RunPrograms(const std::function<core::Task(core::Core&, CoreId)>& make,
-                            Cycle max_cycles) {
+sim::RunStatus CmpSystem::RunProgramsStatus(
+    const std::function<core::Task(core::Core&, CoreId)>& make, Cycle max_cycles) {
   for (CoreId c = 0; c < num_cores(); ++c) {
     cores_[c]->Run(make(*cores_[c], c));
   }
-  const bool idle = engine_.RunUntilIdle(max_cycles);
-  if (idle) {
+  const sim::RunStatus status = engine_.RunUntilIdleStatus(max_cycles);
+  if (status.idle) {
     for (CoreId c = 0; c < num_cores(); ++c) {
       GLB_CHECK(cores_[c]->done())
           << "machine went idle but core " << c
@@ -57,7 +80,7 @@ bool CmpSystem::RunPrograms(const std::function<core::Task(core::Core&, CoreId)>
     // backing store (validation, examples) without perturbing timing.
     fabric_.DrainToBacking();
   }
-  return idle;
+  return status;
 }
 
 Cycle CmpSystem::LastFinish() const {

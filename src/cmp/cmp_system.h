@@ -15,11 +15,14 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "core/core.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_model.h"
 #include "gline/barrier_network.h"
 #include "mem/addr_allocator.h"
 #include "mem/backing_store.h"
 #include "noc/mesh.h"
 #include "sim/engine.h"
+#include "sync/hybrid_barrier.h"
 
 namespace glb::cmp {
 
@@ -32,6 +35,8 @@ struct CmpConfig {
   noc::MeshConfig noc{};  // rows/cols are overwritten from this struct
   gline::BarrierNetConfig gline{};
   core::CoreConfig core{};
+  /// Fault campaign (disabled by default: no hooks are installed).
+  fault::FaultPlan fault{};
 
   std::uint32_t num_cores() const { return rows * cols; }
 
@@ -66,7 +71,19 @@ class CmpSystem {
   /// until it goes idle (all programs finished, all traffic drained).
   /// Returns false on `max_cycles` timeout.
   bool RunPrograms(const std::function<core::Task(core::Core&, CoreId)>& make,
-                   Cycle max_cycles = kCycleNever);
+                   Cycle max_cycles = kCycleNever) {
+    return RunProgramsStatus(make, max_cycles).idle;
+  }
+
+  /// Like RunPrograms, but reports how far the run got so callers can
+  /// surface a stalled simulation (cycle reached, queued events) instead
+  /// of a silent `false`.
+  sim::RunStatus RunProgramsStatus(
+      const std::function<core::Task(core::Core&, CoreId)>& make,
+      Cycle max_cycles = kCycleNever);
+
+  /// The armed injector, or nullptr when the fault plan is disabled.
+  fault::FaultInjector* injector() { return injector_.get(); }
 
   /// Cycle at which the last core finished its program.
   Cycle LastFinish() const;
@@ -83,6 +100,10 @@ class CmpSystem {
   coherence::Fabric fabric_;
   gline::BarrierNetwork gline_;
   std::vector<std::unique_ptr<core::Core>> cores_;
+  /// Degraded-mode software fallback: one hybrid barrier unit per G-line
+  /// context, over the data NoC (built only in resilient mode).
+  std::vector<std::unique_ptr<sync::HybridBarrierUnit>> fallback_units_;
+  std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 }  // namespace glb::cmp

@@ -1,0 +1,141 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace glb::fault {
+
+FaultInjector::FaultInjector(sim::Engine& engine, const FaultPlan& plan,
+                             StatSet& stats)
+    : engine_(engine),
+      plan_(plan),
+      rng_(plan.seed),
+      script_fired_(plan.script.size(), false) {
+  total_ = stats.GetCounter("fault.injected");
+  gline_drop_ = stats.GetCounter("fault.gline_drop");
+  gline_dup_ = stats.GetCounter("fault.gline_dup");
+  csma_corrupt_ = stats.GetCounter("fault.csma_corrupt");
+  core_freeze_ = stats.GetCounter("fault.core_freeze");
+  noc_delay_ = stats.GetCounter("fault.noc_delay");
+  noc_drop_ = stats.GetCounter("fault.noc_drop");
+}
+
+void FaultInjector::Arm(gline::BarrierNetwork& net) {
+  net.SetLineFaultHook([this](const gline::GLine& line, std::uint32_t count) {
+    return AdjustCount(line, count);
+  });
+  net.SetArrivalFaultHook([this](std::uint32_t ctx, CoreId core) {
+    return FreezeDelay(ctx, core);
+  });
+}
+
+void FaultInjector::Arm(noc::Mesh& mesh) {
+  mesh.SetFaultHook([this](const noc::Packet& pkt) { return LinkPenalty(pkt); });
+}
+
+bool FaultInjector::ConsumeScript(FaultSite site, const std::string& target,
+                                  std::int32_t* magnitude) {
+  for (std::size_t i = 0; i < plan_.script.size(); ++i) {
+    if (script_fired_[i]) continue;
+    const ScriptedFault& f = plan_.script[i];
+    if (f.site != site || f.cycle > engine_.Now()) continue;
+    if (!f.target.empty() && target.find(f.target) == std::string::npos) continue;
+    script_fired_[i] = true;
+    *magnitude = f.magnitude;
+    return true;
+  }
+  return false;
+}
+
+std::uint32_t FaultInjector::AdjustCount(const gline::GLine& line,
+                                         std::uint32_t count) {
+  std::int32_t mag = 0;
+  auto skewed = [&](std::int64_t delta) {
+    const std::int64_t v = static_cast<std::int64_t>(count) + delta;
+    return static_cast<std::uint32_t>(std::max<std::int64_t>(v, 0));
+  };
+
+  if (ConsumeScript(FaultSite::kGlineDrop, line.name(), &mag) ||
+      (plan_.gline_drop_rate > 0 && rng_.NextBool(plan_.gline_drop_rate))) {
+    gline_drop_->Inc();
+    total_->Inc();
+    GLB_TRACE(engine_.Now(), "fault", "drop assertion on " << line.name());
+    count = skewed(-1);
+  }
+  if (ConsumeScript(FaultSite::kGlineDuplicate, line.name(), &mag) ||
+      (plan_.gline_dup_rate > 0 && rng_.NextBool(plan_.gline_dup_rate))) {
+    gline_dup_->Inc();
+    total_->Inc();
+    GLB_TRACE(engine_.Now(), "fault", "duplicate assertion on " << line.name());
+    count = skewed(+1);
+  }
+  mag = 0;
+  bool corrupt = ConsumeScript(FaultSite::kCsmaCorrupt, line.name(), &mag);
+  if (!corrupt && plan_.csma_corrupt_rate > 0 &&
+      rng_.NextBool(plan_.csma_corrupt_rate)) {
+    corrupt = true;
+  }
+  if (corrupt) {
+    std::int32_t skew = mag;
+    if (skew == 0) {
+      // Uniform nonzero skew in [-max_skew, +max_skew].
+      const auto k = static_cast<std::int32_t>(
+          rng_.NextInRange(1, std::max(plan_.csma_max_skew, 1u)));
+      skew = rng_.NextBool(0.5) ? k : -k;
+    }
+    csma_corrupt_->Inc();
+    total_->Inc();
+    GLB_TRACE(engine_.Now(), "fault",
+              "corrupt S-CSMA count on " << line.name() << " by " << skew);
+    count = skewed(skew);
+  }
+  return count;
+}
+
+Cycle FaultInjector::FreezeDelay(std::uint32_t ctx, CoreId core) {
+  (void)ctx;
+  std::int32_t mag = 0;
+  bool freeze = ConsumeScript(FaultSite::kCoreFreeze, std::to_string(core), &mag);
+  if (!freeze && plan_.core_freeze_rate > 0 &&
+      rng_.NextBool(plan_.core_freeze_rate)) {
+    freeze = true;
+  }
+  if (!freeze) return 0;
+  core_freeze_->Inc();
+  total_->Inc();
+  const Cycle d = mag > 0 ? static_cast<Cycle>(mag) : plan_.core_freeze_cycles;
+  GLB_TRACE(engine_.Now(), "fault", "freeze core " << core << " for " << d);
+  return d;
+}
+
+Cycle FaultInjector::LinkPenalty(const noc::Packet& pkt) {
+  const std::string dst = std::to_string(pkt.dst);
+  Cycle penalty = 0;
+  std::int32_t mag = 0;
+  if (ConsumeScript(FaultSite::kNocDelay, dst, &mag) ||
+      (plan_.noc_delay_rate > 0 && rng_.NextBool(plan_.noc_delay_rate))) {
+    noc_delay_->Inc();
+    total_->Inc();
+    penalty += mag > 0 ? static_cast<Cycle>(mag) : plan_.noc_delay_cycles;
+  }
+  mag = 0;
+  if (ConsumeScript(FaultSite::kNocDrop, dst, &mag) ||
+      (plan_.noc_drop_rate > 0 && rng_.NextBool(plan_.noc_drop_rate))) {
+    // The link CRC catches the corrupted transfer; it is retransmitted
+    // after the detection round-trip rather than silently lost.
+    noc_drop_->Inc();
+    total_->Inc();
+    penalty += mag > 0 ? static_cast<Cycle>(mag) : plan_.noc_retransmit_cycles;
+  }
+  if (penalty > 0) {
+    GLB_TRACE(engine_.Now(), "fault",
+              "link transfer " << pkt.src << "->" << pkt.dst << " penalized "
+                               << penalty);
+  }
+  return penalty;
+}
+
+}  // namespace glb::fault

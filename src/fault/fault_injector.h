@@ -1,0 +1,79 @@
+// Schedule-driven fault injector.
+//
+// One injector owns the decision stream for a whole simulation: it is
+// seeded once from the FaultPlan and consulted through the narrow fault
+// hooks exposed by gline::GLine / gline::BarrierNetwork / noc::Mesh.
+// Every decision bumps a `fault.*` counter so a run can report exactly
+// what was injected, and scripted entries are matched before the
+// probabilistic stream so regression tests stay cycle-precise.
+//
+// The injector is pure policy: it never mutates the components it is
+// armed on beyond installing the hooks, and with a disabled plan the
+// hooks are never installed at all (zero cost on the happy path).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "fault/fault_model.h"
+#include "gline/barrier_network.h"
+#include "gline/gline.h"
+#include "noc/mesh.h"
+#include "sim/engine.h"
+
+namespace glb::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Engine& engine, const FaultPlan& plan, StatSet& stats);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs the S-CSMA corruption hook on every line of `net` and the
+  /// core-freeze hook on its arrival path.
+  void Arm(gline::BarrierNetwork& net);
+
+  /// Installs the link delay/drop hook on `mesh`.
+  void Arm(noc::Mesh& mesh);
+
+  // --- decision points (public for unit tests) -------------------------
+
+  /// Possibly corrupts one delivered S-CSMA batch count. Returning 0
+  /// suppresses the delivery entirely (the batch was lost on the wire).
+  std::uint32_t AdjustCount(const gline::GLine& line, std::uint32_t count);
+
+  /// Cycles a core's bar_reg write is stalled before it reaches the
+  /// controllers (0 = not frozen).
+  Cycle FreezeDelay(std::uint32_t ctx, CoreId core);
+
+  /// Extra cycles a NoC transfer suffers (delay and/or CRC-retransmit).
+  Cycle LinkPenalty(const noc::Packet& pkt);
+
+  std::uint64_t total_injected() const { return total_->value(); }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// Consumes the first un-fired scripted entry matching (site, target)
+  /// whose cycle is <= Now(). Returns its magnitude via `magnitude`.
+  bool ConsumeScript(FaultSite site, const std::string& target,
+                     std::int32_t* magnitude);
+
+  sim::Engine& engine_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<bool> script_fired_;
+
+  Counter* total_ = nullptr;
+  Counter* gline_drop_ = nullptr;
+  Counter* gline_dup_ = nullptr;
+  Counter* csma_corrupt_ = nullptr;
+  Counter* core_freeze_ = nullptr;
+  Counter* noc_delay_ = nullptr;
+  Counter* noc_drop_ = nullptr;
+};
+
+}  // namespace glb::fault

@@ -1,0 +1,85 @@
+#include "fault/fault_model.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace glb::fault {
+
+const char* ToString(FaultSite site) {
+  switch (site) {
+    case FaultSite::kGlineDrop: return "gline_drop";
+    case FaultSite::kGlineDuplicate: return "gline_dup";
+    case FaultSite::kCsmaCorrupt: return "csma_corrupt";
+    case FaultSite::kCoreFreeze: return "core_freeze";
+    case FaultSite::kNocDelay: return "noc_delay";
+    case FaultSite::kNocDrop: return "noc_drop";
+  }
+  return "?";
+}
+
+namespace {
+
+FaultSite SiteFromName(const std::string& s) {
+  if (s == "gline_drop") return FaultSite::kGlineDrop;
+  if (s == "gline_dup") return FaultSite::kGlineDuplicate;
+  if (s == "csma") return FaultSite::kCsmaCorrupt;
+  if (s == "freeze") return FaultSite::kCoreFreeze;
+  if (s == "noc_delay") return FaultSite::kNocDelay;
+  if (s == "noc_drop") return FaultSite::kNocDrop;
+  GLB_CHECK(false) << "unknown fault site '" << s
+                   << "' (want gline_drop|gline_dup|csma|freeze|noc_delay|noc_drop)";
+  return FaultSite::kGlineDrop;
+}
+
+std::vector<ScriptedFault> ParseScript(const std::string& spec) {
+  std::vector<ScriptedFault> script;
+  std::istringstream entries(spec);
+  std::string entry;
+  while (std::getline(entries, entry, ',')) {
+    if (entry.empty()) continue;
+    std::istringstream fields(entry);
+    std::string cycle, site, target, mag;
+    GLB_CHECK(std::getline(fields, cycle, ':') && std::getline(fields, site, ':'))
+        << "bad --fault_script entry '" << entry
+        << "' (want cycle:site[:target[:magnitude]])";
+    std::getline(fields, target, ':');
+    std::getline(fields, mag, ':');
+    ScriptedFault f;
+    f.cycle = static_cast<Cycle>(std::strtoull(cycle.c_str(), nullptr, 10));
+    f.site = SiteFromName(site);
+    f.target = target;
+    f.magnitude = mag.empty()
+                      ? 0
+                      : static_cast<std::int32_t>(std::strtol(mag.c_str(), nullptr, 10));
+    script.push_back(std::move(f));
+  }
+  return script;
+}
+
+}  // namespace
+
+FaultPlan PlanFromFlags(const Flags& flags) {
+  FaultPlan p;
+  p.seed = static_cast<std::uint64_t>(flags.GetInt("fault_seed", 1));
+  p.gline_drop_rate = flags.GetDouble("fault_gline_drop", 0.0);
+  p.gline_dup_rate = flags.GetDouble("fault_gline_dup", 0.0);
+  p.csma_corrupt_rate = flags.GetDouble("fault_csma", 0.0);
+  p.core_freeze_rate = flags.GetDouble("fault_freeze", 0.0);
+  p.noc_delay_rate = flags.GetDouble("fault_noc_delay", 0.0);
+  p.noc_drop_rate = flags.GetDouble("fault_noc_drop", 0.0);
+  p.csma_max_skew =
+      static_cast<std::uint32_t>(flags.GetInt("fault_csma_skew", 2));
+  p.core_freeze_cycles =
+      static_cast<Cycle>(flags.GetInt("fault_freeze_cycles", 2000));
+  p.noc_delay_cycles =
+      static_cast<Cycle>(flags.GetInt("fault_noc_delay_cycles", 50));
+  p.noc_retransmit_cycles =
+      static_cast<Cycle>(flags.GetInt("fault_noc_retransmit_cycles", 30));
+  p.script = ParseScript(flags.GetString("fault_script", ""));
+  return p;
+}
+
+}  // namespace glb::fault

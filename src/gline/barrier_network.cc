@@ -18,6 +18,12 @@ BarrierNetwork::BarrierNetwork(sim::Engine& engine, std::uint32_t rows,
   signals_ = stats.GetCounter("gl.signals");
   release_latency_ = stats.GetHistogram("gl.release_latency");
   episode_span_ = stats.GetHistogram("gl.episode_span");
+  if (cfg.resilient()) {
+    timeouts_ = stats.GetCounter("gl.timeouts");
+    retries_ = stats.GetCounter("gl.retries");
+    miscounts_ = stats.GetCounter("gl.miscounts");
+    degraded_episodes_ = stats.GetCounter("gl.degraded_episodes");
+  }
 
   ctxs_.resize(cfg.contexts);
   for (std::uint32_t ctx = 0; ctx < cfg.contexts; ++ctx) {
@@ -38,28 +44,52 @@ void BarrierNetwork::BuildContext(std::uint32_t ctx) {
   c.sv.resize(rows_);
   c.participates.assign(num_cores(), true);
   c.release_cb.resize(num_cores());
+  c.release_owed.assign(num_cores(), false);
   const std::string pfx = "gl.ctx" + std::to_string(ctx) + ".";
+  if (resilient()) {
+    c.timeouts = stats_.GetCounter(pfx + "timeouts");
+    c.retries = stats_.GetCounter(pfx + "retries");
+    c.miscounts = stats_.GetCounter(pfx + "miscounts");
+    c.degraded_episodes = stats_.GetCounter(pfx + "degraded_episodes");
+    c.recovery_latency = stats_.GetHistogram(pfx + "recovery_latency");
+  }
 
   c.sgline_h.reserve(rows_);
   c.mgline_h.reserve(rows_);
   for (std::uint32_t row = 0; row < rows_; ++row) {
     // Arrival line: cols-1 slave transmitters, master receives counts.
-    c.sgline_h.emplace_back(engine_, pfx + "sglineH" + std::to_string(row),
-                            cols_ - 1, cfg_.max_transmitters, cfg_.policy, signals_);
-    c.sgline_h.back().AddReceiver([this, ctx, row](std::uint32_t count) {
-      MasterH& mh = ctxs_[ctx].mh[row];
-      GLB_CHECK(mh.state == MasterState::kAccounting)
-          << "SglineH signal outside Accounting (row " << row << ")";
+    c.sgline_h.push_back(std::make_unique<GLine>(
+        engine_, pfx + "sglineH" + std::to_string(row), cols_ - 1,
+        cfg_.max_transmitters, cfg_.policy, signals_));
+    c.sgline_h.back()->AddReceiver([this, ctx, row](std::uint32_t count) {
+      Context& cc = ctxs_[ctx];
+      if (cc.degraded) return;  // stale wave from before the fallback took over
+      MasterH& mh = cc.mh[row];
+      if (mh.state != MasterState::kAccounting) {
+        GLB_CHECK(resilient())
+            << "SglineH signal outside Accounting (row " << row << ")";
+        cc.miscounts->Inc();
+        miscounts_->Inc();
+        return;  // spurious/late signal; the watchdog owns recovery
+      }
       mh.scnt += count;
-      GLB_CHECK(mh.scnt <= mh.expected) << "ScntH overflow in row " << row;
+      if (mh.scnt > mh.expected) {
+        GLB_CHECK(resilient()) << "ScntH overflow in row " << row;
+        cc.miscounts->Inc();
+        miscounts_->Inc();
+        // Clamp: if the over-count completes the gather early, the
+        // release guard in StartRelease detects it and recovers.
+        mh.scnt = mh.expected;
+      }
       CheckRowComplete(ctx, row);
     });
     // Release line: one master transmitter, every slave node listens.
-    c.mgline_h.emplace_back(engine_, pfx + "mglineH" + std::to_string(row), 1,
-                            cfg_.max_transmitters, cfg_.policy, signals_);
+    c.mgline_h.push_back(std::make_unique<GLine>(
+        engine_, pfx + "mglineH" + std::to_string(row), 1, cfg_.max_transmitters,
+        cfg_.policy, signals_));
     for (std::uint32_t col = 1; col < cols_; ++col) {
       const CoreId node = NodeAt(row, col);
-      c.mgline_h.back().AddReceiver(
+      c.mgline_h.back()->AddReceiver(
           [this, ctx, node](std::uint32_t) { ReleaseRowNode(ctx, node); });
     }
   }
@@ -67,10 +97,22 @@ void BarrierNetwork::BuildContext(std::uint32_t ctx) {
   c.sgline_v = std::make_unique<GLine>(engine_, pfx + "sglineV", rows_ - 1,
                                        cfg_.max_transmitters, cfg_.policy, signals_);
   c.sgline_v->AddReceiver([this, ctx](std::uint32_t count) {
-    MasterV& mv = ctxs_[ctx].mv;
-    GLB_CHECK(mv.state == MasterState::kAccounting) << "SglineV signal outside Accounting";
+    Context& cc = ctxs_[ctx];
+    if (cc.degraded) return;
+    MasterV& mv = cc.mv;
+    if (mv.state != MasterState::kAccounting) {
+      GLB_CHECK(resilient()) << "SglineV signal outside Accounting";
+      cc.miscounts->Inc();
+      miscounts_->Inc();
+      return;
+    }
     mv.scnt += count;
-    GLB_CHECK(mv.scnt <= mv.expected) << "ScntV overflow";
+    if (mv.scnt > mv.expected) {
+      GLB_CHECK(resilient()) << "ScntV overflow";
+      cc.miscounts->Inc();
+      miscounts_->Inc();
+      mv.scnt = mv.expected;
+    }
     CheckVerticalComplete(ctx);
   });
 
@@ -100,13 +142,7 @@ void BarrierNetwork::RecomputeExpectations(Context& c) {
   }
 }
 
-void BarrierNetwork::ResetContext(std::uint32_t ctx) {
-  GLB_CHECK(ctx < ctxs_.size()) << "bad barrier context " << ctx;
-  Context& c = ctxs_[ctx];
-  GLB_CHECK(c.arrived == 0) << "reset while a barrier is gathering";
-  for (const auto& cb : c.release_cb) {
-    GLB_CHECK(cb == nullptr) << "reset while a core awaits release";
-  }
+void BarrierNetwork::ResetControllers(Context& c) {
   for (auto& mh : c.mh) mh = MasterH{.expected = mh.expected,
                                      .core_participates = mh.core_participates};
   for (auto& sh : c.sh) sh = SlaveH{};
@@ -114,10 +150,31 @@ void BarrierNetwork::ResetContext(std::uint32_t ctx) {
   const std::uint32_t expected = c.mv.expected;
   c.mv = MasterV{};
   c.mv.expected = expected;
-  for (auto& l : c.sgline_h) l.CancelPending();
-  for (auto& l : c.mgline_h) l.CancelPending();
+  for (auto& l : c.sgline_h) l->CancelPending();
+  for (auto& l : c.mgline_h) l->CancelPending();
   c.sgline_v->CancelPending();
   c.mgline_v->CancelPending();
+}
+
+void BarrierNetwork::ResetContext(std::uint32_t ctx) {
+  GLB_CHECK(ctx < ctxs_.size()) << "bad barrier context " << ctx;
+  Context& c = ctxs_[ctx];
+  GLB_CHECK(c.arrived == 0) << "reset while a barrier is gathering";
+  for (const auto& cb : c.release_cb) {
+    GLB_CHECK(cb == nullptr) << "reset while a core awaits release";
+  }
+  ResetControllers(c);
+  if (resilient()) {
+    ++c.watchdog_token;  // cancel any in-flight watchdog
+    c.retries_this_episode = 0;
+    c.release_inflight = false;
+    c.to_release = 0;
+    c.release_owed.assign(num_cores(), false);
+    c.recovering_since = kCycleNever;
+    c.fb_released = 0;
+    GLB_CHECK(c.internal_fb_waiters.empty()) << "reset while fallback gathering";
+    // `degraded` is sticky: faulty hardware stays distrusted.
+  }
 }
 
 void BarrierNetwork::SetParticipants(std::uint32_t ctx, const std::vector<bool>& mask) {
@@ -128,6 +185,12 @@ void BarrierNetwork::SetParticipants(std::uint32_t ctx, const std::vector<bool>&
   c.participates = mask;
   RecomputeExpectations(c);
   GLB_CHECK(c.expected_arrivals > 0) << "barrier with no participants";
+  if (c.degraded) {
+    if (fallback_reconfigure_ != nullptr) {
+      fallback_reconfigure_(ctx, c.expected_arrivals);
+    }
+    return;  // lines stay parked; the fallback handles everything
+  }
   ArmAutonomousRows(ctx);
 }
 
@@ -143,6 +206,32 @@ void BarrierNetwork::ArmAutonomousRows(std::uint32_t ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault hooks / fallback wiring
+// ---------------------------------------------------------------------------
+
+void BarrierNetwork::SetLineFaultHook(GLine::DeliverFaultHook hook) {
+  for (auto& c : ctxs_) {
+    for (auto& l : c.sgline_h) l->SetDeliverFaultHook(hook);
+    for (auto& l : c.mgline_h) l->SetDeliverFaultHook(hook);
+    c.sgline_v->SetDeliverFaultHook(hook);
+    c.mgline_v->SetDeliverFaultHook(hook);
+  }
+}
+
+void BarrierNetwork::SetArrivalFaultHook(ArrivalFaultHook hook) {
+  arrival_fault_ = std::move(hook);
+}
+
+void BarrierNetwork::SetFallback(FallbackArrive arrive,
+                                 FallbackReconfigure reconfigure) {
+  for (const auto& c : ctxs_) {
+    GLB_CHECK(!c.degraded) << "fallback changed after a context degraded";
+  }
+  fallback_arrive_ = std::move(arrive);
+  fallback_reconfigure_ = std::move(reconfigure);
+}
+
+// ---------------------------------------------------------------------------
 // Arrival / gather phase
 // ---------------------------------------------------------------------------
 
@@ -150,13 +239,44 @@ void BarrierNetwork::Arrive(std::uint32_t ctx, CoreId core,
                             std::function<void()> on_release) {
   GLB_CHECK(ctx < ctxs_.size()) << "bad barrier context " << ctx;
   GLB_CHECK(core < num_cores()) << "bad core id " << core;
+  if (arrival_fault_ != nullptr) {
+    const Cycle stall = arrival_fault_(ctx, core);
+    if (stall > 0) {
+      // A frozen core: its bar_reg write reaches the controllers late.
+      engine_.ScheduleIn(stall, [this, ctx, core,
+                                 cb = std::move(on_release)]() mutable {
+        DoArrive(ctx, core, std::move(cb));
+      });
+      return;
+    }
+  }
+  DoArrive(ctx, core, std::move(on_release));
+}
+
+void BarrierNetwork::DoArrive(std::uint32_t ctx, CoreId core,
+                              std::function<void()> on_release) {
   Context& c = ctxs_[ctx];
   GLB_CHECK(c.participates[core]) << "core " << core << " is not a participant";
   GLB_CHECK(c.release_cb[core] == nullptr)
       << "core " << core << " arrived twice at the same barrier";
   GLB_CHECK(on_release != nullptr) << "arrival without release callback";
+
+  if (c.degraded) {
+    c.release_cb[core] = std::move(on_release);
+    GLB_TRACE(engine_.Now(), "gl",
+              "ctx " << ctx << " core " << core << " arrives (degraded, via fallback)");
+    ForwardToFallback(ctx, core);
+    return;
+  }
+
   c.release_cb[core] = std::move(on_release);
-  if (++c.arrived == 1) c.first_arrival = engine_.Now();
+  if (++c.arrived == 1) {
+    c.first_arrival = engine_.Now();
+    // The previous episode's watchdog stays responsible while its
+    // release wave is still in flight; the fresh window is armed in
+    // OnEpisodeFullyReleased.
+    if (resilient() && !c.release_inflight) ArmWatchdog(ctx);
+  }
   c.last_arrival = engine_.Now();
   GLB_TRACE(engine_.Now(), "gl",
             "ctx " << ctx << " core " << core << " arrives (" << c.arrived << "/"
@@ -173,13 +293,14 @@ void BarrierNetwork::Arrive(std::uint32_t ctx, CoreId core,
     SlaveH& sh = c.sh[core];
     GLB_CHECK(sh.state == SlaveState::kSignaling)
         << "slave arrival while Waiting (core " << core << ")";
-    c.sgline_h[row].Assert();  // [Core(bar_reg=1)] / [SglineH=ON]
+    c.sgline_h[row]->Assert();  // [Core(bar_reg=1)] / [SglineH=ON]
     sh.state = SlaveState::kWaiting;
   }
 }
 
 void BarrierNetwork::CheckRowComplete(std::uint32_t ctx, std::uint32_t row) {
   Context& c = ctxs_[ctx];
+  if (c.degraded) return;
   MasterH& mh = c.mh[row];
   if (mh.state != MasterState::kAccounting) return;
   const bool mcnt_satisfied = mh.mcnt || !mh.core_participates;
@@ -200,6 +321,7 @@ void BarrierNetwork::CheckRowComplete(std::uint32_t ctx, std::uint32_t row) {
 
 void BarrierNetwork::CheckVerticalComplete(std::uint32_t ctx) {
   Context& c = ctxs_[ctx];
+  if (c.degraded) return;
   MasterV& mv = c.mv;
   if (mv.state != MasterState::kAccounting) return;
   if (!mv.node0_flag || mv.scnt != mv.expected) return;
@@ -233,12 +355,34 @@ void BarrierNetwork::TriggerRelease(std::uint32_t ctx) {
 
 void BarrierNetwork::StartRelease(std::uint32_t ctx) {
   Context& c = ctxs_[ctx];
+  if (resilient() && c.arrived != c.expected_arrivals) {
+    // An over-counted line completed the gather before every core
+    // arrived. The wave must not start — no core may be released early.
+    c.miscounts->Inc();
+    miscounts_->Inc();
+    if (c.recovering_since == kCycleNever) c.recovering_since = engine_.Now();
+    GLB_TRACE(engine_.Now(), "gl",
+              "ctx " << ctx << " early completion detected (" << c.arrived << "/"
+                     << c.expected_arrivals << " arrived); recovering");
+    HandleEpisodeFault(ctx);
+    return;
+  }
   GLB_CHECK(c.arrived == c.expected_arrivals)
       << "release with missing arrivals: " << c.arrived << "/" << c.expected_arrivals;
   completed_->Inc();
   episode_span_->Record(engine_.Now() - c.first_arrival);
   GLB_TRACE(engine_.Now(), "gl", "ctx " << ctx << " release starts");
 
+  if (resilient()) {
+    c.to_release = c.arrived;
+    c.release_inflight = true;
+    // Snapshot the wave membership: exactly these cores are owed a
+    // release. Cores re-arriving for the next episode while this wave
+    // is still in flight must not be confused with them.
+    for (CoreId core = 0; core < num_cores(); ++core) {
+      c.release_owed[core] = c.release_cb[core] != nullptr;
+    }
+  }
   // [Scnt=Max & MasterH(flag=1)] / [MglineV=ON], and MasterV resets.
   c.mv.state = MasterState::kAccounting;
   c.mv.scnt = 0;
@@ -249,18 +393,24 @@ void BarrierNetwork::StartRelease(std::uint32_t ctx) {
 
 void BarrierNetwork::ReleaseColumnNode(std::uint32_t ctx, std::uint32_t row) {
   Context& c = ctxs_[ctx];
+  if (c.degraded) return;
   if (row > 0) {
     SlaveV& sv = c.sv[row];
-    GLB_CHECK(sv.state == SlaveState::kWaiting) << "MglineV to a Signaling SlaveV";
+    if (sv.state != SlaveState::kWaiting) {
+      GLB_CHECK(resilient()) << "MglineV to a Signaling SlaveV";
+    }
     sv.state = SlaveState::kSignaling;  // [MglineV=ON] / back to Signaling
   }
   MasterH& mh = c.mh[row];
-  GLB_CHECK(mh.state == MasterState::kWaiting) << "release to an Accounting MasterH";
+  if (mh.state != MasterState::kWaiting) {
+    GLB_CHECK(resilient()) << "release to an Accounting MasterH";
+    return;  // spurious (duplicated) release signal; already re-armed
+  }
   mh.state = MasterState::kAccounting;
   mh.scnt = 0;
   mh.mcnt = false;
   mh.flag = false;
-  c.mgline_h[row].Assert();  // [flag=0] / [MglineH=ON]
+  c.mgline_h[row]->Assert();  // [flag=0] / [MglineH=ON]
   const CoreId node = NodeAt(row, 0);
   if (c.participates[node]) ReleaseCore(ctx, node);
   // A row with no participants immediately completes for the next
@@ -270,21 +420,243 @@ void BarrierNetwork::ReleaseColumnNode(std::uint32_t ctx, std::uint32_t row) {
 
 void BarrierNetwork::ReleaseRowNode(std::uint32_t ctx, CoreId core) {
   Context& c = ctxs_[ctx];
+  if (c.degraded) return;
   SlaveH& sh = c.sh[core];
-  GLB_CHECK(sh.state == SlaveState::kWaiting || !c.participates[core])
-      << "MglineH to a Signaling SlaveH (core " << core << ")";
+  if (sh.state != SlaveState::kWaiting && c.participates[core]) {
+    GLB_CHECK(resilient()) << "MglineH to a Signaling SlaveH (core " << core << ")";
+    return;  // spurious release signal; this core was already released
+  }
   sh.state = SlaveState::kSignaling;  // [MglineH=ON] / [bar_reg=0]
   if (c.participates[core]) ReleaseCore(ctx, core);
 }
 
 void BarrierNetwork::ReleaseCore(std::uint32_t ctx, CoreId core) {
   Context& c = ctxs_[ctx];
-  GLB_CHECK(c.release_cb[core] != nullptr)
-      << "releasing core " << core << " which never arrived";
+  if (c.release_cb[core] == nullptr) {
+    GLB_CHECK(resilient()) << "releasing core " << core << " which never arrived";
+    return;  // duplicated release signal; the core already left
+  }
+  if (resilient() && !c.release_owed[core]) {
+    // The callback belongs to the core's NEXT episode: it re-arrived
+    // while this wave was still in flight. Not ours to run.
+    return;
+  }
   release_latency_->Record(engine_.Now() - c.last_arrival);
   auto cb = std::move(c.release_cb[core]);
   c.release_cb[core] = nullptr;
+  if (resilient()) {
+    c.release_owed[core] = false;
+    GLB_CHECK(c.to_release > 0) << "release accounting underflow";
+    if (--c.to_release == 0) OnEpisodeFullyReleased(ctx);
+  }
   cb();
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: watchdog, retry, degraded mode
+// ---------------------------------------------------------------------------
+
+void BarrierNetwork::ArmWatchdog(std::uint32_t ctx) {
+  if (!resilient()) return;
+  Context& c = ctxs_[ctx];
+  if (c.degraded) return;
+  const std::uint64_t token = ++c.watchdog_token;
+  engine_.ScheduleIn(cfg_.watchdog_timeout,
+                     [this, ctx, token]() { OnWatchdog(ctx, token); });
+}
+
+void BarrierNetwork::OnWatchdog(std::uint32_t ctx, std::uint64_t token) {
+  Context& c = ctxs_[ctx];
+  if (c.degraded || token != c.watchdog_token) return;  // episode finished
+  c.timeouts->Inc();
+  timeouts_->Inc();
+  if (c.recovering_since == kCycleNever) c.recovering_since = engine_.Now();
+  GLB_TRACE(engine_.Now(), "gl",
+            "ctx " << ctx << " BarrierTimeout: episode stuck (" << c.arrived << "/"
+                   << c.expected_arrivals << " arrived, " << c.to_release
+                   << " releases owed)");
+  HandleEpisodeFault(ctx);
+}
+
+void BarrierNetwork::HandleEpisodeFault(std::uint32_t ctx) {
+  Context& c = ctxs_[ctx];
+  if (c.release_pending) {
+    // Completion is deferred to an upper hierarchy level; progress is
+    // theirs to make. Keep watching.
+    ArmWatchdog(ctx);
+    return;
+  }
+  if (c.release_inflight) {
+    // The gather legitimately completed, so the releases are owed
+    // unconditionally; a (partially) lost wave is re-driven directly.
+    c.retries->Inc();
+    retries_->Inc();
+    RecoverRelease(ctx);
+    return;
+  }
+  if (c.retries_this_episode < cfg_.max_retries) {
+    ++c.retries_this_episode;
+    c.retries->Inc();
+    retries_->Inc();
+    RecoverGather(ctx);
+    ArmWatchdog(ctx);
+  } else {
+    Degrade(ctx);
+  }
+}
+
+void BarrierNetwork::RecoverGather(std::uint32_t ctx) {
+  Context& c = ctxs_[ctx];
+  GLB_TRACE(engine_.Now(), "gl",
+            "ctx " << ctx << " hardware retry " << c.retries_this_episode << "/"
+                   << cfg_.max_retries << " (" << c.arrived << " arrivals held)");
+  // Hardware reset: every controller to its initial state, every
+  // in-flight batch discarded.
+  ResetControllers(c);
+  // Re-signal the held arrivals. bar_reg is level-coded in each core, so
+  // the controllers can re-read it; the re-asserted batches run through
+  // the fault hooks again — a persistent fault keeps the watchdog busy
+  // until the retry budget runs out.
+  for (CoreId core = 0; core < num_cores(); ++core) {
+    if (c.release_cb[core] == nullptr) continue;
+    const std::uint32_t row = RowOf(core);
+    if (ColOf(core) == 0) {
+      c.mh[row].mcnt = true;
+    } else {
+      c.sgline_h[row]->Assert();
+      c.sh[core].state = SlaveState::kWaiting;
+    }
+  }
+  // Rows whose condition is already satisfied (master-only rows and
+  // autonomous rows) complete now; the rest complete as counts land.
+  for (std::uint32_t row = 0; row < rows_; ++row) CheckRowComplete(ctx, row);
+}
+
+void BarrierNetwork::RecoverRelease(std::uint32_t ctx) {
+  Context& c = ctxs_[ctx];
+  GLB_TRACE(engine_.Now(), "gl",
+            "ctx " << ctx << " re-driving lost release wave (" << c.to_release
+                   << " owed)");
+  for (std::uint32_t row = 0; row < rows_; ++row) {
+    MasterH& mh = c.mh[row];
+    // Only cores from the wave's membership snapshot are owed; a core
+    // with a fresh callback but no owed release already re-arrived for
+    // the next episode and must be left gathering.
+    bool row_stuck = false;
+    for (std::uint32_t col = 0; col < cols_; ++col) {
+      if (c.release_owed[NodeAt(row, col)]) row_stuck = true;
+    }
+    // An autonomous row still Waiting missed the wave too: re-arm it so
+    // it relays for the next episode.
+    const bool autonomous = mh.expected == 0 && !mh.core_participates;
+    if (!row_stuck && !(autonomous && mh.state == MasterState::kWaiting)) continue;
+    for (std::uint32_t col = 0; col < cols_; ++col) {
+      const CoreId core = NodeAt(row, col);
+      if (!c.release_owed[core]) continue;
+      if (col > 0) c.sh[core].state = SlaveState::kSignaling;
+      ReleaseCore(ctx, core);
+    }
+    // Rebuild the row's gather state from current truth. Everything the
+    // old episode left behind is residue — including a mid-gather
+    // Accounting state when a corrupted vertical count started the wave
+    // before this row completed. The row's slaves were all owed (a row
+    // releases its slaves atomically or not at all), so after releasing
+    // them the only legitimate row state is: no counts, and Mcnt iff
+    // the master core already re-arrived for the next episode.
+    mh.state = MasterState::kAccounting;
+    mh.scnt = 0;
+    mh.flag = false;
+    mh.mcnt =
+        mh.core_participates && c.release_cb[NodeAt(row, 0)] != nullptr;
+    if (row > 0) c.sv[row].state = SlaveState::kSignaling;
+    c.sgline_h[row]->CancelPending();
+    CheckRowComplete(ctx, row);
+  }
+  // Whatever survives of the lost wave must not fire later.
+  for (auto& l : c.mgline_h) l->CancelPending();
+  c.mgline_v->CancelPending();
+}
+
+void BarrierNetwork::Degrade(std::uint32_t ctx) {
+  Context& c = ctxs_[ctx];
+  GLB_TRACE(engine_.Now(), "gl",
+            "ctx " << ctx << " retries exhausted; degrading to software fallback");
+  c.degraded = true;
+  ++c.watchdog_token;  // no more watchdogs for this context
+  ResetControllers(c);
+  c.release_pending = false;
+  c.arrived = 0;
+  c.release_inflight = false;
+  c.to_release = 0;
+  c.release_owed.assign(num_cores(), false);
+  if (!c.fallback_configured) {
+    if (fallback_reconfigure_ != nullptr) {
+      fallback_reconfigure_(ctx, c.expected_arrivals);
+    }
+    c.fallback_configured = true;
+  }
+  // Hand the stranded arrivals to the fallback; late arrivals follow
+  // through DoArrive's degraded path.
+  for (CoreId core = 0; core < num_cores(); ++core) {
+    if (c.release_cb[core] != nullptr) ForwardToFallback(ctx, core);
+  }
+}
+
+void BarrierNetwork::ForwardToFallback(std::uint32_t ctx, CoreId core) {
+  auto on_release = [this, ctx, core]() { OnFallbackRelease(ctx, core); };
+  if (fallback_arrive_ != nullptr) {
+    fallback_arrive_(ctx, core, std::move(on_release));
+  } else {
+    InternalFallbackArrive(ctx, core, std::move(on_release));
+  }
+}
+
+void BarrierNetwork::InternalFallbackArrive(std::uint32_t ctx, CoreId core,
+                                            std::function<void()> on_release) {
+  Context& c = ctxs_[ctx];
+  c.internal_fb_waiters.emplace_back(core, std::move(on_release));
+  if (c.internal_fb_waiters.size() < c.expected_arrivals) return;
+  // All participants present: model one software-barrier episode as a
+  // flat latency, then release everyone.
+  auto waiters = std::move(c.internal_fb_waiters);
+  c.internal_fb_waiters.clear();
+  engine_.ScheduleIn(cfg_.fallback_latency, [waiters = std::move(waiters)]() {
+    for (const auto& [w_core, w_cb] : waiters) w_cb();
+  });
+}
+
+void BarrierNetwork::OnFallbackRelease(std::uint32_t ctx, CoreId core) {
+  Context& c = ctxs_[ctx];
+  GLB_CHECK(c.release_cb[core] != nullptr)
+      << "fallback released core " << core << " which never arrived";
+  auto cb = std::move(c.release_cb[core]);
+  c.release_cb[core] = nullptr;
+  ++c.fb_released;
+  if (c.fb_released >= c.expected_arrivals) {
+    c.fb_released = 0;
+    completed_->Inc();
+    c.degraded_episodes->Inc();
+    degraded_episodes_->Inc();
+    if (c.recovering_since != kCycleNever) {
+      c.recovery_latency->Record(engine_.Now() - c.recovering_since);
+      c.recovering_since = kCycleNever;
+    }
+  }
+  cb();
+}
+
+void BarrierNetwork::OnEpisodeFullyReleased(std::uint32_t ctx) {
+  Context& c = ctxs_[ctx];
+  c.release_inflight = false;
+  c.retries_this_episode = 0;
+  ++c.watchdog_token;  // the episode's watchdog is obsolete
+  if (c.recovering_since != kCycleNever) {
+    c.recovery_latency->Record(engine_.Now() - c.recovering_since);
+    c.recovering_since = kCycleNever;
+  }
+  // Cores released early in the wave may already be gathering again;
+  // give the young episode its own watchdog window.
+  if (c.arrived > 0) ArmWatchdog(ctx);
 }
 
 // ---------------------------------------------------------------------------

@@ -32,6 +32,21 @@
 // mask per context (controllers always relay; expected S-CSMA counts
 // are derived from the mask, and rows with no participating cores
 // complete autonomously).
+//
+// Resilience extension (off by default; see BarrierNetConfig): the
+// paper assumes perfect wires and a perfect S-CSMA count. With
+// `watchdog_timeout` set, each context gains an episode watchdog that
+// detects a stuck episode (lost assertion, miscount, frozen core),
+// retries in hardware up to `max_retries` times (full controller reset +
+// re-signal of every outstanding arrival — legal because arrivals are
+// level-coded in bar_reg, not edge-coded on the wire), and finally
+// trips a sticky `degraded` flag that routes this and all later
+// episodes through a software fallback barrier over the coherent NoC.
+// A release wave that is itself partially lost is re-driven directly:
+// the gather had legitimately completed, so the releases are owed
+// unconditionally. The invariant maintained under any fault plan:
+// every episode completes (possibly degraded) and no core is released
+// before all participants arrived.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +68,22 @@ struct BarrierNetConfig {
   /// Transmitter budget per line (paper: six).
   std::uint32_t max_transmitters = 6;
   TxPolicy policy = TxPolicy::kRelaxed;
+
+  // --- resilience (0 = off: the network behaves exactly as the paper's
+  // fault-free design, with no extra events, stats or state) ----------
+  /// Episode watchdog: if an episode (first arrival to last release) has
+  /// not finished this many cycles after it started, the context assumes
+  /// a transient fault and recovers instead of hanging. Must comfortably
+  /// exceed the worst-case arrival skew of the workload.
+  Cycle watchdog_timeout = 0;
+  /// Hardware retries (reset + re-signal) per episode before the context
+  /// trips its sticky `degraded` flag and falls back to software.
+  std::uint32_t max_retries = 2;
+  /// Modeled cost of one episode of the built-in software fallback,
+  /// used when no external fallback device is wired in (tests).
+  Cycle fallback_latency = 32;
+
+  bool resilient() const { return watchdog_timeout > 0; }
 };
 
 class BarrierNetwork {
@@ -95,6 +126,40 @@ class BarrierNetwork {
   /// Starts the deferred release wave of a completed context.
   void TriggerRelease(std::uint32_t ctx);
 
+  // --- fault-injection hooks (see fault::FaultInjector) ---------------
+
+  /// Installs `hook` on every G-line of every context (S-CSMA count
+  /// corruption / batch loss). nullptr clears.
+  void SetLineFaultHook(GLine::DeliverFaultHook hook);
+
+  /// Consulted once per bar_reg write; a nonzero return stalls the
+  /// arrival that many cycles (a frozen core's write reaching the
+  /// controllers late). nullptr clears.
+  using ArrivalFaultHook = std::function<Cycle(std::uint32_t ctx, CoreId core)>;
+  void SetArrivalFaultHook(ArrivalFaultHook hook);
+
+  // --- degraded-mode fallback ------------------------------------------
+
+  /// Software fallback transport used once a context degrades: `arrive`
+  /// forwards one arrival (the fallback must eventually run the release
+  /// callback, after all participants arrived), `reconfigure` announces
+  /// the expected arrival count before the first forward and after any
+  /// SetParticipants. When no fallback is installed, a built-in counting
+  /// barrier with `fallback_latency` release cost is used.
+  using FallbackArrive =
+      std::function<void(std::uint32_t ctx, CoreId core, std::function<void()> on_release)>;
+  using FallbackReconfigure =
+      std::function<void(std::uint32_t ctx, std::uint32_t expected)>;
+  void SetFallback(FallbackArrive arrive, FallbackReconfigure reconfigure);
+
+  /// True once the context has exhausted its retries and completes all
+  /// episodes through the software fallback (sticky).
+  bool degraded(std::uint32_t ctx) const { return ctxs_.at(ctx).degraded; }
+  /// Hardware recovery attempts within the current episode.
+  std::uint32_t episode_retries(std::uint32_t ctx) const {
+    return ctxs_.at(ctx).retries_this_episode;
+  }
+
   sim::Engine& engine() { return engine_; }
   std::uint32_t rows() const { return rows_; }
   std::uint32_t cols() const { return cols_; }
@@ -136,15 +201,17 @@ class BarrierNetwork {
   };
 
   struct Context {
-    std::vector<MasterH> mh;          // one per row
-    std::vector<SlaveH> sh;           // one per core (unused at col 0)
-    std::vector<SlaveV> sv;           // one per row (unused at row 0)
+    std::vector<MasterH> mh;  // one per row
+    std::vector<SlaveH> sh;   // one per core (unused at col 0)
+    std::vector<SlaveV> sv;   // one per row (unused at row 0)
     MasterV mv;
-    std::vector<GLine> sgline_h;      // per row: slaves -> master
-    std::vector<GLine> mgline_h;      // per row: master -> slaves
-    std::unique_ptr<GLine> sgline_v;  // column 0: slaves -> master
-    std::unique_ptr<GLine> mgline_v;  // column 0: master -> slaves
-    std::vector<bool> participates;   // per core
+    // Lines are heap-allocated: in-flight Flush events capture the
+    // GLine's `this`, so lines must never move (see GLine).
+    std::vector<std::unique_ptr<GLine>> sgline_h;  // per row: slaves -> master
+    std::vector<std::unique_ptr<GLine>> mgline_h;  // per row: master -> slaves
+    std::unique_ptr<GLine> sgline_v;               // column 0: slaves -> master
+    std::unique_ptr<GLine> mgline_v;               // column 0: master -> slaves
+    std::vector<bool> participates;                // per core
     std::vector<std::function<void()>> release_cb;  // per core
     std::uint32_t arrived = 0;
     std::uint32_t expected_arrivals = 0;
@@ -153,6 +220,37 @@ class BarrierNetwork {
     /// When set, completion defers the release wave (hierarchy hook).
     std::function<void()> completion_hook;
     bool release_pending = false;
+
+    // --- resilience state (inert unless cfg.resilient()) --------------
+    /// Invalidates in-flight watchdog events (bumped when the episode
+    /// fully completes, on recovery re-arm, degrade and reset).
+    std::uint64_t watchdog_token = 0;
+    std::uint32_t retries_this_episode = 0;
+    /// Releases still owed after a release wave started; > 0 means the
+    /// episode is in its release phase.
+    std::uint32_t to_release = 0;
+    bool release_inflight = false;
+    /// Per-core membership of the in-flight release wave. A core with a
+    /// release callback but no owed release already re-arrived for the
+    /// NEXT episode; recovery must never release it.
+    std::vector<bool> release_owed;
+    /// Sticky: all episodes complete through the software fallback.
+    bool degraded = false;
+    /// First fault detection of the current episode (kCycleNever =
+    /// healthy); recovery latency is measured from here to completion.
+    Cycle recovering_since = kCycleNever;
+    /// Degraded-mode bookkeeping: releases delivered by the fallback in
+    /// the current episode, and the built-in fallback's gathered waiters.
+    std::uint32_t fb_released = 0;
+    std::vector<std::pair<CoreId, std::function<void()>>> internal_fb_waiters;
+    bool fallback_configured = false;
+
+    // Per-context resilience stats (created only in resilient mode).
+    Counter* timeouts = nullptr;
+    Counter* retries = nullptr;
+    Counter* miscounts = nullptr;
+    Counter* degraded_episodes = nullptr;
+    Histogram* recovery_latency = nullptr;
   };
 
   class ContextDevice : public core::BarrierDevice {
@@ -173,6 +271,34 @@ class BarrierNetwork {
 
   void BuildContext(std::uint32_t ctx);
   void RecomputeExpectations(Context& c);
+  bool resilient() const { return cfg_.resilient(); }
+  /// The arrival proper, after any injected freeze delay.
+  void DoArrive(std::uint32_t ctx, CoreId core, std::function<void()> on_release);
+  /// Returns every controller to its initial Figure-4 state (keeping
+  /// expectations) and discards in-flight line batches.
+  void ResetControllers(Context& c);
+  /// Schedules a fresh watchdog window for the current episode.
+  void ArmWatchdog(std::uint32_t ctx);
+  void OnWatchdog(std::uint32_t ctx, std::uint64_t token);
+  /// A fault was detected (watchdog expiry or S-CSMA miscount): retry
+  /// in hardware while the budget lasts, then degrade.
+  void HandleEpisodeFault(std::uint32_t ctx);
+  /// Hardware retry of the gather: reset + re-signal every outstanding
+  /// arrival through the (possibly still faulty) lines.
+  void RecoverGather(std::uint32_t ctx);
+  /// A release wave was (partially) lost after a legitimate completion:
+  /// re-deliver the releases still owed directly.
+  void RecoverRelease(std::uint32_t ctx);
+  /// Trips the sticky degraded flag and moves the context — outstanding
+  /// arrivals included — onto the software fallback.
+  void Degrade(std::uint32_t ctx);
+  void ForwardToFallback(std::uint32_t ctx, CoreId core);
+  void OnFallbackRelease(std::uint32_t ctx, CoreId core);
+  /// Built-in counting fallback used when none is wired in.
+  void InternalFallbackArrive(std::uint32_t ctx, CoreId core,
+                              std::function<void()> on_release);
+  /// Episode fully over (every owed release delivered).
+  void OnEpisodeFullyReleased(std::uint32_t ctx);
   /// Re-evaluates the MasterH completion condition for a row.
   void CheckRowComplete(std::uint32_t ctx, std::uint32_t row);
   void CheckVerticalComplete(std::uint32_t ctx);
@@ -194,10 +320,19 @@ class BarrierNetwork {
   std::vector<Context> ctxs_;
   std::vector<std::unique_ptr<ContextDevice>> devices_;
 
+  ArrivalFaultHook arrival_fault_;
+  FallbackArrive fallback_arrive_;
+  FallbackReconfigure fallback_reconfigure_;
+
   Counter* completed_ = nullptr;
   Counter* signals_ = nullptr;
   Histogram* release_latency_ = nullptr;
   Histogram* episode_span_ = nullptr;
+  // Aggregates over all contexts (created only in resilient mode).
+  Counter* timeouts_ = nullptr;
+  Counter* retries_ = nullptr;
+  Counter* miscounts_ = nullptr;
+  Counter* degraded_episodes_ = nullptr;
 };
 
 }  // namespace glb::gline

@@ -44,8 +44,12 @@ void GLine::Flush(Cycle asserted_at, std::uint64_t epoch) {
   if (epoch != epoch_) return;  // batch was cancelled by a reset
   auto it = pending_.find(asserted_at);
   GLB_CHECK(it != pending_.end()) << "lost G-line batch on " << name_;
-  const std::uint32_t count = it->second;
+  std::uint32_t count = it->second;
   pending_.erase(it);
+  if (fault_ != nullptr) {
+    count = fault_(*this, count);
+    if (count == 0) return;  // the whole batch was lost on the wire
+  }
   for (auto& r : receivers_) {
     // A receiver's reaction may reset the line (barrier context
     // reconfiguration mid-release-wave); the reset gates the remaining

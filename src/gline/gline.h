@@ -37,10 +37,18 @@ class GLine {
   /// of assertions (>= 1; quiet cycles produce no callback).
   using Receiver = std::function<void(std::uint32_t count)>;
 
+  /// Fault hook consulted on every batch delivery (fault injection).
+  /// Receives the S-CSMA count and returns the possibly corrupted count;
+  /// returning 0 suppresses the delivery (the batch was lost).
+  using DeliverFaultHook = std::function<std::uint32_t(const GLine&, std::uint32_t)>;
+
   GLine(sim::Engine& engine, std::string name, std::uint32_t num_transmitters,
         std::uint32_t max_transmitters, TxPolicy policy, Counter* signal_counter);
 
-  GLine(GLine&&) = default;
+  // In-flight Flush events capture `this`, so a GLine must never move;
+  // containers hold lines through std::unique_ptr.
+  GLine(GLine&&) = delete;
+  GLine& operator=(GLine&&) = delete;
 
   /// Registers a receiver; all receivers observe every batch. The paper
   /// pairs each line with exactly one S-CSMA receiver (the master) for
@@ -59,6 +67,9 @@ class GLine {
 
   bool has_pending() const { return !pending_.empty(); }
 
+  /// Installs (or clears, with nullptr) the delivery fault hook.
+  void SetDeliverFaultHook(DeliverFaultHook hook) { fault_ = std::move(hook); }
+
   Cycle latency() const { return latency_; }
   std::uint32_t num_transmitters() const { return num_transmitters_; }
   const std::string& name() const { return name_; }
@@ -76,6 +87,7 @@ class GLine {
   std::map<Cycle, std::uint32_t> pending_;
   std::vector<Receiver> receivers_;
   Counter* signals_ = nullptr;
+  DeliverFaultHook fault_;
 };
 
 }  // namespace glb::gline

@@ -41,9 +41,11 @@ RunMetrics RunExperiment(const WorkloadFactory& make_workload, BarrierKind kind,
   m.barrier = ToString(kind);
   m.cores = sys.num_cores();
 
-  m.completed = sys.RunPrograms(
+  const sim::RunStatus status = sys.RunProgramsStatus(
       [&](core::Core& core, CoreId id) { return workload->Body(core, id, *barrier); },
       max_cycles);
+  m.completed = status.idle;
+  m.stall = status.DescribeStall();
 
   m.cycles = sys.LastFinish();
   const std::uint64_t total_arrivals = sys.stats().CounterValue("core.barriers");
@@ -56,7 +58,11 @@ RunMetrics RunExperiment(const WorkloadFactory& make_workload, BarrierKind kind,
   m.msgs_reply = sys.stats().CounterValue("noc.msgs.reply");
   m.msgs_coherence = sys.stats().CounterValue("noc.msgs.coherence");
   m.host_events = sys.engine().events_processed();
-  m.validation = m.completed ? workload->Validate(sys) : "run timed out";
+  m.faults_injected = sys.stats().CounterValue("fault.injected");
+  m.barrier_timeouts = sys.stats().CounterValue("gl.timeouts");
+  m.barrier_retries = sys.stats().CounterValue("gl.retries");
+  m.degraded_episodes = sys.stats().CounterValue("gl.degraded_episodes");
+  m.validation = m.completed ? workload->Validate(sys) : m.stall;
   return m;
 }
 

@@ -58,6 +58,14 @@ struct RunMetrics {
   /// Simulator health.
   bool completed = false;
   std::uint64_t host_events = 0;
+  /// Stall diagnostic when !completed ("simulation stalled at cycle N,
+  /// pending events: M ..."); empty on a clean finish.
+  std::string stall;
+  /// Fault-campaign outcome (all 0 when injection/resilience are off).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t barrier_timeouts = 0;
+  std::uint64_t barrier_retries = 0;
+  std::uint64_t degraded_episodes = 0;
 
   std::uint64_t total_msgs() const {
     return msgs_request + msgs_reply + msgs_coherence;

@@ -53,10 +53,11 @@ void Mesh::Send(Packet pkt) {
   GLB_CHECK(pkt.src < cfg_.num_nodes() && pkt.dst < cfg_.num_nodes())
       << "packet endpoints out of range: " << pkt.src << "->" << pkt.dst;
   GLB_CHECK(pkt.deliver != nullptr) << "packet without delivery closure";
+  const Cycle penalty = fault_ != nullptr ? fault_(pkt) : 0;
   InFlight flight{std::move(pkt), engine_.Now()};
   if (flight.pkt.src == flight.pkt.dst) {
     local_msgs_->Inc();
-    DeliverLocal(std::move(flight));
+    DeliverLocal(std::move(flight), penalty);
     return;
   }
   const auto cls = static_cast<std::size_t>(flight.pkt.traffic);
@@ -66,16 +67,15 @@ void Mesh::Send(Packet pkt) {
                    Hops(flight.pkt.src, flight.pkt.dst));
   total_hops_->Inc(Hops(flight.pkt.src, flight.pkt.dst));
   const CoreId src = flight.pkt.src;
-  engine_.ScheduleIn(cfg_.router_latency,
+  engine_.ScheduleIn(cfg_.router_latency + penalty,
                      [this, src, f = std::move(flight)]() mutable {
                        RouteAt(src, std::move(f));
                      });
 }
 
-void Mesh::DeliverLocal(InFlight flight) {
-  engine_.ScheduleIn(cfg_.local_latency, [f = std::move(flight)]() mutable {
-    f.pkt.deliver();
-  });
+void Mesh::DeliverLocal(InFlight flight, Cycle penalty) {
+  engine_.ScheduleIn(cfg_.local_latency + penalty,
+                     [f = std::move(flight)]() mutable { f.pkt.deliver(); });
 }
 
 void Mesh::RouteAt(CoreId node, InFlight flight) {

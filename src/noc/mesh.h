@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "common/stats.h"
@@ -54,6 +55,15 @@ class Mesh {
   /// Injects a packet at its source tile. The packet's `deliver`
   /// closure runs at the destination at arrival time.
   void Send(Packet pkt);
+
+  /// Fault hook consulted once per Send (fault injection). The returned
+  /// cycle count is added to the packet's injection latency, modeling a
+  /// slow link or a CRC-detected corruption that forces a retransmit.
+  /// Packets are never silently lost: the coherence protocol has no
+  /// end-to-end timeout, so link-level recovery is the contract.
+  /// nullptr clears.
+  using FaultHook = std::function<Cycle(const Packet&)>;
+  void SetFaultHook(FaultHook hook) { fault_ = std::move(hook); }
 
   const MeshConfig& config() const { return cfg_; }
 
@@ -101,11 +111,12 @@ class Mesh {
   void RouteAt(CoreId node, InFlight flight);
   // Starts transmitting the next queued packet on (node, dir) if idle.
   void PumpLink(CoreId node, Dir d);
-  void DeliverLocal(InFlight flight);
+  void DeliverLocal(InFlight flight, Cycle penalty);
 
   sim::Engine& engine_;
   MeshConfig cfg_;
   std::vector<Router> routers_;
+  FaultHook fault_;
 
   // Stats (owned by the caller's StatSet; pointers are stable).
   std::array<Counter*, kNumTrafficClasses> msgs_by_class_{};

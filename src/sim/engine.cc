@@ -1,9 +1,18 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 namespace glb::sim {
+
+std::string RunStatus::DescribeStall() const {
+  if (idle) return "";
+  std::ostringstream os;
+  os << "simulation stalled at cycle " << now << ", pending events: "
+     << pending_events << " (earliest pending at cycle " << next_event_at << ")";
+  return os.str();
+}
 
 void Engine::ScheduleAt(Cycle at, Callback fn) {
   GLB_CHECK(at >= now_) << "scheduling into the past: at=" << at << " now=" << now_;
@@ -22,12 +31,18 @@ void Engine::Step() {
   ev.fn();
 }
 
-bool Engine::RunUntilIdle(Cycle max_cycles) {
+RunStatus Engine::RunUntilIdleStatus(Cycle max_cycles) {
   while (!heap_.empty()) {
-    if (heap_.front().at > max_cycles) return false;
+    if (heap_.front().at > max_cycles) {
+      return RunStatus{.idle = false,
+                       .now = now_,
+                       .pending_events = heap_.size(),
+                       .next_event_at = heap_.front().at};
+    }
     Step();
   }
-  return true;
+  return RunStatus{.idle = true, .now = now_, .pending_events = 0,
+                   .next_event_at = kCycleNever};
 }
 
 void Engine::RunUntil(Cycle until) {

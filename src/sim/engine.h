@@ -9,12 +9,31 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
 
 namespace glb::sim {
+
+/// Outcome of a RunUntilIdle call, with enough context to report a
+/// stalled simulation loudly instead of a bare `false`.
+struct RunStatus {
+  /// True if the event queue drained (the simulated machine went idle).
+  bool idle = true;
+  /// Simulated clock when the run stopped.
+  Cycle now = 0;
+  /// Events still queued (0 when idle).
+  std::size_t pending_events = 0;
+  /// Cycle of the earliest still-queued event (kCycleNever when idle).
+  Cycle next_event_at = kCycleNever;
+
+  explicit operator bool() const { return idle; }
+  /// "simulation stalled at cycle N, pending events: M (earliest
+  /// pending at cycle K)" — empty when idle.
+  std::string DescribeStall() const;
+};
 
 class Engine {
  public:
@@ -36,7 +55,14 @@ class Engine {
   /// Runs events until the queue empties or the simulated clock passes
   /// `max_cycles`. Returns true if the queue drained (the simulated
   /// machine went idle), false on cycle-limit timeout.
-  bool RunUntilIdle(Cycle max_cycles = kCycleNever);
+  bool RunUntilIdle(Cycle max_cycles = kCycleNever) {
+    return RunUntilIdleStatus(max_cycles).idle;
+  }
+
+  /// Like RunUntilIdle, but reports how far the run got; on a
+  /// cycle-limit timeout the status describes the stall (cycle reached,
+  /// queued events, earliest pending cycle) so callers can surface it.
+  RunStatus RunUntilIdleStatus(Cycle max_cycles = kCycleNever);
 
   /// Runs all events with cycle <= `until`, then sets Now() to `until`.
   void RunUntil(Cycle until);

@@ -8,10 +8,17 @@ namespace glb::sync {
 HybridBarrierUnit::HybridBarrierUnit(noc::Mesh& mesh, CoreId home_tile,
                                      std::uint32_t num_cores, StatSet& stats)
     : mesh_(mesh), home_(home_tile), num_cores_(num_cores),
-      release_cb_(num_cores) {
+      expected_(num_cores), release_cb_(num_cores) {
   GLB_CHECK(home_tile < mesh.config().num_nodes()) << "unit tile out of range";
   GLB_CHECK(num_cores <= mesh.config().num_nodes()) << "more cores than tiles";
   episodes_ = stats.GetCounter("hyb.episodes");
+}
+
+void HybridBarrierUnit::SetExpected(std::uint32_t expected) {
+  GLB_CHECK(arrived_ == 0) << "participant count changed mid-episode";
+  GLB_CHECK(expected >= 1 && expected <= num_cores_)
+      << "bad participant count " << expected;
+  expected_ = expected;
 }
 
 void HybridBarrierUnit::Arrive(CoreId core, std::function<void()> on_release) {
@@ -33,13 +40,14 @@ void HybridBarrierUnit::Arrive(CoreId core, std::function<void()> on_release) {
 
 void HybridBarrierUnit::OnArrivalPacket(CoreId core) {
   GLB_CHECK(release_cb_[core] != nullptr) << "arrival packet without arrival";
-  if (++arrived_ < num_cores_) return;
+  if (++arrived_ < expected_) return;
   // All present: one release packet per participant (fan-out through
   // the mesh — this is the hot-spot the G-line network avoids; the
   // unit's own counting is subsumed in the packet delivery cycle).
   arrived_ = 0;
   episodes_->Inc();
   for (CoreId c = 0; c < num_cores_; ++c) {
+    if (release_cb_[c] == nullptr) continue;  // not a participant this episode
     noc::Packet pkt;
     pkt.src = home_;
     pkt.dst = c;

@@ -37,6 +37,12 @@ class HybridBarrierUnit {
   /// runs `on_release` when its release packet arrives back at the core.
   void Arrive(CoreId core, std::function<void()> on_release);
 
+  /// Reprograms the unit's participant count (memory-mapped config
+  /// register). Used when the unit backs a partial-participation
+  /// barrier, e.g. as the G-line network's degraded-mode fallback.
+  /// Illegal mid-episode.
+  void SetExpected(std::uint32_t expected);
+
   CoreId home_tile() const { return home_; }
   std::uint64_t episodes() const { return episodes_->value(); }
 
@@ -49,6 +55,7 @@ class HybridBarrierUnit {
   noc::Mesh& mesh_;
   const CoreId home_;
   const std::uint32_t num_cores_;
+  std::uint32_t expected_;
   std::uint32_t arrived_ = 0;
   std::vector<std::function<void()>> release_cb_;
   Counter* episodes_ = nullptr;

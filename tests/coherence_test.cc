@@ -188,9 +188,13 @@ TEST(Coherence, ConcurrentFetchAddsAreAtomic) {
   Fixture f;
   constexpr int kPerCore = 25;
   int outstanding = 0;
+  // The issuers outlive the run below, so the chained callbacks can hold
+  // plain pointers; a self-referential shared_ptr capture would leak.
+  std::vector<std::unique_ptr<std::function<void(int)>>> issuers;
   for (CoreId c = 0; c < 4; ++c) {
     ++outstanding;
-    auto issue = std::make_shared<std::function<void(int)>>();
+    issuers.push_back(std::make_unique<std::function<void(int)>>());
+    std::function<void(int)>* issue = issuers.back().get();
     *issue = [&f, c, issue, &outstanding](int remaining) {
       if (remaining == 0) {
         --outstanding;

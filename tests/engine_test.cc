@@ -82,6 +82,29 @@ TEST(Engine, RunUntilIdleHonoursCycleLimit) {
   EXPECT_TRUE(late_ran);
 }
 
+TEST(Engine, RunUntilIdleStatusDescribesStalls) {
+  Engine e;
+  e.ScheduleAt(5, []() {});
+  e.ScheduleAt(100, []() {});
+  const RunStatus stalled = e.RunUntilIdleStatus(50);
+  EXPECT_FALSE(stalled.idle);
+  EXPECT_FALSE(static_cast<bool>(stalled));
+  EXPECT_EQ(stalled.now, 5u);
+  EXPECT_EQ(stalled.pending_events, 1u);
+  EXPECT_EQ(stalled.next_event_at, 100u);
+  const std::string msg = stalled.DescribeStall();
+  EXPECT_NE(msg.find("simulation stalled at cycle 5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("pending events: 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("earliest pending at cycle 100"), std::string::npos) << msg;
+
+  const RunStatus done = e.RunUntilIdleStatus();
+  EXPECT_TRUE(done.idle);
+  EXPECT_TRUE(static_cast<bool>(done));
+  EXPECT_EQ(done.pending_events, 0u);
+  EXPECT_EQ(done.next_event_at, kCycleNever);
+  EXPECT_EQ(done.DescribeStall(), "");
+}
+
 TEST(Engine, RunUntilAdvancesClockWithoutEvents) {
   Engine e;
   e.RunUntil(123);

@@ -1,0 +1,389 @@
+// Fault-injection subsystem + self-healing barrier network tests:
+// FaultPlan parsing, scripted and probabilistic injection decisions,
+// watchdog-driven retry, the early-release guard, release-wave
+// re-drive, degraded-mode fallback (built-in and external), NoC link
+// penalties, and the loud Engine stall status.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_model.h"
+#include "gline/barrier_network.h"
+#include "noc/mesh.h"
+#include "sim/engine.h"
+
+namespace glb::fault {
+namespace {
+
+using gline::BarrierNetConfig;
+using gline::BarrierNetwork;
+
+Flags MakeFlags(std::vector<std::string> args) {
+  args.insert(args.begin(), "test");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan / flags
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, DisabledByDefault) {
+  EXPECT_FALSE(FaultPlan{}.enabled());
+  const Flags flags = MakeFlags({});
+  EXPECT_FALSE(PlanFromFlags(flags).enabled());
+}
+
+TEST(FaultPlan, PlanFromFlagsParsesRatesAndScript) {
+  const Flags flags = MakeFlags({"--fault_seed=7", "--fault_gline_drop=0.25",
+                                 "--fault_csma=0.5", "--fault_csma_skew=3",
+                                 "--fault_freeze_cycles=123",
+                                 "--fault_script=10:gline_drop:sglineH0,20:csma::-1,"
+                                 "30:freeze:5:40"});
+  const FaultPlan p = PlanFromFlags(flags);
+  EXPECT_TRUE(p.enabled());
+  EXPECT_EQ(p.seed, 7u);
+  EXPECT_DOUBLE_EQ(p.gline_drop_rate, 0.25);
+  EXPECT_DOUBLE_EQ(p.csma_corrupt_rate, 0.5);
+  EXPECT_EQ(p.csma_max_skew, 3u);
+  EXPECT_EQ(p.core_freeze_cycles, 123u);
+  ASSERT_EQ(p.script.size(), 3u);
+  EXPECT_EQ(p.script[0].cycle, 10u);
+  EXPECT_EQ(p.script[0].site, FaultSite::kGlineDrop);
+  EXPECT_EQ(p.script[0].target, "sglineH0");
+  EXPECT_EQ(p.script[0].magnitude, 0);
+  EXPECT_EQ(p.script[1].site, FaultSite::kCsmaCorrupt);
+  EXPECT_EQ(p.script[1].target, "");
+  EXPECT_EQ(p.script[1].magnitude, -1);
+  EXPECT_EQ(p.script[2].site, FaultSite::kCoreFreeze);
+  EXPECT_EQ(p.script[2].target, "5");
+  EXPECT_EQ(p.script[2].magnitude, 40);
+}
+
+TEST(FaultPlanDeath, BadSiteNameAborts) {
+  EXPECT_DEATH(PlanFromFlags(MakeFlags({"--fault_script=5:bogus"})),
+               "unknown fault site");
+}
+
+// ---------------------------------------------------------------------------
+// Injection decisions (unit level)
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorUnit, ScriptedAdjustCountDropAndSkew) {
+  sim::Engine e;
+  StatSet stats;
+  FaultPlan plan;
+  plan.script = {{0, FaultSite::kGlineDrop, "lineA", 0},
+                 {0, FaultSite::kCsmaCorrupt, "lineA", +2}};
+  FaultInjector inj(e, plan, stats);
+  gline::GLine line_a(e, "lineA", 3, 6, gline::TxPolicy::kReject, nullptr);
+  gline::GLine line_b(e, "lineB", 3, 6, gline::TxPolicy::kReject, nullptr);
+  // Targets must match by substring: lineB is untouched.
+  EXPECT_EQ(inj.AdjustCount(line_b, 3), 3u);
+  // Drop (-1) and the scripted +2 skew both hit lineA's first batch.
+  EXPECT_EQ(inj.AdjustCount(line_a, 3), 4u);
+  // Scripted entries are consumed: the second batch is clean.
+  EXPECT_EQ(inj.AdjustCount(line_a, 3), 3u);
+  EXPECT_EQ(inj.total_injected(), 2u);
+  EXPECT_EQ(stats.CounterValue("fault.gline_drop"), 1u);
+  EXPECT_EQ(stats.CounterValue("fault.csma_corrupt"), 1u);
+}
+
+TEST(FaultInjectorUnit, ScriptWaitsForItsCycle) {
+  sim::Engine e;
+  StatSet stats;
+  FaultPlan plan;
+  plan.script = {{100, FaultSite::kGlineDrop, "", 0}};
+  FaultInjector inj(e, plan, stats);
+  gline::GLine line(e, "x", 1, 6, gline::TxPolicy::kReject, nullptr);
+  EXPECT_EQ(inj.AdjustCount(line, 1), 1u) << "cycle 0 < scripted cycle 100";
+  e.ScheduleAt(150, [&]() {
+    // First opportunity at-or-after the scripted cycle fires it.
+    EXPECT_EQ(inj.AdjustCount(line, 1), 0u);
+  });
+  e.RunUntilIdle();
+  EXPECT_EQ(inj.total_injected(), 1u);
+}
+
+TEST(FaultInjectorUnit, FreezeDelayMatchesCoreTarget) {
+  sim::Engine e;
+  StatSet stats;
+  FaultPlan plan;
+  plan.script = {{0, FaultSite::kCoreFreeze, "3", 75}};
+  FaultInjector inj(e, plan, stats);
+  EXPECT_EQ(inj.FreezeDelay(0, 1), 0u);
+  EXPECT_EQ(inj.FreezeDelay(0, 3), 75u);
+  EXPECT_EQ(inj.FreezeDelay(0, 3), 0u) << "scripted freeze consumed";
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing barrier network
+// ---------------------------------------------------------------------------
+
+struct FaultNetFixture {
+  sim::Engine engine;
+  StatSet stats;
+  std::unique_ptr<BarrierNetwork> net;
+  std::unique_ptr<FaultInjector> inj;
+
+  FaultNetFixture(std::uint32_t rows, std::uint32_t cols, const FaultPlan& plan,
+                  Cycle watchdog = 200, std::uint32_t retries = 2) {
+    BarrierNetConfig cfg;
+    cfg.watchdog_timeout = watchdog;
+    cfg.max_retries = retries;
+    net = std::make_unique<BarrierNetwork>(engine, rows, cols, cfg, stats);
+    inj = std::make_unique<FaultInjector>(engine, plan, stats);
+    inj->Arm(*net);
+  }
+
+  std::vector<Cycle> RunOneBarrier(const std::vector<Cycle>& arrival_cycles) {
+    std::vector<Cycle> released(net->num_cores(), kCycleNever);
+    for (CoreId c = 0; c < net->num_cores(); ++c) {
+      if (arrival_cycles[c] == kCycleNever) continue;
+      engine.ScheduleAt(arrival_cycles[c], [this, c, &released]() {
+        net->Arrive(0, c, [this, c, &released]() { released[c] = engine.Now(); });
+      });
+    }
+    EXPECT_TRUE(engine.RunUntilIdle(1'000'000)) << "episode hangs";
+    return released;
+  }
+};
+
+TEST(SelfHealing, DroppedArrivalRecoversViaWatchdogRetry) {
+  FaultPlan plan;
+  plan.script = {{0, FaultSite::kGlineDrop, "sglineH0", 0}};
+  FaultNetFixture f(2, 2, plan, /*watchdog=*/100);
+  const auto released = f.RunOneBarrier(std::vector<Cycle>(4, 10));
+  for (CoreId c = 0; c < 4; ++c) {
+    ASSERT_NE(released[c], kCycleNever) << "core " << c << " stuck";
+    // Recovery means: nothing before the watchdog fired at 10+100.
+    EXPECT_GE(released[c], 110u);
+    EXPECT_LE(released[c], 130u);
+  }
+  EXPECT_FALSE(f.net->degraded(0));
+  EXPECT_EQ(f.net->barriers_completed(), 1u);
+  EXPECT_EQ(f.stats.CounterValue("gl.timeouts"), 1u);
+  EXPECT_EQ(f.stats.CounterValue("gl.retries"), 1u);
+  EXPECT_EQ(f.stats.CounterValue("gl.degraded_episodes"), 0u);
+  EXPECT_EQ(f.net->episode_retries(0), 0u) << "reset after a clean completion";
+}
+
+TEST(SelfHealing, DuplicatedAssertionNeverReleasesEarly) {
+  // 1x3 mesh: the duplicated slave assertion completes row 0's count
+  // while core 2 is still missing; the release guard must catch it.
+  FaultPlan plan;
+  plan.script = {{0, FaultSite::kGlineDuplicate, "sglineH0", 0}};
+  // Watchdog well beyond the 400-cycle arrival skew: recovery here must
+  // come from the early-completion guard, not from a timeout.
+  FaultNetFixture f(1, 3, plan, /*watchdog=*/5000);
+  std::vector<Cycle> arrivals{10, 10, 400};  // core 2 very late
+  const auto released = f.RunOneBarrier(arrivals);
+  for (CoreId c = 0; c < 3; ++c) {
+    ASSERT_NE(released[c], kCycleNever);
+    EXPECT_GE(released[c], 400u) << "core " << c << " released before core 2";
+  }
+  EXPECT_FALSE(f.net->degraded(0));
+  EXPECT_EQ(f.net->barriers_completed(), 1u);
+  EXPECT_GE(f.stats.CounterValue("gl.miscounts"), 1u);
+}
+
+TEST(SelfHealing, FrozenCoreDelaysButCompletes) {
+  FaultPlan plan;
+  plan.script = {{0, FaultSite::kCoreFreeze, "3", 40}};
+  FaultNetFixture f(2, 2, plan, /*watchdog=*/200);
+  const auto released = f.RunOneBarrier(std::vector<Cycle>(4, 10));
+  for (CoreId c = 0; c < 4; ++c) {
+    ASSERT_NE(released[c], kCycleNever);
+    EXPECT_GE(released[c], 50u) << "released before the frozen core arrived";
+    EXPECT_LE(released[c], 60u);
+  }
+  EXPECT_EQ(f.stats.CounterValue("gl.timeouts"), 0u)
+      << "freeze shorter than the watchdog needs no recovery";
+  EXPECT_EQ(f.stats.CounterValue("fault.core_freeze"), 1u);
+}
+
+TEST(SelfHealing, LostReleaseWaveIsRedriven) {
+  // The gather completes cleanly; the MglineV release assertion is lost.
+  FaultPlan plan;
+  plan.script = {{0, FaultSite::kGlineDrop, "mglineV", 0}};
+  FaultNetFixture f(2, 2, plan, /*watchdog=*/100);
+  const auto released = f.RunOneBarrier(std::vector<Cycle>(4, 10));
+  for (CoreId c = 0; c < 4; ++c) {
+    ASSERT_NE(released[c], kCycleNever) << "core " << c << " stuck";
+    EXPECT_GE(released[c], 110u);
+  }
+  EXPECT_FALSE(f.net->degraded(0));
+  EXPECT_EQ(f.net->barriers_completed(), 1u);
+  EXPECT_EQ(f.stats.CounterValue("gl.timeouts"), 1u);
+  // The network stays healthy for the next episode.
+  const Cycle t = f.engine.Now() + 10;
+  const auto again = f.RunOneBarrier(std::vector<Cycle>(4, t));
+  for (CoreId c = 0; c < 4; ++c) {
+    ASSERT_NE(again[c], kCycleNever);
+    EXPECT_LE(again[c], t + 4);
+  }
+}
+
+TEST(SelfHealing, PersistentFaultDegradesToFallbackAndSticks) {
+  FaultPlan plan;
+  plan.gline_drop_rate = 1.0;  // every wire batch loses an assertion
+  FaultNetFixture f(2, 2, plan, /*watchdog=*/50, /*retries=*/2);
+  const auto released = f.RunOneBarrier(std::vector<Cycle>(4, 10));
+  for (CoreId c = 0; c < 4; ++c) {
+    ASSERT_NE(released[c], kCycleNever) << "degraded episode must complete";
+  }
+  EXPECT_TRUE(f.net->degraded(0));
+  EXPECT_EQ(f.net->barriers_completed(), 1u);
+  EXPECT_EQ(f.stats.CounterValue("gl.retries"), 2u);
+  EXPECT_EQ(f.stats.CounterValue("gl.timeouts"), 3u);
+  EXPECT_EQ(f.stats.CounterValue("gl.degraded_episodes"), 1u);
+  const Histogram* rec = f.stats.FindHistogram("gl.ctx0.recovery_latency");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_GT(rec->count(), 0u);
+
+  // Sticky: the next episode goes straight through the fallback, with
+  // the built-in fallback_latency (32) release cost and no new timeouts.
+  const Cycle t = f.engine.Now() + 10;
+  const auto again = f.RunOneBarrier(std::vector<Cycle>(4, t));
+  for (CoreId c = 0; c < 4; ++c) {
+    ASSERT_NE(again[c], kCycleNever);
+    EXPECT_EQ(again[c], t + 32);
+  }
+  EXPECT_EQ(f.stats.CounterValue("gl.timeouts"), 3u) << "no watchdog when degraded";
+  EXPECT_EQ(f.stats.CounterValue("gl.degraded_episodes"), 2u);
+  EXPECT_EQ(f.net->barriers_completed(), 2u);
+}
+
+TEST(SelfHealing, ExternalFallbackIsUsedOnceDegraded) {
+  FaultPlan plan;
+  plan.gline_drop_rate = 1.0;
+  FaultNetFixture f(2, 2, plan, /*watchdog=*/50, /*retries=*/0);
+  std::uint32_t reconfigured_expected = 0;
+  std::vector<std::pair<CoreId, std::function<void()>>> waiters;
+  f.net->SetFallback(
+      [&](std::uint32_t ctx, CoreId core, std::function<void()> on_release) {
+        EXPECT_EQ(ctx, 0u);
+        waiters.emplace_back(core, std::move(on_release));
+        if (waiters.size() == reconfigured_expected) {
+          for (auto& [c, cb] : waiters) cb();
+          waiters.clear();
+        }
+      },
+      [&](std::uint32_t ctx, std::uint32_t expected) {
+        EXPECT_EQ(ctx, 0u);
+        reconfigured_expected = expected;
+      });
+  const auto released = f.RunOneBarrier(std::vector<Cycle>(4, 10));
+  EXPECT_EQ(reconfigured_expected, 4u);
+  for (CoreId c = 0; c < 4; ++c) ASSERT_NE(released[c], kCycleNever);
+  EXPECT_TRUE(f.net->degraded(0));
+  EXPECT_EQ(f.net->barriers_completed(), 1u);
+}
+
+TEST(SelfHealing, PartialParticipationReconfiguresTheFallback) {
+  FaultPlan plan;
+  plan.gline_drop_rate = 1.0;
+  FaultNetFixture f(2, 2, plan, /*watchdog=*/50, /*retries=*/0);
+  ASSERT_TRUE(f.RunOneBarrier(std::vector<Cycle>(4, 10)).size() == 4);
+  ASSERT_TRUE(f.net->degraded(0));
+  // Shrink to three cores; the degraded context must still complete.
+  f.net->SetParticipants(0, {true, true, true, false});
+  const Cycle t = f.engine.Now() + 10;
+  std::vector<Cycle> arrivals(4, t);
+  arrivals[3] = kCycleNever;
+  const auto released = f.RunOneBarrier(arrivals);
+  for (CoreId c = 0; c < 3; ++c) ASSERT_NE(released[c], kCycleNever);
+  EXPECT_EQ(released[3], kCycleNever);
+}
+
+TEST(SelfHealing, ResilientModeOffPreservesFourCycleLatency) {
+  // watchdog_timeout == 0 with a disabled plan: latency is exactly the
+  // paper's, and no resilience stats exist at all.
+  FaultNetFixture f(2, 2, FaultPlan{}, /*watchdog=*/0);
+  const auto released = f.RunOneBarrier(std::vector<Cycle>(4, 10));
+  EXPECT_EQ(released[0], 13u);
+  EXPECT_EQ(released[1], 14u);
+  EXPECT_EQ(released[2], 13u);
+  EXPECT_EQ(released[3], 14u);
+  EXPECT_EQ(f.stats.CounterValue("gl.timeouts"), 0u);
+}
+
+TEST(SelfHealing, ResilientModeHappyPathKeepsLatencyAndSignals) {
+  // Resilience armed but no faults: still the 4-cycle barrier, same
+  // signal count as the fault-free design.
+  FaultNetFixture healthy(2, 2, FaultPlan{}, /*watchdog=*/0);
+  FaultNetFixture armed(2, 2, FaultPlan{}, /*watchdog=*/500);
+  const auto r0 = healthy.RunOneBarrier(std::vector<Cycle>(4, 10));
+  const auto r1 = armed.RunOneBarrier(std::vector<Cycle>(4, 10));
+  EXPECT_EQ(r0, r1);
+  EXPECT_EQ(healthy.stats.CounterValue("gl.signals"),
+            armed.stats.CounterValue("gl.signals"));
+}
+
+// ---------------------------------------------------------------------------
+// NoC link penalties
+// ---------------------------------------------------------------------------
+
+Cycle DeliveryCycle(sim::Engine& e, noc::Mesh& mesh, CoreId src, CoreId dst) {
+  Cycle delivered = kCycleNever;
+  noc::Packet pkt;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.vnet = noc::VNet::kRequest;
+  pkt.traffic = noc::TrafficClass::kRequest;
+  pkt.bytes = 8;
+  pkt.deliver = [&]() { delivered = e.Now(); };
+  mesh.Send(std::move(pkt));
+  e.RunUntilIdle();
+  return delivered;
+}
+
+TEST(NocFaults, ScriptedDelayAndRetransmitAddExactPenalty) {
+  sim::Engine e1, e2;
+  StatSet s1, s2;
+  noc::MeshConfig mc;
+  mc.rows = 2;
+  mc.cols = 2;
+  noc::Mesh clean(e1, mc, s1);
+  noc::Mesh faulty(e2, mc, s2);
+  FaultPlan plan;
+  plan.script = {{0, FaultSite::kNocDelay, "1", 25},
+                 {0, FaultSite::kNocDrop, "1", 30}};
+  FaultInjector inj(e2, plan, s2);
+  inj.Arm(faulty);
+  const Cycle base = DeliveryCycle(e1, clean, 0, 1);
+  const Cycle hit = DeliveryCycle(e2, faulty, 0, 1);
+  ASSERT_NE(base, kCycleNever);
+  ASSERT_NE(hit, kCycleNever) << "faulty transfers are delayed, never lost";
+  EXPECT_EQ(hit, base + 25 + 30);
+  EXPECT_EQ(s2.CounterValue("fault.noc_delay"), 1u);
+  EXPECT_EQ(s2.CounterValue("fault.noc_drop"), 1u);
+}
+
+TEST(NocFaults, LocalDeliveryAlsoPenalized) {
+  sim::Engine e;
+  StatSet s;
+  noc::MeshConfig mc;
+  mc.rows = 2;
+  mc.cols = 2;
+  noc::Mesh mesh(e, mc, s);
+  FaultPlan plan;
+  plan.script = {{0, FaultSite::kNocDelay, "0", 10}};
+  FaultInjector inj(e, plan, s);
+  inj.Arm(mesh);
+  const Cycle hit = DeliveryCycle(e, mesh, 0, 0);
+  EXPECT_EQ(hit, mc.local_latency + 10);
+}
+
+}  // namespace
+}  // namespace glb::fault

@@ -1,0 +1,174 @@
+// Fault-injection fuzz for the self-healing barrier network.
+//
+// Companion to tests/gline_fuzz_test.cc: instead of checking exact
+// release cycles against the closed-form oracle (meaningless under
+// faults), this drives randomized fault plans over random meshes,
+// participation masks and contexts, and asserts the resilience
+// invariant from barrier_network.h:
+//
+//   every episode completes — cleanly, after hardware retries, or
+//   degraded through the software fallback — the simulation never
+//   hangs, and no core is ever released before every participant of
+//   its episode arrived.
+//
+// Plans are drawn per seed from a range that spans "occasional glitch"
+// (retry path) to "wire is toast" (degrade path), so both recovery
+// regimes are exercised every run of the suite.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_model.h"
+#include "gline/barrier_network.h"
+#include "sim/engine.h"
+
+namespace glb::gline {
+namespace {
+
+class FaultFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultFuzz, EpisodesAlwaysCompleteAndNeverReleaseEarly) {
+  Rng rng(GetParam() * 0x9E3779B9u);
+
+  const std::pair<std::uint32_t, std::uint32_t> shapes[] = {
+      {2, 2}, {1, 5}, {3, 4}, {4, 4}, {4, 8}};
+  const auto [rows, cols] = shapes[rng.NextBelow(std::size(shapes))];
+  const std::uint32_t n = rows * cols;
+
+  sim::Engine engine;
+  StatSet stats;
+  BarrierNetConfig cfg;
+  cfg.contexts = 1 + static_cast<std::uint32_t>(rng.NextBool(0.5));
+  // Watchdog comfortably above the worst-case arrival skew (60) plus the
+  // longest injected freeze, so a fault-free episode never times out.
+  cfg.watchdog_timeout = 400;
+  cfg.max_retries = static_cast<std::uint32_t>(rng.NextBelow(4));
+  BarrierNetwork net(engine, rows, cols, cfg, stats);
+
+  fault::FaultPlan plan;
+  plan.seed = GetParam();
+  // 0 .. 0.3 per rate: low end exercises clean runs and single retries,
+  // high end reliably exhausts the retry budget and degrades.
+  plan.gline_drop_rate = rng.NextBool(0.7) ? rng.NextDouble() * 0.3 : 0.0;
+  plan.gline_dup_rate = rng.NextBool(0.4) ? rng.NextDouble() * 0.2 : 0.0;
+  plan.csma_corrupt_rate = rng.NextBool(0.4) ? rng.NextDouble() * 0.2 : 0.0;
+  plan.core_freeze_rate = rng.NextBool(0.3) ? rng.NextDouble() * 0.1 : 0.0;
+  plan.core_freeze_cycles = 1 + rng.NextBelow(200);
+  fault::FaultInjector inj(engine, plan, stats);
+  inj.Arm(net);
+
+  constexpr int kEpisodes = 10;
+  struct CtxRun {
+    std::uint32_t ctx = 0;
+    std::vector<CoreId> members;
+    int episode = 0;
+    std::uint32_t arrived = 0;   // bar_reg writes in the current episode
+    std::uint32_t released = 0;  // releases in the current episode
+    bool early_release = false;
+  };
+  std::vector<std::unique_ptr<CtxRun>> runs;
+
+  for (std::uint32_t ctx = 0; ctx < cfg.contexts; ++ctx) {
+    auto run = std::make_unique<CtxRun>();
+    run->ctx = ctx;
+    if (rng.NextBool(0.5)) {
+      // Random non-empty participation mask (partial-barrier extension).
+      std::vector<bool> mask(n, false);
+      while (run->members.empty()) {
+        for (CoreId c = 0; c < n; ++c) {
+          if (rng.NextBool(0.6) && !mask[c]) {
+            mask[c] = true;
+            run->members.push_back(c);
+          }
+        }
+      }
+      net.SetParticipants(ctx, mask);
+    } else {
+      for (CoreId c = 0; c < n; ++c) run->members.push_back(c);
+    }
+    runs.push_back(std::move(run));
+  }
+
+  // Sequential episode driver per context: the next episode starts only
+  // after every member of the previous one was released.
+  std::function<void(CtxRun*)> start_episode = [&](CtxRun* run) {
+    run->arrived = 0;
+    run->released = 0;
+    const Cycle now = engine.Now();
+    for (CoreId c : run->members) {
+      const Cycle at = now + 1 + rng.NextBelow(60);
+      engine.ScheduleAt(at, [&, run, c]() {
+        ++run->arrived;
+        net.Arrive(run->ctx, c, [&, run]() {
+          // The invariant under ANY fault plan: a release implies every
+          // participant already wrote bar_reg this episode.
+          if (run->arrived != run->members.size()) run->early_release = true;
+          if (++run->released == run->members.size()) {
+            if (++run->episode < kEpisodes) start_episode(run);
+          }
+        });
+      });
+    }
+  };
+  for (auto& run : runs) start_episode(run.get());
+
+  ASSERT_TRUE(engine.RunUntilIdle(50'000'000))
+      << "barrier network hung under fault plan seed " << GetParam() << " ("
+      << rows << "x" << cols << ", drop=" << plan.gline_drop_rate
+      << " dup=" << plan.gline_dup_rate << " csma=" << plan.csma_corrupt_rate
+      << " freeze=" << plan.core_freeze_rate << ")";
+  for (auto& run : runs) {
+    EXPECT_EQ(run->episode, kEpisodes)
+        << "ctx " << run->ctx << " starved (seed " << GetParam() << ")";
+    EXPECT_FALSE(run->early_release)
+        << "ctx " << run->ctx << " released a core early (seed " << GetParam()
+        << ")";
+  }
+  // Every episode was accounted for, clean or degraded.
+  EXPECT_EQ(net.barriers_completed(),
+            static_cast<std::uint64_t>(cfg.contexts) * kEpisodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Range<std::uint64_t>(1, 25));
+
+// A fault-free plan through the armed hooks must behave exactly like the
+// unarmed network: same release cycles, no recovery activity.
+TEST(FaultFuzzBaseline, ArmedButQuietPlanIsInert) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Rng rng(seed);
+    sim::Engine e_ref, e_inj;
+    StatSet s_ref, s_inj;
+    BarrierNetConfig cfg;
+    cfg.watchdog_timeout = 1000;
+    BarrierNetwork ref(e_ref, 3, 4, cfg, s_ref);
+    BarrierNetwork hooked(e_inj, 3, 4, cfg, s_inj);
+    fault::FaultPlan quiet;  // all rates zero, no script
+    fault::FaultInjector inj(e_inj, quiet, s_inj);
+    inj.Arm(hooked);
+
+    std::vector<Cycle> arrival(12);
+    for (auto& a : arrival) a = 1 + rng.NextBelow(50);
+    auto drive = [&](sim::Engine& e, BarrierNetwork& net) {
+      std::vector<Cycle> released(12, kCycleNever);
+      for (CoreId c = 0; c < 12; ++c) {
+        e.ScheduleAt(arrival[c], [&, c]() {
+          net.Arrive(0, c, [&, c]() { released[c] = e.Now(); });
+        });
+      }
+      EXPECT_TRUE(e.RunUntilIdle(1'000'000));
+      return released;
+    };
+    EXPECT_EQ(drive(e_ref, ref), drive(e_inj, hooked));
+    EXPECT_EQ(s_inj.CounterValue("fault.injected"), 0u);
+    EXPECT_EQ(s_inj.CounterValue("gl.timeouts"), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace glb::gline

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <type_traits>
 #include <vector>
 
 #include "common/stats.h"
@@ -92,6 +93,39 @@ TEST(GLineWire, MultipleReceiversAllObserve) {
   e.ScheduleAt(0, [&]() { line.Assert(); });
   e.RunUntilIdle();
   EXPECT_EQ(calls, 3);
+}
+
+// In-flight Flush events capture the line's `this`: a moved-from GLine
+// would leave those events dangling. The type is pinned in place
+// (containers must hold it through std::unique_ptr).
+static_assert(!std::is_move_constructible_v<GLine>);
+static_assert(!std::is_move_assignable_v<GLine>);
+static_assert(!std::is_copy_constructible_v<GLine>);
+static_assert(!std::is_copy_assignable_v<GLine>);
+
+TEST(GLineWire, CancelPendingDropsAllInFlightBatches) {
+  // A relaxed 13-transmitter line has latency 3, so three batches can be
+  // in flight at once; CancelPending must invalidate every one of them,
+  // and batches opened afterwards must deliver normally.
+  sim::Engine e;
+  GLine line(e, "t", 13, 6, TxPolicy::kRelaxed, nullptr);
+  ASSERT_EQ(line.latency(), 3u);
+  std::vector<std::pair<Cycle, std::uint32_t>> got;
+  line.AddReceiver([&](std::uint32_t c) { got.emplace_back(e.Now(), c); });
+  e.ScheduleAt(1, [&]() { line.Assert(); });
+  e.ScheduleAt(2, [&]() { line.Assert(); });
+  e.ScheduleAt(3, [&]() { line.Assert(); });
+  // Same cycle as the third Assert, but scheduled after it: the batch
+  // opened this very cycle is cancelled too.
+  e.ScheduleAt(3, [&]() {
+    EXPECT_TRUE(line.has_pending());
+    line.CancelPending();
+    EXPECT_FALSE(line.has_pending());
+  });
+  e.ScheduleAt(4, [&]() { line.Assert(); });
+  e.RunUntilIdle();
+  ASSERT_EQ(got.size(), 1u) << "cancelled batches must not deliver";
+  EXPECT_EQ(got[0], std::make_pair(Cycle{7}, 1u));
 }
 
 // ---------------------------------------------------------------------------
@@ -347,6 +381,48 @@ TEST(BarrierNetExt, PartialParticipationRepeats) {
     }
   }
   EXPECT_EQ(f.net->barriers_completed(), 10u);
+}
+
+TEST(BarrierNetExt, ResetThenReconfigureBetweenEpisodes) {
+  // Reset + reconfiguration between episodes is legal and leaves the
+  // network fully functional for a different participant set.
+  NetFixture f(2, 2);
+  const auto first = f.RunOneBarrier(std::vector<Cycle>(4, 10));
+  for (CoreId c = 0; c < 4; ++c) ASSERT_NE(first[c], kCycleNever);
+  f.net->ResetContext(0);
+  f.net->SetParticipants(0, {true, true, false, false});  // row 0 only
+  const Cycle t = f.engine.Now() + 5;
+  std::vector<Cycle> arrivals(4, kCycleNever);
+  arrivals[0] = t;
+  arrivals[1] = t + 1;
+  const auto second = f.RunOneBarrier(arrivals);
+  EXPECT_NE(second[0], kCycleNever);
+  EXPECT_NE(second[1], kCycleNever);
+  EXPECT_EQ(second[2], kCycleNever);
+  EXPECT_EQ(second[3], kCycleNever);
+  EXPECT_EQ(f.net->barriers_completed(), 2u);
+}
+
+TEST(BarrierNetExtDeath, ResetWhileGatheringAborts) {
+  NetFixture f(2, 2);
+  f.engine.ScheduleAt(0, [&]() {
+    f.net->Arrive(0, 1, []() {});
+    EXPECT_DEATH(f.net->ResetContext(0), "gathering");
+  });
+  f.engine.RunUntil(0);
+}
+
+TEST(BarrierNetExtDeath, ResetDuringReleaseWaveAborts) {
+  // All cores arrive at 10; at cycle 13 the release wave is mid-flight
+  // (column-0 cores released, the others still waiting on MglineH).
+  NetFixture f(2, 2);
+  for (CoreId c = 0; c < 4; ++c) {
+    f.engine.ScheduleAt(10, [&, c]() { f.net->Arrive(0, c, []() {}); });
+  }
+  f.engine.ScheduleAt(13, [&]() {
+    EXPECT_DEATH(f.net->ResetContext(0), "awaits release");
+  });
+  ASSERT_TRUE(f.engine.RunUntilIdle(1'000));
 }
 
 TEST(BarrierNetExtDeath, NonParticipantArrivalAborts) {

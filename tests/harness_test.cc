@@ -37,7 +37,10 @@ TEST(Harness, TimeoutIsReported) {
       []() { return std::make_unique<workloads::Synthetic>(100000); },
       BarrierKind::kGL, cmp::CmpConfig::WithCores(4), /*max_cycles=*/100);
   EXPECT_FALSE(m.completed);
-  EXPECT_EQ(m.validation, "run timed out");
+  // The stall diagnostic names the cycle reached and the queued events.
+  EXPECT_NE(m.stall.find("simulation stalled at cycle"), std::string::npos) << m.stall;
+  EXPECT_NE(m.stall.find("pending events:"), std::string::npos) << m.stall;
+  EXPECT_EQ(m.validation, m.stall);
 }
 
 TEST(Harness, TableAlignsAndPrints) {

@@ -25,8 +25,22 @@ void Usage() {
       "  --cores N       core count, mesh auto-factored (default 32)\n"
       "  --paper-scale   exact Table-2 inputs (slow)\n"
       "  --<wl>-iters N  per-workload iteration overrides (see bench_util.h)\n"
+      "  --max-cycles N  abort (with a stall diagnostic) after N cycles\n"
       "  --stats         dump the raw statistics registry\n"
-      "  --csv           emit machine-readable key,value lines\n";
+      "  --csv           emit machine-readable key,value lines\n"
+      "fault injection & self-healing (see README.md):\n"
+      "  --fault_watchdog N      barrier watchdog timeout in cycles (0 = off;\n"
+      "                          enables retry + software fallback)\n"
+      "  --fault_retries N       hardware retries before degrading (default 2)\n"
+      "  --fault_seed S          seed for the probabilistic fault stream\n"
+      "  --fault_gline_drop R    per-batch G-line assertion loss rate\n"
+      "  --fault_gline_dup R     per-batch duplicated-assertion rate\n"
+      "  --fault_csma R          S-CSMA miscount rate (--fault_csma_skew K)\n"
+      "  --fault_freeze R        core-freeze rate (--fault_freeze_cycles N)\n"
+      "  --fault_noc_delay R     link delay rate (--fault_noc_delay_cycles N)\n"
+      "  --fault_noc_drop R      link CRC-retransmit rate\n"
+      "                          (--fault_noc_retransmit_cycles N)\n"
+      "  --fault_script \"cycle:site[:target[:magnitude]],...\"  scripted faults\n";
 }
 
 glb::harness::BarrierKind ParseBarrier(const std::string& s) {
@@ -58,11 +72,14 @@ int main(int argc, char** argv) {
   auto workload = bench::FactoryFor(wl, scale)();
   workload->Init(sys);
   auto barrier = harness::MakeBarrier(kind, sys);
-  const bool completed = sys.RunPrograms([&](core::Core& c, CoreId id) {
-    return workload->Body(c, id, *barrier);
-  });
-  if (!completed) {
-    std::cerr << "simulation did not complete\n";
+  const Cycle max_cycles = flags.Has("max-cycles")
+                               ? static_cast<Cycle>(flags.GetInt("max-cycles", 0))
+                               : kCycleNever;
+  const sim::RunStatus status = sys.RunProgramsStatus(
+      [&](core::Core& c, CoreId id) { return workload->Body(c, id, *barrier); },
+      max_cycles);
+  if (!status.idle) {
+    std::cerr << "simulation did not complete: " << status.DescribeStall() << "\n";
     return 1;
   }
   const std::string validation = workload->Validate(sys);
@@ -88,6 +105,13 @@ int main(int argc, char** argv) {
     }
     kv("energy_total_pj", harness::Table::Num(energy.total_pj()));
     kv("energy_noc_pj", harness::Table::Num(energy.noc_pj));
+    if (sys.injector() != nullptr) {
+      kv("faults_injected", std::to_string(sys.injector()->total_injected()));
+      kv("barrier_timeouts", std::to_string(sys.stats().CounterValue("gl.timeouts")));
+      kv("barrier_retries", std::to_string(sys.stats().CounterValue("gl.retries")));
+      kv("degraded_episodes",
+         std::to_string(sys.stats().CounterValue("gl.degraded_episodes")));
+    }
     kv("valid", validation.empty() ? "ok" : validation);
     return validation.empty() ? 0 : 1;
   }
@@ -113,6 +137,13 @@ int main(int argc, char** argv) {
   std::cout << "  validation      " << (validation.empty() ? "ok" : validation)
             << '\n';
   std::cout << "  host events     " << sys.engine().events_processed() << '\n';
+  if (sys.injector() != nullptr) {
+    std::cout << "  faults injected " << sys.injector()->total_injected()
+              << "  (timeouts " << sys.stats().CounterValue("gl.timeouts")
+              << ", retries " << sys.stats().CounterValue("gl.retries")
+              << ", degraded episodes "
+              << sys.stats().CounterValue("gl.degraded_episodes") << ")\n";
+  }
 
   if (flags.GetBool("stats", false)) {
     std::cout << "\n--- statistics registry ---\n";
