@@ -42,6 +42,7 @@ class PeriodicBarriers final : public glb::workloads::Workload {
 int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
+  const bench::Observability obs(flags);
   const auto cfg = bench::ConfigFromFlags(flags);
   const auto barriers = static_cast<std::uint32_t>(flags.GetInt("barriers", 100));
 

@@ -8,6 +8,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/flags.h"
 #include "common/stats.h"
 #include "gline/barrier_network.h"
@@ -62,8 +63,10 @@ Result RunHierarchical(std::uint32_t rows, std::uint32_t cols) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace glb;
+  Flags flags(argc, argv);
+  const bench::Observability obs(flags);
   std::cout << "Ablation A: G-line barrier latency vs mesh size"
                " (simultaneous arrival -> release)\n\n";
   harness::Table t({"Mesh", "Cores", "G-lines", "First release", "Last release",

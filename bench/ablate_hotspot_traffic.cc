@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
+  const bench::Observability obs(flags);
   const auto iters = static_cast<std::uint32_t>(flags.GetInt("iters", 100));
 
   std::cout << "Ablation C: data-network messages per barrier episode\n\n";

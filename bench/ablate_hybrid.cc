@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
+  const bench::Observability obs(flags);
   const auto iters = static_cast<std::uint32_t>(flags.GetInt("iters", 100));
 
   std::cout << "Ablation D: GL vs HYB vs DIS vs DSW vs CSW (synthetic, " << iters

@@ -10,9 +10,11 @@
 
 #include "cmp/cmp_system.h"
 #include "common/flags.h"
+#include "common/log.h"
 #include "fault/fault_model.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "trace/trace.h"
 #include "workloads/em3d.h"
 #include "workloads/livermore.h"
 #include "workloads/ocean.h"
@@ -20,6 +22,42 @@
 #include "workloads/unstructured.h"
 
 namespace glb::bench {
+
+/// Observability wiring shared by every bench/driver binary. Construct
+/// one right after parsing flags and keep it alive for the whole run:
+///   --trace FILE   installs a trace::FileSession (Perfetto JSON,
+///                  written when the session goes out of scope)
+///   --log-level L  off|warn|info|trace; overrides the GLB_LOG
+///                  environment variable (which is applied first)
+/// Exits with status 2 on a malformed value, matching the flag parser's
+/// other rejections.
+class Observability {
+ public:
+  explicit Observability(const Flags& flags) : session_(TracePath(flags)) {
+    Logger::InitFromEnv();
+    if (flags.Has("log-level")) {
+      const std::string lvl = flags.GetString("log-level", "");
+      if (!Logger::SetLevelFromName(lvl)) {
+        std::cerr << "bad --log-level '" << lvl << "' (off|warn|info|trace)\n";
+        std::exit(2);
+      }
+    }
+  }
+
+  bool tracing() const { return session_.active(); }
+
+ private:
+  static std::string TracePath(const Flags& flags) {
+    std::string path = flags.GetString("trace", "");
+    if (path == "true") {  // bare "--trace" with no file
+      std::cerr << "--trace requires a file path (--trace out.json)\n";
+      std::exit(2);
+    }
+    return path;
+  }
+
+  trace::FileSession session_;
+};
 
 /// Benchmark inputs. Defaults are scaled for a laptop-class host while
 /// keeping the paper's barrier structure (counts and periods); with

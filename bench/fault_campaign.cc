@@ -15,18 +15,23 @@
 //
 //   ./bench/fault_campaign              # 5 rates x 25 seeds = 125 runs
 //   ./bench/fault_campaign --seeds=50 --episodes=80
+//   ./bench/fault_campaign --json BENCH_fault_campaign.json   # JSONL manifest
 #include <cstdint>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/flags.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_model.h"
 #include "gline/barrier_network.h"
+#include "harness/manifest.h"
 #include "harness/report.h"
 #include "sim/engine.h"
 
@@ -41,10 +46,8 @@ struct RunResult {
   std::uint64_t timeouts = 0;
   std::uint64_t retries = 0;
   std::uint64_t degraded_episodes = 0;
-  std::uint64_t recovery_lat_sum = 0;
-  std::uint64_t recovery_lat_count = 0;
-  std::uint64_t episode_span_sum = 0;  // first arrival -> release start
-  std::uint64_t episode_span_count = 0;
+  Histogram recovery_lat;   // first fault detection -> episode completion
+  Histogram episode_span;   // first arrival -> release start
 };
 
 RunResult RunOnce(double drop_rate, std::uint64_t seed, int episodes,
@@ -95,12 +98,10 @@ RunResult RunOnce(double drop_rate, std::uint64_t seed, int episodes,
   r.retries = stats.CounterValue("gl.retries");
   r.degraded_episodes = stats.CounterValue("gl.degraded_episodes");
   if (const Histogram* h = stats.FindHistogram("gl.ctx0.recovery_latency")) {
-    r.recovery_lat_sum = h->sum();
-    r.recovery_lat_count = h->count();
+    r.recovery_lat.Merge(*h);
   }
   if (const Histogram* h = stats.FindHistogram("gl.episode_span")) {
-    r.episode_span_sum = h->sum();
-    r.episode_span_count = h->count();
+    r.episode_span.Merge(*h);
   }
   r.ok = true;
   if (!idle) {
@@ -122,10 +123,61 @@ RunResult RunOnce(double drop_rate, std::uint64_t seed, int episodes,
   return r;
 }
 
+struct RateAgg {
+  double rate = 0.0;
+  int runs = 0;
+  RunResult agg;
+};
+
+/// Campaign manifest: the sweep as one versioned JSON object, each
+/// rate's stats shaped by harness::WriteStatsBlock (same layout as the
+/// glb.run manifests, including histogram p50/p95/p99 from the merged
+/// per-run histograms).
+void WriteCampaignManifest(std::ostream& os, bool pretty, int seeds, int episodes,
+                           Cycle watchdog, std::uint32_t retries, bool all_ok,
+                           const std::vector<RateAgg>& sweep) {
+  json::Writer w(os, pretty);
+  w.BeginObject();
+  w.Field("schema", "glb.fault_campaign");
+  w.Field("schema_version", static_cast<std::uint32_t>(1));
+  w.Field("tool", "fault_campaign");
+  w.Key("params");
+  w.BeginObject();
+  w.Field("rows", static_cast<std::uint32_t>(4));
+  w.Field("cols", static_cast<std::uint32_t>(8));
+  w.Field("seeds", static_cast<std::int64_t>(seeds));
+  w.Field("episodes_per_run", static_cast<std::int64_t>(episodes));
+  w.Field("watchdog", watchdog);
+  w.Field("max_retries", retries);
+  w.EndObject();
+  w.Field("all_ok", all_ok);
+  w.Key("sweep");
+  w.BeginArray();
+  for (const RateAgg& ra : sweep) {
+    w.BeginObject();
+    w.Field("drop_rate", ra.rate);
+    w.Field("runs", static_cast<std::int64_t>(ra.runs));
+    w.Field("ok", ra.agg.ok);
+    StatSet s;
+    s.GetCounter("episodes")->Inc(ra.agg.episodes);
+    s.GetCounter("faults_injected")->Inc(ra.agg.injected);
+    s.GetCounter("timeouts")->Inc(ra.agg.timeouts);
+    s.GetCounter("retries")->Inc(ra.agg.retries);
+    s.GetCounter("degraded_episodes")->Inc(ra.agg.degraded_episodes);
+    s.GetHistogram("recovery_latency")->Merge(ra.agg.recovery_lat);
+    s.GetHistogram("episode_span")->Merge(ra.agg.episode_span);
+    harness::WriteStatsBlock(w, s);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  const bench::Observability obs(flags);
   const int seeds = static_cast<int>(flags.GetInt("seeds", 25));
   const int episodes = static_cast<int>(flags.GetInt("episodes", 40));
   const auto watchdog = static_cast<Cycle>(flags.GetInt("watchdog", 3000));
@@ -141,42 +193,55 @@ int main(int argc, char** argv) {
                     "Retries", "Degraded", "MeanRecovery", "MeanEpisode"});
   bool all_ok = true;
   int total_runs = 0;
+  std::vector<RateAgg> sweep;
   for (const double rate : rates) {
-    RunResult agg;
+    RateAgg ra;
+    ra.rate = rate;
+    RunResult& agg = ra.agg;
     agg.ok = true;
     for (int s = 1; s <= seeds; ++s) {
       const RunResult r = RunOnce(rate, static_cast<std::uint64_t>(s), episodes,
                                   watchdog, retries);
       ++total_runs;
+      ++ra.runs;
       agg.ok = agg.ok && r.ok;
       agg.episodes += r.episodes;
       agg.injected += r.injected;
       agg.timeouts += r.timeouts;
       agg.retries += r.retries;
       agg.degraded_episodes += r.degraded_episodes;
-      agg.recovery_lat_sum += r.recovery_lat_sum;
-      agg.recovery_lat_count += r.recovery_lat_count;
-      agg.episode_span_sum += r.episode_span_sum;
-      agg.episode_span_count += r.episode_span_count;
+      agg.recovery_lat.Merge(r.recovery_lat);
+      agg.episode_span.Merge(r.episode_span);
     }
     all_ok = all_ok && agg.ok;
-    const double mean_rec =
-        agg.recovery_lat_count
-            ? static_cast<double>(agg.recovery_lat_sum) /
-                  static_cast<double>(agg.recovery_lat_count)
-            : 0.0;
-    const double mean_span =
-        agg.episode_span_count
-            ? static_cast<double>(agg.episode_span_sum) /
-                  static_cast<double>(agg.episode_span_count)
-            : 0.0;
     t.AddRow({harness::Table::Num(rate, 3), std::to_string(seeds),
               harness::Table::Num(agg.episodes), harness::Table::Num(agg.injected),
               harness::Table::Num(agg.timeouts), harness::Table::Num(agg.retries),
               harness::Table::Num(agg.degraded_episodes),
-              harness::Table::Num(mean_rec, 1), harness::Table::Num(mean_span, 1)});
+              harness::Table::Num(agg.recovery_lat.mean(), 1),
+              harness::Table::Num(agg.episode_span.mean(), 1)});
+    sweep.push_back(std::move(ra));
   }
   t.Print(std::cout);
+
+  if (flags.Has("json")) {
+    const std::string jpath = flags.GetString("json", "");
+    if (jpath.empty() || jpath == "true") {  // bare --json: pretty to stdout
+      std::cout << '\n';
+      WriteCampaignManifest(std::cout, /*pretty=*/true, seeds, episodes, watchdog,
+                            retries, all_ok, sweep);
+      std::cout << '\n';
+    } else {  // append one compact JSONL line (BENCH_*.json convention)
+      std::ofstream f(jpath, std::ios::app);
+      if (!f) {
+        std::cerr << "failed to append manifest to " << jpath << "\n";
+        return 1;
+      }
+      WriteCampaignManifest(f, /*pretty=*/false, seeds, episodes, watchdog, retries,
+                            all_ok, sweep);
+      f << '\n';
+    }
+  }
   std::cout << "\nMeanRecovery: cycles from first fault detection to episode"
                " completion.\nMeanEpisode: first arrival to release start"
                " (hardware path only; excludes\nepisodes finished by the"

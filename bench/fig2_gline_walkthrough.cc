@@ -5,6 +5,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/flags.h"
 #include "common/stats.h"
 #include "gline/barrier_network.h"
@@ -14,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
+  const bench::Observability obs(flags);
   const auto rows = static_cast<std::uint32_t>(flags.GetInt("rows", 2));
   const auto cols = static_cast<std::uint32_t>(flags.GetInt("cols", 2));
 

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
+  const bench::Observability obs(flags);
   bench::Scale scale = bench::Scale::FromFlags(flags);
   if (!flags.Has("synthetic-iters") && !flags.Has("paper-scale")) {
     scale.synthetic_iters = 200;  // stationary well before this

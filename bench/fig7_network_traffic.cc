@@ -10,6 +10,7 @@
 int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
+  const bench::Observability obs(flags);
   const bench::Scale scale = bench::Scale::FromFlags(flags);
   const auto cfg = bench::ConfigFromFlags(flags);
 

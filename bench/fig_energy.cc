@@ -21,6 +21,7 @@ struct Row {
 int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
+  const bench::Observability obs(flags);
   const bench::Scale scale = bench::Scale::FromFlags(flags);
   const auto cfg = bench::ConfigFromFlags(flags);
 

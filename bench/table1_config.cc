@@ -8,6 +8,7 @@
 
 int main(int argc, char** argv) {
   glb::Flags flags(argc, argv);
+  const glb::bench::Observability obs(flags);
   auto cfg = glb::cmp::CmpConfig::Table1();
   if (flags.Has("cores")) cfg = glb::bench::ConfigFromFlags(flags);
 

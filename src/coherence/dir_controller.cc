@@ -1,10 +1,12 @@
 #include "coherence/dir_controller.h"
 
+#include <cstdio>
 #include <ostream>
 #include <utility>
 
 #include "common/log.h"
 #include "coherence/fabric.h"
+#include "trace/trace.h"
 
 namespace glb::coherence {
 
@@ -13,6 +15,13 @@ namespace {
 constexpr Cycle kAllocRetryCycles = 8;
 
 std::uint64_t Bit(CoreId c) { return std::uint64_t{1} << c; }
+
+std::string TxnTraceName(bool is_recall, MsgType type, Addr line_addr) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%s @0x%llx", is_recall ? "recall" : ToString(type),
+                static_cast<unsigned long long>(line_addr));
+  return buf;
+}
 }  // namespace
 
 DirController::DirController(Fabric& fabric, CoreId tile, const mem::CacheGeometry& geo)
@@ -109,6 +118,18 @@ void DirController::Open(const Message& msg) {
   Txn txn;
   txn.type = msg.type;
   txn.requester = msg.from;
+  if (trace::Active()) {
+    // Overlapping transactions per bank (different lines) need async
+    // spans; the id pairs this Open with its Close.
+    txn.trace_id = trace::Sink().NextId();
+    trace::Sink().AsyncBegin("dir/bank " + std::to_string(tile_),
+                             TxnTraceName(false, msg.type, msg.line_addr),
+                             txn.trace_id, fabric_.engine().Now(),
+                             trace::Args()
+                                 .Add("requester", msg.from)
+                                 .Add("type", ToString(msg.type))
+                                 .json());
+  }
   txns_.emplace(msg.line_addr, std::move(txn));
   requests_->Inc();
   GLB_TRACE(fabric_.engine().Now(), "dir",
@@ -289,6 +310,12 @@ void DirController::StartRecall(Cache::Line* victim, std::function<void()> cont)
   Txn txn;
   txn.is_recall = true;
   txn.on_recall_done = std::move(cont);
+  if (trace::Active()) {
+    txn.trace_id = trace::Sink().NextId();
+    trace::Sink().AsyncBegin("dir/bank " + std::to_string(tile_),
+                             TxnTraceName(true, MsgType::kGetS, vaddr), txn.trace_id,
+                             fabric_.engine().Now());
+  }
   if (victim->meta.state == DirState::kShared) {
     txn.acks_left = PopCount(victim->meta.sharers);
     GLB_CHECK(txn.acks_left > 0) << "Shared line with empty sharer set";
@@ -372,6 +399,12 @@ void DirController::OnOwnerData(const Message& msg) {
 void DirController::Close(Addr line_addr) {
   auto node = txns_.extract(line_addr);
   GLB_CHECK(!node.empty()) << "closing a line with no transaction";
+  if (trace::Active() && node.mapped().trace_id != 0) {
+    trace::Sink().AsyncEnd(
+        "dir/bank " + std::to_string(tile_),
+        TxnTraceName(node.mapped().is_recall, node.mapped().type, line_addr),
+        node.mapped().trace_id, fabric_.engine().Now());
+  }
   std::deque<Message> queued = std::move(node.mapped().queued);
   std::function<void()> resume = std::move(node.mapped().on_recall_done);
 

@@ -81,6 +81,9 @@ class DirController {
     std::deque<Message> queued;
     /// Recall continuation: resumes the parent allocation.
     std::function<void()> on_recall_done;
+    /// Trace correlation id of the transaction's async span (0 =
+    /// tracing was off when it opened).
+    std::uint64_t trace_id = 0;
   };
 
   // Entry points of the per-line state machine.

@@ -1,9 +1,11 @@
 #include "coherence/l1_controller.h"
 
+#include <cstdio>
 #include <utility>
 
 #include "common/log.h"
 #include "coherence/fabric.h"
+#include "trace/trace.h"
 
 namespace glb::coherence {
 
@@ -16,6 +18,12 @@ const char* Name(L1Controller::LineState s) {
     case L1Controller::LineState::kM: return "M";
   }
   return "?";
+}
+
+std::string HexAddr(Addr a) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(a));
+  return buf;
 }
 }  // namespace
 
@@ -135,6 +143,7 @@ void L1Controller::StartMiss(Mshr::Op op, Addr addr, AmoOp amo, Word operand,
   mshr_.on_done = std::move(on_done);
   mshr_.inv_after_fill = false;
   mshr_.buffered_fwd.reset();
+  mshr_.trace_start = fabric_.engine().Now();
 
   const bool wants_write = (op != Mshr::Op::kLoad);
   mshr_.wait = !wants_write ? Mshr::Wait::kIS_D
@@ -228,6 +237,19 @@ void L1Controller::CompleteMiss(Cache::Line* line) {
   // may immediately issue the next memory operation.
   Mshr done = std::move(mshr_);
   mshr_ = Mshr{};
+
+  if (trace::Active()) {
+    // Single MSHR, so miss spans never overlap per core: a plain
+    // complete event on the core's L1 thread works.
+    const char* kind = done.wait == Mshr::Wait::kIS_D   ? "GetS"
+                       : done.wait == Mshr::Wait::kSM_D ? "Upgrade"
+                                                        : "GetX";
+    trace::Sink().Complete(
+        "core " + std::to_string(core_) + "/l1",
+        std::string(kind) + " @" + HexAddr(done.line_addr), done.trace_start,
+        fabric_.engine().Now(),
+        trace::Args().Add("line", HexAddr(done.line_addr)).json());
+  }
 
   Word value = 0;
   bool has_value = false;

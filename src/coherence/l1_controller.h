@@ -106,6 +106,9 @@ class L1Controller {
     /// A forward belonging to the transaction right after ours,
     /// buffered until our fill lands (at most one can exist).
     std::optional<Message> buffered_fwd;
+    /// Cycle the miss started (tracing only; the miss span is emitted
+    /// when the MSHR retires).
+    Cycle trace_start = 0;
   };
 
   // Evicted E/M line awaiting PutAck.

@@ -1,0 +1,409 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace glb::json {
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Writer::Writer(std::ostream& os, bool pretty) : os_(os), pretty_(pretty) {}
+
+void Writer::Indent() {
+  if (!pretty_) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void Writer::PreValue() {
+  if (stack_.empty()) {
+    GLB_CHECK(!wrote_root_) << "json::Writer: more than one root value";
+    wrote_root_ = true;
+    return;
+  }
+  Level& top = stack_.back();
+  if (top.scope == Scope::kObject) {
+    GLB_CHECK(top.key_pending) << "json::Writer: object value without Key()";
+    top.key_pending = false;
+  } else {
+    if (top.has_items) os_ << ',';
+    top.has_items = true;
+    Indent();
+  }
+}
+
+void Writer::Key(std::string_view k) {
+  GLB_CHECK(!stack_.empty() && stack_.back().scope == Scope::kObject)
+      << "json::Writer: Key() outside object";
+  Level& top = stack_.back();
+  GLB_CHECK(!top.key_pending) << "json::Writer: Key() twice without a value";
+  if (top.has_items) os_ << ',';
+  top.has_items = true;
+  Indent();
+  os_ << '"' << Escape(k) << '"' << (pretty_ ? ": " : ":");
+  top.key_pending = true;
+}
+
+void Writer::BeginObject() {
+  PreValue();
+  os_ << '{';
+  stack_.push_back({Scope::kObject});
+}
+
+void Writer::EndObject() {
+  GLB_CHECK(!stack_.empty() && stack_.back().scope == Scope::kObject)
+      << "json::Writer: unbalanced EndObject";
+  GLB_CHECK(!stack_.back().key_pending) << "json::Writer: dangling Key()";
+  bool had = stack_.back().has_items;
+  stack_.pop_back();
+  if (had) Indent();
+  os_ << '}';
+}
+
+void Writer::BeginArray() {
+  PreValue();
+  os_ << '[';
+  stack_.push_back({Scope::kArray});
+}
+
+void Writer::EndArray() {
+  GLB_CHECK(!stack_.empty() && stack_.back().scope == Scope::kArray)
+      << "json::Writer: unbalanced EndArray";
+  bool had = stack_.back().has_items;
+  stack_.pop_back();
+  if (had) Indent();
+  os_ << ']';
+}
+
+void Writer::String(std::string_view v) {
+  PreValue();
+  os_ << '"' << Escape(v) << '"';
+}
+
+void Writer::Uint(std::uint64_t v) {
+  PreValue();
+  os_ << v;
+}
+
+void Writer::Int(std::int64_t v) {
+  PreValue();
+  os_ << v;
+}
+
+void Writer::Double(double v) {
+  PreValue();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return;
+  }
+  // Shortest round-trippable form keeps manifests diffable across runs.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  for (int prec = 1; prec <= 16; ++prec) {
+    char trial[32];
+    std::snprintf(trial, sizeof trial, "%.*g", prec, v);
+    std::sscanf(trial, "%lf", &back);
+    if (back == v) {
+      os_ << trial;
+      return;
+    }
+  }
+  os_ << buf;
+}
+
+void Writer::Bool(bool v) {
+  PreValue();
+  os_ << (v ? "true" : "false");
+}
+
+void Writer::Null() {
+  PreValue();
+  os_ << "null";
+}
+
+const Value* Value::Find(std::string_view key) const {
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Value::NumberOr(std::string_view key, double def) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->IsNumber()) ? v->num_v : def;
+}
+
+std::string Value::StringOr(std::string_view key, std::string def) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->IsString()) ? v->str_v : def;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  std::optional<Value> Run() {
+    SkipWs();
+    Value root;
+    if (!ParseValue(root)) return std::nullopt;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return root;
+  }
+
+ private:
+  void Fail(const char* msg) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = std::string(msg) + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(Value& out) {
+    if (++depth_ > kMaxDepth) {
+      Fail("nesting too deep");
+      return false;
+    }
+    bool ok = ParseValueInner(out);
+    --depth_;
+    return ok;
+  }
+
+  bool ParseValueInner(Value& out) {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return false;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"':
+        out.type = Value::Type::kString;
+        return ParseString(out.str_v);
+      case 't':
+        if (!ConsumeLiteral("true")) { Fail("bad literal"); return false; }
+        out.type = Value::Type::kBool;
+        out.bool_v = true;
+        return true;
+      case 'f':
+        if (!ConsumeLiteral("false")) { Fail("bad literal"); return false; }
+        out.type = Value::Type::kBool;
+        out.bool_v = false;
+        return true;
+      case 'n':
+        if (!ConsumeLiteral("null")) { Fail("bad literal"); return false; }
+        out.type = Value::Type::kNull;
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Value& out) {
+    out.type = Value::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(key)) {
+        Fail("expected object key");
+        return false;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        Fail("expected ':'");
+        return false;
+      }
+      Value v;
+      if (!ParseValue(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      Fail("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool ParseArray(Value& out) {
+    out.type = Value::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) return true;
+    while (true) {
+      Value v;
+      if (!ParseValue(v)) return false;
+      out.arr.push_back(std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      Fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              Fail("truncated \\u escape");
+              return false;
+            }
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else { Fail("bad \\u escape"); return false; }
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // recombined; each half encodes independently, which is
+            // lossy but never produced by our own writer).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            Fail("bad escape");
+            return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("raw control character in string");
+        return false;
+      } else {
+        out += c;
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  bool ParseNumber(Value& out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      Fail("expected value");
+      return false;
+    }
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double d = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      Fail("malformed number");
+      return false;
+    }
+    out.type = Value::Type::kNumber;
+    out.num_v = d;
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 128;
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> Parse(std::string_view text, std::string* error) {
+  return Parser(text, error).Run();
+}
+
+}  // namespace glb::json

@@ -1,0 +1,122 @@
+// Minimal JSON support: a streaming writer (used by the trace sink and
+// the run-manifest emitter) and a small recursive-descent parser (used
+// by tests and tools to validate emitted artifacts round-trip).
+//
+// Deliberately not a general-purpose library: no SAX interface, no
+// incremental parse, documents are held fully in memory. Numbers are
+// stored as double (plus the uint64 fast path the stats need).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace glb::json {
+
+/// JSON string escaping of `s` (quotes, backslash, control characters);
+/// returns the escaped body without surrounding quotes.
+std::string Escape(std::string_view s);
+
+/// Streaming JSON writer with automatic comma placement. Invalid call
+/// sequences (value without a key inside an object, unbalanced End*)
+/// abort via GLB_CHECK. With `pretty`, output is indented two spaces
+/// per level; otherwise it is compact single-line.
+class Writer {
+ public:
+  explicit Writer(std::ostream& os, bool pretty = false);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits the key of the next object member.
+  void Key(std::string_view k);
+
+  void String(std::string_view v);
+  void Uint(std::uint64_t v);
+  void Int(std::int64_t v);
+  /// Non-finite doubles are emitted as null (JSON has no Inf/NaN).
+  void Double(double v);
+  void Bool(bool v);
+  void Null();
+
+  // Key+value conveniences for object members.
+  void Field(std::string_view k, std::string_view v) { Key(k); String(v); }
+  void Field(std::string_view k, const char* v) { Key(k); String(v); }
+  void Field(std::string_view k, std::uint64_t v) { Key(k); Uint(v); }
+  void Field(std::string_view k, std::uint32_t v) { Key(k); Uint(v); }
+  void Field(std::string_view k, std::int64_t v) { Key(k); Int(v); }
+  void Field(std::string_view k, double v) { Key(k); Double(v); }
+  void Field(std::string_view k, bool v) { Key(k); Bool(v); }
+
+  /// Callers that splice pre-rendered JSON directly into the stream
+  /// (after Key() / at an array position) must call this FIRST, then
+  /// write the raw text — it performs the comma/indent bookkeeping a
+  /// typed value method would. The caller is responsible for the
+  /// spliced text being one valid JSON value.
+  void BeginRawValue() { PreValue(); }
+
+  /// True once every Begin* has been balanced by its End*.
+  bool complete() const { return stack_.empty() && wrote_root_; }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  struct Level {
+    Scope scope;
+    bool has_items = false;
+    bool key_pending = false;  // object: Key() emitted, value expected
+  };
+
+  /// Comma/indent bookkeeping before a value or key is emitted.
+  void PreValue();
+  void Indent();
+
+  std::ostream& os_;
+  bool pretty_;
+  bool wrote_root_ = false;
+  std::vector<Level> stack_;
+};
+
+/// Parsed JSON document node.
+class Value {
+ public:
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;
+  std::vector<Value> arr;
+  /// Members in document order (duplicate keys preserved; Find returns
+  /// the first).
+  std::vector<std::pair<std::string, Value>> obj;
+
+  bool IsNull() const { return type == Type::kNull; }
+  bool IsBool() const { return type == Type::kBool; }
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsString() const { return type == Type::kString; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsObject() const { return type == Type::kObject; }
+
+  /// First object member named `key`, or nullptr (also for non-objects).
+  const Value* Find(std::string_view key) const;
+  /// Find + numeric conversion helpers used all over the tests.
+  double NumberOr(std::string_view key, double def) const;
+  std::string StringOr(std::string_view key, std::string def) const;
+};
+
+/// Parses one JSON document (trailing garbage is an error). Returns
+/// nullopt on malformed input, with a position-annotated message in
+/// `*error` when provided.
+std::optional<Value> Parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace glb::json

@@ -12,15 +12,22 @@ LogLevel Logger::level_ = LogLevel::kOff;
 void Logger::InitFromEnv() {
   const char* env = std::getenv("GLB_LOG");
   if (env == nullptr) return;
-  if (std::strcmp(env, "warn") == 0) {
+  if (!SetLevelFromName(env)) level_ = LogLevel::kOff;
+}
+
+bool Logger::SetLevelFromName(std::string_view name) {
+  if (name == "off") {
+    level_ = LogLevel::kOff;
+  } else if (name == "warn") {
     level_ = LogLevel::kWarn;
-  } else if (std::strcmp(env, "info") == 0) {
+  } else if (name == "info") {
     level_ = LogLevel::kInfo;
-  } else if (std::strcmp(env, "trace") == 0) {
+  } else if (name == "trace") {
     level_ = LogLevel::kTrace;
   } else {
-    level_ = LogLevel::kOff;
+    return false;
   }
+  return true;
 }
 
 void Logger::Emit(Cycle cycle, std::string_view tag, std::string_view msg) {

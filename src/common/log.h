@@ -22,6 +22,10 @@ class Logger {
   static void SetLevel(LogLevel lv) { level_ = lv; }
   /// Reads GLB_LOG from the environment ("off"|"warn"|"info"|"trace").
   static void InitFromEnv();
+  /// Sets the level from its name; returns false (level unchanged) for
+  /// an unrecognized name. Used by the `--log-level` flag, which
+  /// overrides GLB_LOG.
+  static bool SetLevelFromName(std::string_view name);
   static bool Enabled(LogLevel lv) {
     return static_cast<int>(lv) <= static_cast<int>(level_);
   }

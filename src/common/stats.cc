@@ -5,6 +5,36 @@
 
 namespace glb {
 
+double Histogram::PercentileApprox(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Target rank in [0, count-1]; walk buckets until it falls inside one.
+  double target = p * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    std::uint64_t n = buckets_[i];
+    if (n == 0) continue;
+    if (target < static_cast<double>(seen + n)) {
+      double frac = (target - static_cast<double>(seen)) / static_cast<double>(n);
+      double lo = i == 0 ? 0.0 : static_cast<double>(1ull << i);
+      double hi = static_cast<double>(1ull << (i + 1));
+      double v = lo + frac * (hi - lo);
+      return std::clamp(v, static_cast<double>(min_), static_cast<double>(max_));
+    }
+    seen += n;
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
 Counter* StatSet::GetCounter(std::string_view name) {
   auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
@@ -49,19 +79,23 @@ void StatSet::Print(std::ostream& os) const {
   for (const auto& [name, h] : histograms_) {
     os << std::left << std::setw(48) << name << " count=" << h->count()
        << " mean=" << std::fixed << std::setprecision(2) << h->mean()
-       << " min=" << h->min() << " max=" << h->max() << '\n';
+       << " min=" << h->min() << " max=" << h->max()
+       << " p50=" << h->PercentileApprox(0.50) << " p95=" << h->PercentileApprox(0.95)
+       << " p99=" << h->PercentileApprox(0.99) << '\n';
   }
 }
 
 void StatSet::PrintCsv(std::ostream& os) const {
-  os << "stat,count,sum,mean,min,max\n";
+  os << "stat,count,sum,mean,min,max,p50,p95,p99\n";
   for (const auto& [name, c] : counters_) {
     os << name << ",1," << c->value() << ',' << c->value() << ',' << c->value()
-       << ',' << c->value() << '\n';
+       << ',' << c->value() << ',' << c->value() << ',' << c->value() << ','
+       << c->value() << '\n';
   }
   for (const auto& [name, h] : histograms_) {
     os << name << ',' << h->count() << ',' << h->sum() << ',' << h->mean() << ','
-       << h->min() << ',' << h->max() << '\n';
+       << h->min() << ',' << h->max() << ',' << h->PercentileApprox(0.50) << ','
+       << h->PercentileApprox(0.95) << ',' << h->PercentileApprox(0.99) << '\n';
   }
 }
 

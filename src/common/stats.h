@@ -55,6 +55,17 @@ class Histogram {
     return buckets_[i];
   }
 
+  /// Approximate p-quantile (p in [0,1]) from the power-of-two buckets:
+  /// linear rank interpolation inside the bucket that holds the target
+  /// rank, clamped to [min, max]. Exact when all samples share one
+  /// value; otherwise within a factor of 2 (one bucket width). Returns
+  /// 0 for an empty histogram.
+  double PercentileApprox(double p) const;
+
+  /// Folds `other`'s samples into this histogram (used by campaign
+  /// benches aggregating per-run stats).
+  void Merge(const Histogram& other);
+
   static int BucketOf(std::uint64_t sample) {
     if (sample == 0) return 0;
     int b = 63 - __builtin_clzll(sample);
@@ -86,6 +97,17 @@ class StatSet {
 
   /// Sum of all counters whose name starts with `prefix`.
   std::uint64_t SumCountersWithPrefix(std::string_view prefix) const;
+
+  /// Visits every counter / histogram in name order (used by the run
+  /// manifest emitter; keeps the storage maps private).
+  template <typename F>
+  void ForEachCounter(F&& f) const {
+    for (const auto& [name, c] : counters_) f(name, *c);
+  }
+  template <typename F>
+  void ForEachHistogram(F&& f) const {
+    for (const auto& [name, h] : histograms_) f(name, *h);
+  }
 
   /// Human-readable dump, sorted by name.
   void Print(std::ostream& os) const;

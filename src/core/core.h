@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "core/task.h"
 #include "core/timebreak.h"
 #include "sim/engine.h"
+#include "trace/trace.h"
 
 namespace glb::core {
 
@@ -218,6 +220,13 @@ class Core {
     GLB_CHECK(op_pending_) << "EndOp without BeginOp";
     op_pending_ = false;
     breakdown_[op_cat_] += engine_.Now() - op_start_;
+    if (trace::Active() && engine_.Now() > op_start_) {
+      // Per-tile compute-vs-barrier timeline. Ops are strictly
+      // sequential per core (checked above), so plain spans suffice;
+      // zero-length ops are skipped to keep traces small.
+      trace::Sink().Complete(trace_track_, ToString(op_cat_), op_start_,
+                             engine_.Now());
+    }
   }
 
   sim::Engine& engine_;
@@ -234,6 +243,9 @@ class Core {
 
   TimeBreakdown breakdown_;
   std::vector<TimeCat> cat_stack_;
+  /// Cached trace track name ("core <id>/timeline"); built once so the
+  /// enabled path does not rebuild it per event.
+  std::string trace_track_;
   bool op_pending_ = false;
   TimeCat op_cat_ = TimeCat::kBusy;
   Cycle op_start_ = 0;

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "trace/trace.h"
 
 namespace glb::gline {
 
@@ -45,6 +46,7 @@ void BarrierNetwork::BuildContext(std::uint32_t ctx) {
   c.participates.assign(num_cores(), true);
   c.release_cb.resize(num_cores());
   c.release_owed.assign(num_cores(), false);
+  c.trace.track = "gl/ctx" + std::to_string(ctx);
   const std::string pfx = "gl.ctx" + std::to_string(ctx) + ".";
   if (resilient()) {
     c.timeouts = stats_.GetCounter(pfx + "timeouts");
@@ -70,6 +72,8 @@ void BarrierNetwork::BuildContext(std::uint32_t ctx) {
             << "SglineH signal outside Accounting (row " << row << ")";
         cc.miscounts->Inc();
         miscounts_->Inc();
+        GLB_TRACE_EVENT(
+            trace::Sink().Instant(cc.trace.track, "miscount", engine_.Now()));
         return;  // spurious/late signal; the watchdog owns recovery
       }
       mh.scnt += count;
@@ -77,6 +81,8 @@ void BarrierNetwork::BuildContext(std::uint32_t ctx) {
         GLB_CHECK(resilient()) << "ScntH overflow in row " << row;
         cc.miscounts->Inc();
         miscounts_->Inc();
+        GLB_TRACE_EVENT(
+            trace::Sink().Instant(cc.trace.track, "miscount", engine_.Now()));
         // Clamp: if the over-count completes the gather early, the
         // release guard in StartRelease detects it and recovers.
         mh.scnt = mh.expected;
@@ -104,6 +110,8 @@ void BarrierNetwork::BuildContext(std::uint32_t ctx) {
       GLB_CHECK(resilient()) << "SglineV signal outside Accounting";
       cc.miscounts->Inc();
       miscounts_->Inc();
+      GLB_TRACE_EVENT(
+          trace::Sink().Instant(cc.trace.track, "miscount", engine_.Now()));
       return;
     }
     mv.scnt += count;
@@ -111,6 +119,8 @@ void BarrierNetwork::BuildContext(std::uint32_t ctx) {
       GLB_CHECK(resilient()) << "ScntV overflow";
       cc.miscounts->Inc();
       miscounts_->Inc();
+      GLB_TRACE_EVENT(
+          trace::Sink().Instant(cc.trace.track, "miscount", engine_.Now()));
       mv.scnt = mv.expected;
     }
     CheckVerticalComplete(ctx);
@@ -265,6 +275,10 @@ void BarrierNetwork::DoArrive(std::uint32_t ctx, CoreId core,
     c.release_cb[core] = std::move(on_release);
     GLB_TRACE(engine_.Now(), "gl",
               "ctx " << ctx << " core " << core << " arrives (degraded, via fallback)");
+    if (trace::Active() && !c.trace.deg_active) {
+      c.trace.deg_active = true;
+      c.trace.deg_first = engine_.Now();
+    }
     ForwardToFallback(ctx, core);
     return;
   }
@@ -364,6 +378,8 @@ void BarrierNetwork::StartRelease(std::uint32_t ctx) {
     GLB_TRACE(engine_.Now(), "gl",
               "ctx " << ctx << " early completion detected (" << c.arrived << "/"
                      << c.expected_arrivals << " arrived); recovering");
+    GLB_TRACE_EVENT(
+        trace::Sink().Instant(c.trace.track, "miscount", engine_.Now()));
     HandleEpisodeFault(ctx);
     return;
   }
@@ -372,6 +388,17 @@ void BarrierNetwork::StartRelease(std::uint32_t ctx) {
   completed_->Inc();
   episode_span_->Record(engine_.Now() - c.first_arrival);
   GLB_TRACE(engine_.Now(), "gl", "ctx " << ctx << " release starts");
+  if (trace::Active()) {
+    // Snapshot the wave for EmitEpisodeTrace: the live gather fields
+    // reset below while releases are still in flight.
+    c.trace.releasing = true;
+    c.trace.ep_first_arrival = c.first_arrival;
+    c.trace.ep_last_arrival = c.last_arrival;
+    c.trace.first_release = kCycleNever;
+    c.trace.outstanding = c.arrived;
+    c.trace.arrivals = c.arrived;
+    c.trace.retries = c.retries_this_episode;
+  }
 
   if (resilient()) {
     c.to_release = c.arrived;
@@ -442,6 +469,10 @@ void BarrierNetwork::ReleaseCore(std::uint32_t ctx, CoreId core) {
     return;
   }
   release_latency_->Record(engine_.Now() - c.last_arrival);
+  if (trace::Active() && c.trace.releasing) {
+    if (c.trace.first_release == kCycleNever) c.trace.first_release = engine_.Now();
+    if (--c.trace.outstanding == 0) EmitEpisodeTrace(c);
+  }
   auto cb = std::move(c.release_cb[core]);
   c.release_cb[core] = nullptr;
   if (resilient()) {
@@ -450,6 +481,30 @@ void BarrierNetwork::ReleaseCore(std::uint32_t ctx, CoreId core) {
     if (--c.to_release == 0) OnEpisodeFullyReleased(ctx);
   }
   cb();
+}
+
+void BarrierNetwork::EmitEpisodeTrace(Context& c) {
+  auto& t = c.trace;
+  t.releasing = false;
+  const Cycle last_release = engine_.Now();
+  auto& sink = trace::Sink();
+  // Async nestable events (one id per episode): consecutive episodes on
+  // a context may overlap — the first cores released re-arrive while the
+  // release wave still drains — so plain "X" spans would nest badly.
+  const std::uint64_t id = sink.NextId();
+  sink.AsyncBegin(t.track, "episode", id, t.ep_first_arrival,
+                  trace::Args()
+                      .Add("n", c.expected_arrivals)
+                      .Add("retries", t.retries)
+                      .Add("degraded", false)
+                      .json());
+  sink.AsyncBegin(t.track, "arrive", id, t.ep_first_arrival);
+  sink.AsyncEnd(t.track, "arrive", id, t.ep_last_arrival);
+  sink.AsyncBegin(t.track, "combine", id, t.ep_last_arrival);
+  sink.AsyncEnd(t.track, "combine", id, t.first_release);
+  sink.AsyncBegin(t.track, "release", id, t.first_release);
+  sink.AsyncEnd(t.track, "release", id, last_release);
+  sink.AsyncEnd(t.track, "episode", id, last_release);
 }
 
 // ---------------------------------------------------------------------------
@@ -475,6 +530,13 @@ void BarrierNetwork::OnWatchdog(std::uint32_t ctx, std::uint64_t token) {
             "ctx " << ctx << " BarrierTimeout: episode stuck (" << c.arrived << "/"
                    << c.expected_arrivals << " arrived, " << c.to_release
                    << " releases owed)");
+  GLB_TRACE_EVENT(trace::Sink().Instant(
+      c.trace.track, "BarrierTimeout", engine_.Now(),
+      trace::Args()
+          .Add("arrived", c.arrived)
+          .Add("expected", c.expected_arrivals)
+          .Add("releases_owed", c.to_release)
+          .json()));
   HandleEpisodeFault(ctx);
 }
 
@@ -510,6 +572,12 @@ void BarrierNetwork::RecoverGather(std::uint32_t ctx) {
   GLB_TRACE(engine_.Now(), "gl",
             "ctx " << ctx << " hardware retry " << c.retries_this_episode << "/"
                    << cfg_.max_retries << " (" << c.arrived << " arrivals held)");
+  GLB_TRACE_EVENT(trace::Sink().Instant(
+      c.trace.track, "retry", engine_.Now(),
+      trace::Args()
+          .Add("attempt", c.retries_this_episode)
+          .Add("max", cfg_.max_retries)
+          .json()));
   // Hardware reset: every controller to its initial state, every
   // in-flight batch discarded.
   ResetControllers(c);
@@ -537,6 +605,9 @@ void BarrierNetwork::RecoverRelease(std::uint32_t ctx) {
   GLB_TRACE(engine_.Now(), "gl",
             "ctx " << ctx << " re-driving lost release wave (" << c.to_release
                    << " owed)");
+  GLB_TRACE_EVENT(trace::Sink().Instant(
+      c.trace.track, "release-redrive", engine_.Now(),
+      trace::Args().Add("owed", c.to_release).json()));
   for (std::uint32_t row = 0; row < rows_; ++row) {
     MasterH& mh = c.mh[row];
     // Only cores from the wave's membership snapshot are owed; a core
@@ -581,6 +652,13 @@ void BarrierNetwork::Degrade(std::uint32_t ctx) {
   Context& c = ctxs_[ctx];
   GLB_TRACE(engine_.Now(), "gl",
             "ctx " << ctx << " retries exhausted; degrading to software fallback");
+  GLB_TRACE_EVENT(trace::Sink().Instant(c.trace.track, "degraded", engine_.Now()));
+  if (trace::Active() && !c.trace.deg_active && c.arrived > 0) {
+    // The stranded gather becomes the first degraded episode; keep its
+    // true start so the span covers the whole (slow) episode.
+    c.trace.deg_active = true;
+    c.trace.deg_first = c.first_arrival;
+  }
   c.degraded = true;
   ++c.watchdog_token;  // no more watchdogs for this context
   ResetControllers(c);
@@ -640,6 +718,17 @@ void BarrierNetwork::OnFallbackRelease(std::uint32_t ctx, CoreId core) {
     if (c.recovering_since != kCycleNever) {
       c.recovery_latency->Record(engine_.Now() - c.recovering_since);
       c.recovering_since = kCycleNever;
+    }
+    if (trace::Active() && c.trace.deg_active) {
+      c.trace.deg_active = false;
+      auto& sink = trace::Sink();
+      const std::uint64_t id = sink.NextId();
+      sink.AsyncBegin(c.trace.track, "episode", id, c.trace.deg_first,
+                      trace::Args()
+                          .Add("n", c.expected_arrivals)
+                          .Add("degraded", true)
+                          .json());
+      sink.AsyncEnd(c.trace.track, "episode", id, engine_.Now());
     }
   }
   cb();

@@ -52,6 +52,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -251,6 +252,26 @@ class BarrierNetwork {
     Counter* miscounts = nullptr;
     Counter* degraded_episodes = nullptr;
     Histogram* recovery_latency = nullptr;
+
+    // --- tracing (only mutated under trace::Active(); the release-wave
+    // snapshot is taken in StartRelease because the live gather fields
+    // reset there while the wave is still in flight) ------------------
+    struct EpisodeTrace {
+      std::string track;  // "gl/ctx<N>", built once at construction
+      /// Release-wave snapshot; valid while `releasing`.
+      bool releasing = false;
+      Cycle ep_first_arrival = 0;
+      Cycle ep_last_arrival = 0;
+      Cycle first_release = kCycleNever;
+      std::uint32_t outstanding = 0;
+      std::uint32_t arrivals = 0;
+      std::uint32_t retries = 0;
+      /// Degraded episodes span first fallback arrival -> last fallback
+      /// release (approximate if arrivals for the next episode overlap
+      /// the drain; see docs/OBSERVABILITY.md).
+      bool deg_active = false;
+      Cycle deg_first = 0;
+    } trace;
   };
 
   class ContextDevice : public core::BarrierDevice {
@@ -308,6 +329,9 @@ class BarrierNetwork {
   /// MglineH observed at a non-master node.
   void ReleaseRowNode(std::uint32_t ctx, CoreId core);
   void ReleaseCore(std::uint32_t ctx, CoreId core);
+  /// Emits the finished episode's phase spans (arrive / combine /
+  /// release) as nested async events on the context's trace track.
+  void EmitEpisodeTrace(Context& c);
   /// Rows with no participating core complete on their own as soon as
   /// the context (re-)arms.
   void ArmAutonomousRows(std::uint32_t ctx);

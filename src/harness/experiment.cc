@@ -36,14 +36,18 @@ RunMetrics RunExperiment(const WorkloadFactory& make_workload, BarrierKind kind,
   workload->Init(sys);
   auto barrier = MakeBarrier(kind, sys);
 
-  RunMetrics m;
-  m.workload = workload->name();
-  m.barrier = ToString(kind);
-  m.cores = sys.num_cores();
-
   const sim::RunStatus status = sys.RunProgramsStatus(
       [&](core::Core& core, CoreId id) { return workload->Body(core, id, *barrier); },
       max_cycles);
+  return CollectMetrics(sys, status, *workload, ToString(kind));
+}
+
+RunMetrics CollectMetrics(cmp::CmpSystem& sys, const sim::RunStatus& status,
+                          workloads::Workload& workload, const std::string& barrier_name) {
+  RunMetrics m;
+  m.workload = workload.name();
+  m.barrier = barrier_name;
+  m.cores = sys.num_cores();
   m.completed = status.idle;
   m.stall = status.DescribeStall();
 
@@ -62,7 +66,7 @@ RunMetrics RunExperiment(const WorkloadFactory& make_workload, BarrierKind kind,
   m.barrier_timeouts = sys.stats().CounterValue("gl.timeouts");
   m.barrier_retries = sys.stats().CounterValue("gl.retries");
   m.degraded_episodes = sys.stats().CounterValue("gl.degraded_episodes");
-  m.validation = m.completed ? workload->Validate(sys) : m.stall;
+  m.validation = m.completed ? workload.Validate(sys) : m.stall;
   return m;
 }
 

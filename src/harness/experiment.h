@@ -74,6 +74,13 @@ struct RunMetrics {
 
 using WorkloadFactory = std::function<std::unique_ptr<workloads::Workload>()>;
 
+/// Extracts RunMetrics from an already-run system. Shared by
+/// RunExperiment and drivers that run the system themselves (glbsim
+/// needs the live StatSet for --stats/--json, which RunExperiment
+/// hides).
+RunMetrics CollectMetrics(cmp::CmpSystem& sys, const sim::RunStatus& status,
+                          workloads::Workload& workload, const std::string& barrier_name);
+
 /// Runs one experiment to completion (or `max_cycles`) and collects the
 /// metrics. The system is built fresh, the workload initialized, one
 /// program launched per core.

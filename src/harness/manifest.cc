@@ -1,0 +1,170 @@
+#include "harness/manifest.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "core/timebreak.h"
+#include "fault/fault_model.h"
+
+namespace glb::harness {
+
+void WriteStatsBlock(json::Writer& w, const StatSet& stats) {
+  w.Key("counters");
+  w.BeginObject();
+  stats.ForEachCounter(
+      [&](const std::string& name, const Counter& c) { w.Field(name, c.value()); });
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  stats.ForEachHistogram([&](const std::string& name, const Histogram& h) {
+    w.Key(name);
+    w.BeginObject();
+    w.Field("count", h.count());
+    w.Field("sum", h.sum());
+    w.Field("min", h.min());
+    w.Field("max", h.max());
+    w.Field("mean", h.mean());
+    w.Field("p50", h.PercentileApprox(0.50));
+    w.Field("p95", h.PercentileApprox(0.95));
+    w.Field("p99", h.PercentileApprox(0.99));
+    w.EndObject();
+  });
+  w.EndObject();
+}
+
+namespace {
+
+void WriteGeometry(json::Writer& w, const char* key, const mem::CacheGeometry& g) {
+  w.Key(key);
+  w.BeginObject();
+  w.Field("size_bytes", g.size_bytes);
+  w.Field("ways", g.ways);
+  w.Field("line_bytes", g.line_bytes);
+  w.EndObject();
+}
+
+void WriteConfig(json::Writer& w, const cmp::CmpConfig& cfg) {
+  w.Key("config");
+  w.BeginObject();
+  w.Field("rows", cfg.rows);
+  w.Field("cols", cfg.cols);
+  w.Field("cores", cfg.num_cores());
+  WriteGeometry(w, "l1", cfg.l1);
+  WriteGeometry(w, "l2", cfg.l2);
+  w.Key("coherence");
+  w.BeginObject();
+  w.Field("l1_latency", cfg.coherence.l1_latency);
+  w.Field("l2_latency", cfg.coherence.l2_latency);
+  w.Field("dram_latency", cfg.coherence.dram_latency);
+  w.Field("control_bytes", cfg.coherence.control_bytes);
+  w.Field("line_bytes", cfg.coherence.line_bytes);
+  w.EndObject();
+  w.Key("noc");
+  w.BeginObject();
+  w.Field("router_latency", cfg.noc.router_latency);
+  w.Field("link_latency", cfg.noc.link_latency);
+  w.Field("link_bytes", cfg.noc.link_bytes);
+  w.Field("local_latency", cfg.noc.local_latency);
+  w.EndObject();
+  w.Key("gline");
+  w.BeginObject();
+  w.Field("contexts", cfg.gline.contexts);
+  w.Field("max_transmitters", cfg.gline.max_transmitters);
+  w.Field("relaxed_tx_policy", cfg.gline.policy == gline::TxPolicy::kRelaxed);
+  w.Field("watchdog_timeout", cfg.gline.watchdog_timeout);
+  w.Field("max_retries", cfg.gline.max_retries);
+  w.Field("fallback_latency", cfg.gline.fallback_latency);
+  w.EndObject();
+  w.Key("core");
+  w.BeginObject();
+  w.Field("gl_notify_overhead", cfg.core.gl_notify_overhead);
+  w.Field("gl_resume_overhead", cfg.core.gl_resume_overhead);
+  w.EndObject();
+  w.Key("fault");
+  w.BeginObject();
+  w.Field("enabled", cfg.fault.enabled());
+  w.Field("seed", cfg.fault.seed);
+  w.Field("gline_drop_rate", cfg.fault.gline_drop_rate);
+  w.Field("gline_dup_rate", cfg.fault.gline_dup_rate);
+  w.Field("csma_corrupt_rate", cfg.fault.csma_corrupt_rate);
+  w.Field("core_freeze_rate", cfg.fault.core_freeze_rate);
+  w.Field("noc_delay_rate", cfg.fault.noc_delay_rate);
+  w.Field("noc_drop_rate", cfg.fault.noc_drop_rate);
+  w.Field("csma_max_skew", cfg.fault.csma_max_skew);
+  w.Field("core_freeze_cycles", cfg.fault.core_freeze_cycles);
+  w.Field("noc_delay_cycles", cfg.fault.noc_delay_cycles);
+  w.Field("noc_retransmit_cycles", cfg.fault.noc_retransmit_cycles);
+  w.Field("scripted_faults", static_cast<std::uint64_t>(cfg.fault.script.size()));
+  w.EndObject();
+  w.EndObject();
+}
+
+void WriteRun(json::Writer& w, const RunMetrics& m) {
+  w.Key("run");
+  w.BeginObject();
+  w.Field("workload", m.workload);
+  w.Field("barrier", m.barrier);
+  w.Field("cores", m.cores);
+  w.Field("cycles", m.cycles);
+  w.Field("barriers_per_core", m.barriers);
+  w.Field("barrier_period", m.barrier_period);
+  w.Field("completed", m.completed);
+  w.Field("validation", m.validation);
+  w.Field("stall", m.stall);
+  w.Field("host_events", m.host_events);
+  w.Key("breakdown");
+  w.BeginObject();
+  for (int i = 0; i < core::kNumTimeCats; ++i) {
+    const auto cat = static_cast<core::TimeCat>(i);
+    w.Field(core::ToString(cat), m.breakdown[cat]);
+  }
+  w.EndObject();
+  w.Key("noc_msgs");
+  w.BeginObject();
+  w.Field("request", m.msgs_request);
+  w.Field("reply", m.msgs_reply);
+  w.Field("coherence", m.msgs_coherence);
+  w.Field("total", m.total_msgs());
+  w.EndObject();
+  w.Key("fault_outcome");
+  w.BeginObject();
+  w.Field("faults_injected", m.faults_injected);
+  w.Field("barrier_timeouts", m.barrier_timeouts);
+  w.Field("barrier_retries", m.barrier_retries);
+  w.Field("degraded_episodes", m.degraded_episodes);
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+void WriteRunManifest(std::ostream& os, const RunMetrics& m, const cmp::CmpConfig& cfg,
+                      const StatSet& stats, const ManifestOptions& opts) {
+  json::Writer w(os, opts.pretty);
+  w.BeginObject();
+  w.Field("schema", kRunManifestSchema);
+  w.Field("schema_version", kRunManifestVersion);
+  w.Field("tool", opts.tool);
+  WriteRun(w, m);
+  WriteConfig(w, cfg);
+  w.Key("stats");
+  w.BeginObject();
+  WriteStatsBlock(w, stats);
+  w.EndObject();
+  w.EndObject();
+}
+
+bool AppendRunManifestLine(const std::string& path, const RunMetrics& m,
+                           const cmp::CmpConfig& cfg, const StatSet& stats,
+                           const ManifestOptions& opts) {
+  std::ofstream f(path, std::ios::app);
+  if (!f) return false;
+  ManifestOptions compact = opts;
+  compact.pretty = false;
+  WriteRunManifest(f, m, cfg, stats, compact);
+  f << '\n';
+  return f.good();
+}
+
+}  // namespace glb::harness

@@ -1,0 +1,48 @@
+// Versioned JSON run manifests: one machine-readable artifact per
+// experiment, carrying the full RunMetrics, a config echo, and every
+// counter/histogram (with p50/p95/p99) from the run's StatSet. Benches
+// append compact one-line manifests to BENCH_*.json files so runs
+// become diffable artifacts in the repo's bench trajectory.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "cmp/cmp_system.h"
+#include "common/json.h"
+#include "common/stats.h"
+#include "harness/experiment.h"
+
+namespace glb::harness {
+
+/// Bump when the manifest layout changes incompatibly (consumers key
+/// on `schema` + `schema_version`).
+inline constexpr std::uint32_t kRunManifestVersion = 1;
+inline constexpr const char* kRunManifestSchema = "glb.run";
+
+struct ManifestOptions {
+  /// Producing tool, echoed as "tool" (e.g. "glbsim", "fig5").
+  std::string tool = "glbsim";
+  /// Pretty-print (human inspection) vs compact single line (JSONL
+  /// appends).
+  bool pretty = false;
+};
+
+/// Writes one complete run manifest object (no trailing newline).
+void WriteRunManifest(std::ostream& os, const RunMetrics& m, const cmp::CmpConfig& cfg,
+                      const StatSet& stats, const ManifestOptions& opts = {});
+
+/// Appends the manifest as one compact JSON line to `path` (JSONL; the
+/// BENCH_*.json convention). Returns false on I/O failure.
+bool AppendRunManifestLine(const std::string& path, const RunMetrics& m,
+                           const cmp::CmpConfig& cfg, const StatSet& stats,
+                           const ManifestOptions& opts = {});
+
+/// Emits the shared stats block (`"counters"` object + `"histograms"`
+/// object with count/sum/min/max/mean/p50/p95/p99 per entry) into an
+/// already-open writer object scope. Reused by bench-specific manifests
+/// (fault_campaign) so all artifacts shape their stats the same way.
+void WriteStatsBlock(json::Writer& w, const StatSet& stats);
+
+}  // namespace glb::harness

@@ -5,8 +5,23 @@
 #include <utility>
 
 #include "common/log.h"
+#include "trace/trace.h"
 
 namespace glb::noc {
+
+namespace {
+
+/// Name shared by the AsyncBegin/AsyncEnd pair of one packet's
+/// in-flight span (the id does the correlation; the name is for the
+/// viewer).
+std::string PacketTraceName(const Packet& p) {
+  return std::string(ToString(p.traffic)) + ' ' + std::to_string(p.src) + "->" +
+         std::to_string(p.dst);
+}
+
+constexpr const char* kDirName[] = {"E", "W", "N", "S"};
+
+}  // namespace
 
 Mesh::Mesh(sim::Engine& engine, const MeshConfig& cfg, StatSet& stats)
     : engine_(engine), cfg_(cfg), routers_(cfg.num_nodes()) {
@@ -66,6 +81,16 @@ void Mesh::Send(Packet pkt) {
   flits_sent_->Inc(static_cast<std::uint64_t>(FlitsOf(flight.pkt.bytes)) *
                    Hops(flight.pkt.src, flight.pkt.dst));
   total_hops_->Inc(Hops(flight.pkt.src, flight.pkt.dst));
+  if (trace::Active()) {
+    flight.trace_id = trace::Sink().NextId();
+    trace::Sink().AsyncBegin(
+        "noc/packets", PacketTraceName(flight.pkt), flight.trace_id, engine_.Now(),
+        trace::Args()
+            .Add("bytes", flight.pkt.bytes)
+            .Add("hops", Hops(flight.pkt.src, flight.pkt.dst))
+            .Add("class", ToString(flight.pkt.traffic))
+            .json());
+  }
   const CoreId src = flight.pkt.src;
   engine_.ScheduleIn(cfg_.router_latency + penalty,
                      [this, src, f = std::move(flight)]() mutable {
@@ -85,11 +110,16 @@ void Mesh::RouteAt(CoreId node, InFlight flight) {
               "deliver " << flight.pkt.src << "->" << flight.pkt.dst << " ("
                          << ToString(flight.pkt.traffic) << ", " << flight.pkt.bytes
                          << "B)");
+    if (trace::Active() && flight.trace_id != 0) {
+      trace::Sink().AsyncEnd("noc/packets", PacketTraceName(flight.pkt),
+                             flight.trace_id, engine_.Now());
+    }
     flight.pkt.deliver();
     return;
   }
   const Dir d = NextDir(node, flight.pkt.dst);
   OutLink& link = routers_[node].out[d];
+  flight.enqueued_at = engine_.Now();
   link.queues[static_cast<std::size_t>(flight.pkt.vnet)].push_back(std::move(flight));
   PumpLink(node, d);
 }
@@ -116,6 +146,18 @@ void Mesh::PumpLink(CoreId node, Dir d) {
 
   const Cycle serialization = FlitsOf(flight.pkt.bytes);
   const CoreId next = Neighbour(node, d);
+
+  if (trace::Active()) {
+    // One span per link occupancy: start = head flit on the wire,
+    // dur = serialization; `queued` shows arbitration/backpressure wait.
+    trace::Sink().Complete(
+        "noc/link " + std::to_string(node) + kDirName[d], PacketTraceName(flight.pkt),
+        engine_.Now(), engine_.Now() + serialization,
+        trace::Args()
+            .Add("queued", engine_.Now() - flight.enqueued_at)
+            .Add("bytes", flight.pkt.bytes)
+            .json());
+  }
 
   // Link becomes free once the tail flit has left this router.
   engine_.ScheduleIn(serialization, [this, node, d]() {

@@ -87,6 +87,12 @@ class Mesh {
   struct InFlight {
     Packet pkt;
     Cycle injected_at;
+    /// Trace correlation id for the packet-lifetime async span
+    /// (0 = tracing was off at injection).
+    std::uint64_t trace_id = 0;
+    /// When the packet entered its current output-link queue (tracing
+    /// only; exposes queueing vs. serialization delay per hop).
+    Cycle enqueued_at = 0;
   };
 
   // One directed link: per-VNet FIFO + round-robin arbitration; the link

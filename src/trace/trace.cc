@@ -1,0 +1,249 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace glb::trace {
+
+Args& Args::Add(std::string_view key, std::string_view value) {
+  Pre(key);
+  body_ += '"';
+  body_ += json::Escape(value);
+  body_ += '"';
+  return *this;
+}
+
+Args& Args::Add(std::string_view key, std::uint64_t value) {
+  Pre(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+Args& Args::Add(std::string_view key, std::int64_t value) {
+  Pre(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+Args& Args::Add(std::string_view key, double value) {
+  Pre(key);
+  std::ostringstream os;
+  json::Writer w(os);
+  w.Double(value);
+  body_ += os.str();
+  return *this;
+}
+
+Args& Args::Add(std::string_view key, bool value) {
+  Pre(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+void Args::Pre(std::string_view key) {
+  body_ += body_.empty() ? '{' : ',';
+  body_ += '"';
+  body_ += json::Escape(key);
+  body_ += "\":";
+}
+
+std::string Args::json() {
+  if (body_.empty()) return {};
+  body_ += '}';
+  return std::move(body_);
+}
+
+std::uint32_t TraceSink::InternTrack(std::string_view track) {
+  auto it = track_index_.find(std::string(track));
+  if (it != track_index_.end()) return it->second;
+  Track t;
+  auto slash = track.find('/');
+  if (slash == std::string_view::npos) {
+    t.process = std::string(track);
+  } else {
+    t.process = std::string(track.substr(0, slash));
+    t.thread = std::string(track.substr(slash + 1));
+  }
+  auto idx = static_cast<std::uint32_t>(tracks_.size());
+  tracks_.push_back(std::move(t));
+  track_index_.emplace(std::string(track), idx);
+  return idx;
+}
+
+void TraceSink::Complete(std::string_view track, std::string_view name, Cycle start, Cycle end,
+                         std::string args_json) {
+  Event e;
+  e.phase = Phase::kComplete;
+  e.track = InternTrack(track);
+  e.ts = start;
+  e.dur = end >= start ? end - start : 0;
+  e.name = std::string(name);
+  e.args_json = std::move(args_json);
+  events_.push_back(std::move(e));
+}
+
+void TraceSink::Instant(std::string_view track, std::string_view name, Cycle at,
+                        std::string args_json) {
+  Event e;
+  e.phase = Phase::kInstant;
+  e.track = InternTrack(track);
+  e.ts = at;
+  e.name = std::string(name);
+  e.args_json = std::move(args_json);
+  events_.push_back(std::move(e));
+}
+
+void TraceSink::AsyncBegin(std::string_view track, std::string_view name, std::uint64_t id,
+                           Cycle at, std::string args_json) {
+  Event e;
+  e.phase = Phase::kAsyncBegin;
+  e.track = InternTrack(track);
+  e.ts = at;
+  e.id = id;
+  e.name = std::string(name);
+  e.args_json = std::move(args_json);
+  events_.push_back(std::move(e));
+}
+
+void TraceSink::AsyncEnd(std::string_view track, std::string_view name, std::uint64_t id,
+                         Cycle at) {
+  Event e;
+  e.phase = Phase::kAsyncEnd;
+  e.track = InternTrack(track);
+  e.ts = at;
+  e.id = id;
+  e.name = std::string(name);
+  events_.push_back(std::move(e));
+}
+
+void TraceSink::CounterEvent(std::string_view track, std::string_view name,
+                             std::string_view series, Cycle at, std::int64_t value) {
+  Event e;
+  e.phase = Phase::kCounter;
+  e.track = InternTrack(track);
+  e.ts = at;
+  e.name = std::string(name);
+  e.args_json = std::string("{\"") + json::Escape(series) + "\":" + std::to_string(value) + '}';
+  events_.push_back(std::move(e));
+}
+
+void TraceSink::Write(std::ostream& os) const {
+  // pid = index of the first track sharing the process name (stable,
+  // deterministic); tid = track index. Metadata events name both.
+  std::unordered_map<std::string, std::uint32_t> pid_of;
+  std::vector<std::uint32_t> track_pid(tracks_.size());
+  for (std::uint32_t i = 0; i < tracks_.size(); ++i) {
+    auto [it, inserted] = pid_of.emplace(tracks_[i].process, i);
+    track_pid[i] = it->second;
+  }
+
+  // Stable sort by (ts, longer-duration-first) so enclosing "X" spans
+  // precede their children, which some viewers require for nesting.
+  std::vector<std::uint32_t> order(events_.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](std::uint32_t a, std::uint32_t b) {
+    if (events_[a].ts != events_[b].ts) return events_[a].ts < events_[b].ts;
+    return events_[a].dur > events_[b].dur;
+  });
+
+  json::Writer w(os);
+  w.BeginObject();
+  w.Field("displayTimeUnit", "ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+
+  auto common = [&](const char* ph, std::uint32_t track, Cycle ts) {
+    w.BeginObject();
+    w.Field("ph", ph);
+    w.Field("pid", static_cast<std::uint64_t>(track_pid[track]));
+    w.Field("tid", static_cast<std::uint64_t>(track));
+    w.Field("ts", static_cast<std::uint64_t>(ts));
+  };
+
+  // Metadata: process and thread names.
+  for (std::uint32_t i = 0; i < tracks_.size(); ++i) {
+    if (track_pid[i] == i) {
+      common("M", i, 0);
+      w.Field("name", "process_name");
+      w.Key("args");
+      w.BeginObject();
+      w.Field("name", tracks_[i].process);
+      w.EndObject();
+      w.EndObject();
+    }
+    common("M", i, 0);
+    w.Field("name", "thread_name");
+    w.Key("args");
+    w.BeginObject();
+    w.Field("name", tracks_[i].thread.empty() ? tracks_[i].process : tracks_[i].thread);
+    w.EndObject();
+    w.EndObject();
+  }
+
+  for (std::uint32_t idx : order) {
+    const Event& e = events_[idx];
+    switch (e.phase) {
+      case Phase::kComplete:
+        common("X", e.track, e.ts);
+        w.Field("dur", static_cast<std::uint64_t>(e.dur));
+        w.Field("name", e.name);
+        break;
+      case Phase::kInstant:
+        common("i", e.track, e.ts);
+        w.Field("s", "t");
+        w.Field("name", e.name);
+        break;
+      case Phase::kAsyncBegin:
+      case Phase::kAsyncEnd:
+        common(e.phase == Phase::kAsyncBegin ? "b" : "e", e.track, e.ts);
+        w.Field("cat", "async");
+        w.Key("id");
+        w.String(std::to_string(e.id));
+        w.Field("name", e.name);
+        break;
+      case Phase::kCounter:
+        common("C", e.track, e.ts);
+        w.Field("name", e.name);
+        break;
+    }
+    if (!e.args_json.empty()) {
+      // Args body is pre-rendered JSON; splice it in verbatim.
+      w.Key("args");
+      w.BeginRawValue();
+      os << e.args_json;
+    }
+    w.EndObject();
+  }
+
+  w.EndArray();
+  w.EndObject();
+  os << '\n';
+}
+
+bool TraceSink::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  Write(f);
+  return f.good();
+}
+
+void SetSink(TraceSink* sink) { internal::g_sink = sink; }
+
+FileSession::FileSession(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  sink_ = new TraceSink();
+  SetSink(sink_);
+}
+
+FileSession::~FileSession() {
+  if (sink_ == nullptr) return;
+  SetSink(nullptr);
+  sink_->WriteFile(path_);
+  delete sink_;
+}
+
+}  // namespace glb::trace

@@ -1,0 +1,172 @@
+// Cycle-accurate tracing: typed events buffered in memory and flushed
+// as Chrome trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. One simulated cycle is rendered as one microsecond.
+//
+// Tracing is OFF by default. A sink becomes active via trace::SetSink
+// (usually through trace::FileSession, driven by the `--trace` flag).
+// Every instrumentation site in the simulator is guarded:
+//
+//   if (glb::trace::Active()) {
+//     glb::trace::Sink().Complete("core 3/timeline", "Busy", t0, t1);
+//   }
+//
+// or, for single-expression sites, GLB_TRACE_EVENT(...). When no sink
+// is installed the guard is a single relaxed pointer load — no
+// allocation, no string formatting (asserted by trace_test.cc).
+//
+// Tracks name where an event is drawn: "process/thread" (e.g.
+// "noc/link 3E", "core 5/l1"). The part before the first '/' groups
+// threads into a named process lane; a track without '/' is its own
+// process. Track strings are interned on first use.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace glb::trace {
+
+/// Incrementally builds the `"args": {...}` payload of an event.
+/// Cheap (one string append per Add) and only ever constructed inside
+/// an Active() guard.
+class Args {
+ public:
+  Args& Add(std::string_view key, std::string_view value);
+  Args& Add(std::string_view key, const char* value) {
+    return Add(key, std::string_view(value));
+  }
+  Args& Add(std::string_view key, std::uint64_t value);
+  Args& Add(std::string_view key, std::uint32_t value) {
+    return Add(key, static_cast<std::uint64_t>(value));
+  }
+  Args& Add(std::string_view key, std::int64_t value);
+  Args& Add(std::string_view key, double value);
+  Args& Add(std::string_view key, bool value);
+
+  /// The accumulated object, e.g. `{"n":32,"retries":0}`. Empty string
+  /// if nothing was added. Consumes the builder.
+  std::string json();
+
+ private:
+  void Pre(std::string_view key);
+  std::string body_;
+};
+
+/// In-memory buffer of trace events, flushed to Chrome trace-event
+/// JSON with Write()/WriteFile(). Not thread-safe (the simulator is
+/// single-threaded by design).
+class TraceSink {
+ public:
+  /// Duration span ("X" complete event) on `track`, covering
+  /// [start, end] in cycles. Zero-length spans are widened to 1 cycle
+  /// in the output would be wrong — they are kept at dur 0, which
+  /// Perfetto renders as a thin tick.
+  void Complete(std::string_view track, std::string_view name, Cycle start, Cycle end,
+                std::string args_json = {});
+
+  /// Instant event ("i"), a point marker at `at`.
+  void Instant(std::string_view track, std::string_view name, Cycle at,
+               std::string args_json = {});
+
+  /// Async nestable pair ("b"/"e"). Spans with the same (name, id) are
+  /// joined; different ids may overlap on one track — used for
+  /// directory transactions and NoC packets in flight.
+  void AsyncBegin(std::string_view track, std::string_view name, std::uint64_t id, Cycle at,
+                  std::string args_json = {});
+  void AsyncEnd(std::string_view track, std::string_view name, std::uint64_t id, Cycle at);
+
+  /// Counter sample ("C"): `value` of series `series` at time `at`,
+  /// drawn as a stacked area chart on the track.
+  void CounterEvent(std::string_view track, std::string_view name, std::string_view series,
+                    Cycle at, std::int64_t value);
+
+  /// Fresh nonzero id for AsyncBegin/AsyncEnd correlation.
+  std::uint64_t NextId() { return ++next_id_; }
+
+  std::size_t num_events() const { return events_.size(); }
+
+  /// Serializes the whole buffer as a trace-event JSON object.
+  void Write(std::ostream& os) const;
+  /// Write() to `path`; returns false (and keeps the buffer) on I/O
+  /// failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  enum class Phase : std::uint8_t { kComplete, kInstant, kAsyncBegin, kAsyncEnd, kCounter };
+
+  struct Event {
+    Phase phase;
+    std::uint32_t track;  // index into tracks_
+    Cycle ts;
+    Cycle dur = 0;           // kComplete only
+    std::uint64_t id = 0;    // async correlation id
+    std::string name;
+    std::string args_json;   // pre-rendered args object body, may be empty
+  };
+
+  struct Track {
+    std::string process;  // part before the first '/', or the whole string
+    std::string thread;   // part after, or "" (meaning: same as process)
+  };
+
+  std::uint32_t InternTrack(std::string_view track);
+
+  std::vector<Event> events_;
+  std::vector<Track> tracks_;
+  std::unordered_map<std::string, std::uint32_t> track_index_;
+  std::uint64_t next_id_ = 0;
+};
+
+namespace internal {
+/// The active sink, or nullptr. Not owned.
+inline TraceSink* g_sink = nullptr;
+}  // namespace internal
+
+/// True while a sink is installed. This is the disabled-path cost of
+/// every instrumentation site.
+inline bool Active() { return internal::g_sink != nullptr; }
+
+/// The active sink; only call under Active().
+inline TraceSink& Sink() { return *internal::g_sink; }
+
+/// Installs (or, with nullptr, removes) the active sink. The caller
+/// retains ownership and must outlive the installation.
+void SetSink(TraceSink* sink);
+
+/// Owns a TraceSink for the duration of a run: installs it on
+/// construction when `path` is non-empty, writes the file and
+/// uninstalls on destruction. A default-constructed / empty-path
+/// session is inert, so callers can create one unconditionally.
+class FileSession {
+ public:
+  FileSession() = default;
+  explicit FileSession(std::string path);
+  ~FileSession();
+
+  FileSession(const FileSession&) = delete;
+  FileSession& operator=(const FileSession&) = delete;
+
+  bool active() const { return sink_ != nullptr; }
+
+ private:
+  std::string path_;
+  TraceSink* sink_ = nullptr;  // owned; raw so the header stays light
+};
+
+// Single-statement guarded emission:
+//   GLB_TRACE_EVENT(glb::trace::Sink().Instant("gl/ctx0", "retry", now));
+// (Name is distinct from GLB_TRACE in common/log.h, which is the
+// stderr logging macro.)
+#define GLB_TRACE_EVENT(expr)         \
+  do {                                \
+    if (::glb::trace::Active()) {     \
+      expr;                           \
+    }                                 \
+  } while (false)
+
+}  // namespace glb::trace

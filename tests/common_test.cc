@@ -130,6 +130,72 @@ TEST(Stats, HistogramBuckets) {
   EXPECT_EQ(Histogram::BucketOf(1024), 10);
 }
 
+TEST(Stats, PercentileExactForSingleValue) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.Record(7);
+  // One distinct value: clamping to [min, max] makes every quantile exact.
+  EXPECT_DOUBLE_EQ(h.PercentileApprox(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.PercentileApprox(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(h.PercentileApprox(1.0), 7.0);
+}
+
+TEST(Stats, PercentileEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.PercentileApprox(0.5), 0.0);
+}
+
+TEST(Stats, PercentileMonotoneAndWithinBucket) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const double p50 = h.PercentileApprox(0.50);
+  const double p95 = h.PercentileApprox(0.95);
+  const double p99 = h.PercentileApprox(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Power-of-two buckets: each estimate lands in the true value's bucket.
+  EXPECT_GE(p50, 256.0);   // true p50 ~ 500, bucket [256, 512)
+  EXPECT_LE(p50, 512.0);
+  EXPECT_GE(p95, 512.0);   // true p95 ~ 950, bucket [512, 1024)
+  EXPECT_LE(p99, 1000.0);  // clamped to max
+  // Out-of-range p is clamped.
+  EXPECT_DOUBLE_EQ(h.PercentileApprox(-1.0), h.PercentileApprox(0.0));
+  EXPECT_DOUBLE_EQ(h.PercentileApprox(2.0), h.PercentileApprox(1.0));
+}
+
+TEST(Stats, HistogramMergeFoldsSamples) {
+  Histogram a, b, all;
+  for (std::uint64_t v : {1u, 5u, 9u}) {
+    a.Record(v);
+    all.Record(v);
+  }
+  for (std::uint64_t v : {100u, 2000u}) {
+    b.Record(v);
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.bucket(i), all.bucket(i)) << "bucket " << i;
+  }
+  // Merging an empty histogram is a no-op (and keeps min sane).
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+}
+
+TEST(Stats, PrintIncludesPercentiles) {
+  StatSet s;
+  for (std::uint64_t v = 1; v <= 10; ++v) s.GetHistogram("lat")->Record(v);
+  std::ostringstream os;
+  s.Print(os);
+  EXPECT_NE(os.str().find("p50="), std::string::npos);
+  EXPECT_NE(os.str().find("p99="), std::string::npos);
+}
+
 TEST(Stats, ResetZeroesEverything) {
   StatSet s;
   s.GetCounter("c")->Inc(10);

@@ -1,6 +1,7 @@
 // Harness tests: metric extraction, table formatting, barrier factory.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "harness/experiment.h"
@@ -64,6 +65,70 @@ TEST(Harness, NumberFormatting) {
   EXPECT_EQ(Table::Num(1.234, 2), "1.23");
   EXPECT_EQ(Table::Num(std::uint64_t{42}), "42");
   EXPECT_EQ(Table::Pct(0.683), "68.3%");
+}
+
+TEST(Harness, NumEdgeCases) {
+  EXPECT_EQ(Table::Num(0.0), "0.00");
+  EXPECT_EQ(Table::Num(-1.5, 1), "-1.5");
+  EXPECT_EQ(Table::Num(2.5, 0), "2");    // round-half-to-even at precision 0
+  EXPECT_EQ(Table::Num(3.5, 0), "4");
+  EXPECT_EQ(Table::Num(1.005, 4), "1.0050");
+  EXPECT_EQ(Table::Num(1e9, 0), "1000000000");
+  EXPECT_EQ(Table::Num(std::uint64_t{0}), "0");
+  EXPECT_EQ(Table::Num(~std::uint64_t{0}), "18446744073709551615");
+}
+
+TEST(Harness, PctEdgeCases) {
+  EXPECT_EQ(Table::Pct(0.0), "0.0%");
+  EXPECT_EQ(Table::Pct(1.0), "100.0%");
+  EXPECT_EQ(Table::Pct(1.5), "150.0%");    // over-unity fractions allowed
+  EXPECT_EQ(Table::Pct(-0.25), "-25.0%");  // regressions render negative
+  EXPECT_EQ(Table::Pct(0.12345, 3), "12.345%");
+  EXPECT_EQ(Table::Pct(0.005, 0), "0%");   // rounds half to even
+}
+
+TEST(Harness, TableWithNoRowsStillPrintsHeaderAndRule) {
+  Table t({"Only", "Headers"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Only"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);  // header + rule only
+}
+
+TEST(Harness, TableColumnsAlignOnWidestCell) {
+  Table t({"A", "B"});
+  t.AddRow({"wide-cell-value", "1"});
+  t.AddRow({"x", "2"});
+  std::ostringstream os;
+  t.Print(os);
+  std::istringstream is(os.str());
+  std::string header, rule, row1, row2;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  // Column B starts at the same offset in every row.
+  const auto col = row1.find("1");
+  ASSERT_NE(col, std::string::npos);
+  EXPECT_EQ(row2.find("2"), col);
+  EXPECT_GE(rule.size(), std::string("wide-cell-value").size());
+}
+
+TEST(Harness, TrafficTableZeroBaselineDoesNotDivide) {
+  // A baseline with zero messages must not produce NaN/inf cells.
+  std::vector<RunMetrics> runs(2);
+  runs[0].workload = "W";
+  runs[0].barrier = "DSW";
+  runs[1].workload = "W";
+  runs[1].barrier = "GL";
+  runs[1].msgs_request = 10;
+  std::ostringstream os;
+  PrintTrafficTable(os, runs, "DSW");
+  const std::string s = os.str();
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+  EXPECT_EQ(s.find("inf"), std::string::npos);
 }
 
 TEST(Harness, BreakdownTableNormalizesToBaseline) {

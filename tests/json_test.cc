@@ -1,0 +1,191 @@
+// JSON writer/parser tests: escaping, streaming writer structure,
+// parser acceptance/rejection, and writer->parser round-trips (the
+// property the trace and manifest emitters rely on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+
+namespace glb::json {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(Escape("hello world"), "hello world");
+  EXPECT_EQ(Escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashAndControls) {
+  EXPECT_EQ(Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(Escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(Escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, CompactObject) {
+  std::ostringstream os;
+  Writer w(os);
+  w.BeginObject();
+  w.Field("s", "x");
+  w.Field("u", std::uint64_t{42});
+  w.Field("i", std::int64_t{-7});
+  w.Field("d", 1.5);
+  w.Field("b", true);
+  w.Key("n");
+  w.Null();
+  w.EndObject();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), R"({"s":"x","u":42,"i":-7,"d":1.5,"b":true,"n":null})");
+}
+
+TEST(JsonWriter, ArraysAndNesting) {
+  std::ostringstream os;
+  Writer w(os);
+  w.BeginArray();
+  w.Uint(1);
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.EndArray();
+  w.EndObject();
+  w.String("z");
+  w.EndArray();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), R"([1,{"a":[]},"z"])");
+}
+
+TEST(JsonWriter, PrettyIndents) {
+  std::ostringstream os;
+  Writer w(os, /*pretty=*/true);
+  w.BeginObject();
+  w.Field("a", std::uint64_t{1});
+  w.EndObject();
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  Writer w(os);
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::nan(""));
+  w.EndArray();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriter, DoublesRoundTripShortest) {
+  std::ostringstream os;
+  Writer w(os);
+  w.BeginArray();
+  w.Double(0.1);
+  w.Double(3.0);
+  w.EndArray();
+  auto v = Parse(os.str());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->arr[0].num_v, 0.1);
+  EXPECT_DOUBLE_EQ(v->arr[1].num_v, 3.0);
+}
+
+TEST(JsonWriter, RawValueSplice) {
+  std::ostringstream os;
+  Writer w(os);
+  w.BeginObject();
+  w.Field("a", std::uint64_t{1});
+  w.Key("raw");
+  w.BeginRawValue();
+  os << R"({"x":2})";
+  w.EndObject();
+  EXPECT_EQ(os.str(), R"({"a":1,"raw":{"x":2}})");
+  auto v = Parse(os.str());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->Find("raw")->NumberOr("x", 0.0), 2.0);
+}
+
+TEST(JsonParse, Literals) {
+  EXPECT_TRUE(Parse("null")->IsNull());
+  EXPECT_EQ(Parse("true")->bool_v, true);
+  EXPECT_EQ(Parse("false")->bool_v, false);
+  EXPECT_DOUBLE_EQ(Parse("-12.5e2")->num_v, -1250.0);
+  EXPECT_EQ(Parse(R"("hi")")->str_v, "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Parse(R"("a\"b\\c\nd")")->str_v, "a\"b\\c\nd");
+  // \u escapes decode to UTF-8 (1-, 2- and 3-byte sequences).
+  EXPECT_EQ(Parse(R"("\u0041")")->str_v, "A");
+  EXPECT_EQ(Parse(R"("\u00e9")")->str_v, "\xc3\xa9");
+  EXPECT_EQ(Parse(R"("\u20ac")")->str_v, "\xe2\x82\xac");
+}
+
+TEST(JsonParse, ObjectsPreserveOrderAndDuplicates) {
+  auto v = Parse(R"({"b":1,"a":2,"b":3})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->obj.size(), 3u);
+  EXPECT_EQ(v->obj[0].first, "b");
+  EXPECT_EQ(v->obj[1].first, "a");
+  // Find returns the first duplicate.
+  EXPECT_DOUBLE_EQ(v->Find("b")->num_v, 1.0);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(Parse("", &err).has_value());
+  EXPECT_FALSE(Parse("{", &err).has_value());
+  EXPECT_FALSE(Parse("[1,]", &err).has_value());
+  EXPECT_FALSE(Parse("{\"a\" 1}", &err).has_value());
+  EXPECT_FALSE(Parse("tru", &err).has_value());
+  EXPECT_FALSE(Parse("\"unterminated", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  std::string err;
+  EXPECT_FALSE(Parse("{} x", &err).has_value());
+  EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Parse(deep).has_value());
+}
+
+TEST(JsonParse, HelpersOnMissingKeys) {
+  auto v = Parse(R"({"n":4,"s":"x"})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(v->NumberOr("n", -1.0), 4.0);
+  EXPECT_DOUBLE_EQ(v->NumberOr("missing", -1.0), -1.0);
+  EXPECT_EQ(v->StringOr("s", "d"), "x");
+  EXPECT_EQ(v->StringOr("missing", "d"), "d");
+}
+
+TEST(JsonRoundTrip, WriterOutputParses) {
+  std::ostringstream os;
+  Writer w(os, /*pretty=*/true);
+  w.BeginObject();
+  w.Key("list");
+  w.BeginArray();
+  for (std::uint64_t i = 0; i < 5; ++i) w.Uint(i);
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Field("name", "g-line \"barrier\"\n");
+  w.Field("ratio", 0.25);
+  w.EndObject();
+  w.EndObject();
+  ASSERT_TRUE(w.complete());
+
+  auto v = Parse(os.str());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_NE(v->Find("list"), nullptr);
+  EXPECT_EQ(v->Find("list")->arr.size(), 5u);
+  EXPECT_EQ(v->Find("nested")->StringOr("name", ""), "g-line \"barrier\"\n");
+  EXPECT_DOUBLE_EQ(v->Find("nested")->NumberOr("ratio", 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace glb::json

@@ -1,0 +1,168 @@
+// Run-manifest tests: schema/version stamping, config echo, stats
+// block (counters + histogram percentiles), and the JSONL append
+// convention used for BENCH_*.json files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "harness/manifest.h"
+#include "workloads/synthetic.h"
+
+namespace glb::harness {
+namespace {
+
+struct Fixture {
+  cmp::CmpConfig cfg;
+  RunMetrics metrics;
+  StatSet stats;
+
+  // One real 4-core Synthetic/GL run so the manifest carries live
+  // counters, plus a hand-fed histogram with known percentiles.
+  Fixture() : cfg(cmp::CmpConfig::WithCores(4)) {
+    cmp::CmpSystem sys(cfg);
+    workloads::Synthetic wl(5);
+    wl.Init(sys);
+    auto barrier = MakeBarrier(BarrierKind::kGL, sys);
+    const sim::RunStatus status = sys.RunProgramsStatus(
+        [&](core::Core& c, CoreId id) { return wl.Body(c, id, *barrier); },
+        kCycleNever);
+    metrics = CollectMetrics(sys, status, wl, "GL");
+    sys.stats().ForEachCounter([&](const std::string& name, const Counter& c) {
+      stats.GetCounter(name)->Inc(c.value());
+    });
+    sys.stats().ForEachHistogram([&](const std::string& name, const Histogram& h) {
+      stats.GetHistogram(name)->Merge(h);
+    });
+    Histogram* h = stats.GetHistogram("test.latency");
+    for (std::uint64_t v = 1; v <= 100; ++v) h->Record(v);
+  }
+};
+
+json::Value ParseManifest(const std::string& text) {
+  std::string err;
+  auto v = json::Parse(text, &err);
+  EXPECT_TRUE(v.has_value()) << err;
+  return v.value_or(json::Value{});
+}
+
+TEST(Manifest, CarriesSchemaVersionAndConfigEcho) {
+  Fixture fx;
+  std::ostringstream os;
+  ManifestOptions opts;
+  opts.tool = "manifest_test";
+  WriteRunManifest(os, fx.metrics, fx.cfg, fx.stats, opts);
+  const json::Value doc = ParseManifest(os.str());
+
+  EXPECT_EQ(doc.StringOr("schema", ""), kRunManifestSchema);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("schema_version", 0.0),
+                   static_cast<double>(kRunManifestVersion));
+  EXPECT_EQ(doc.StringOr("tool", ""), "manifest_test");
+
+  const json::Value* run = doc.Find("run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->StringOr("workload", ""), "Synthetic");
+  EXPECT_EQ(run->StringOr("barrier", ""), "GL");
+  EXPECT_DOUBLE_EQ(run->NumberOr("cores", 0.0), 4.0);
+  EXPECT_EQ(run->Find("completed")->bool_v, true);
+  ASSERT_NE(run->Find("breakdown"), nullptr);
+  ASSERT_NE(run->Find("breakdown")->Find("barrier"), nullptr);
+  ASSERT_NE(run->Find("noc_msgs"), nullptr);
+  ASSERT_NE(run->Find("fault_outcome"), nullptr);
+
+  const json::Value* config = doc.Find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_DOUBLE_EQ(config->NumberOr("rows", 0.0) * config->NumberOr("cols", 0.0),
+                   4.0);
+  EXPECT_DOUBLE_EQ(config->Find("l1")->NumberOr("line_bytes", 0.0),
+                   static_cast<double>(fx.cfg.l1.line_bytes));
+  ASSERT_NE(config->Find("gline"), nullptr);
+  ASSERT_NE(config->Find("noc"), nullptr);
+  ASSERT_NE(config->Find("fault"), nullptr);
+  EXPECT_EQ(config->Find("fault")->Find("enabled")->bool_v, false);
+}
+
+TEST(Manifest, StatsBlockHasAllCountersAndPercentiles) {
+  Fixture fx;
+  std::ostringstream os;
+  WriteRunManifest(os, fx.metrics, fx.cfg, fx.stats, {});
+  const json::Value doc = ParseManifest(os.str());
+
+  const json::Value* counters = doc.Find("stats")->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  // Every counter in the StatSet must be echoed verbatim.
+  std::size_t expected = 0;
+  fx.stats.ForEachCounter([&](const std::string& name, const Counter& c) {
+    ++expected;
+    const json::Value* v = counters->Find(name);
+    ASSERT_NE(v, nullptr) << name;
+    EXPECT_DOUBLE_EQ(v->num_v, static_cast<double>(c.value())) << name;
+  });
+  EXPECT_EQ(counters->obj.size(), expected);
+  EXPECT_GT(counters->Find("core.barriers")->num_v, 0.0);
+
+  const json::Value* h = doc.Find("stats")->Find("histograms")->Find("test.latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->NumberOr("count", 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h->NumberOr("min", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h->NumberOr("max", 0.0), 100.0);
+  const double p50 = h->NumberOr("p50", -1.0);
+  const double p95 = h->NumberOr("p95", -1.0);
+  const double p99 = h->NumberOr("p99", -1.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Power-of-two buckets: approximations stay within one bucket width.
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 64.0);
+  EXPECT_LE(p99, 100.0);
+}
+
+TEST(Manifest, PrettyAndCompactParseToSameDocument) {
+  Fixture fx;
+  std::ostringstream compact, pretty;
+  ManifestOptions opts;
+  WriteRunManifest(compact, fx.metrics, fx.cfg, fx.stats, opts);
+  opts.pretty = true;
+  WriteRunManifest(pretty, fx.metrics, fx.cfg, fx.stats, opts);
+  EXPECT_EQ(compact.str().find('\n'), std::string::npos);
+  EXPECT_NE(pretty.str().find('\n'), std::string::npos);
+
+  const json::Value a = ParseManifest(compact.str());
+  const json::Value b = ParseManifest(pretty.str());
+  EXPECT_EQ(a.Find("run")->NumberOr("cycles", -1.0),
+            b.Find("run")->NumberOr("cycles", -2.0));
+  EXPECT_EQ(a.Find("stats")->Find("counters")->obj.size(),
+            b.Find("stats")->Find("counters")->obj.size());
+}
+
+TEST(Manifest, AppendsJsonlLines) {
+  Fixture fx;
+  const std::string path = ::testing::TempDir() + "/glb_manifest_test.jsonl";
+  std::remove(path.c_str());
+  ManifestOptions opts;
+  opts.tool = "append_a";
+  ASSERT_TRUE(AppendRunManifestLine(path, fx.metrics, fx.cfg, fx.stats, opts));
+  opts.tool = "append_b";
+  opts.pretty = true;  // must be forced compact for JSONL
+  ASSERT_TRUE(AppendRunManifestLine(path, fx.metrics, fx.cfg, fx.stats, opts));
+
+  std::ifstream f(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(f, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(ParseManifest(lines[0]).StringOr("tool", ""), "append_a");
+  EXPECT_EQ(ParseManifest(lines[1]).StringOr("tool", ""), "append_b");
+}
+
+TEST(Manifest, AppendFailsOnUnwritablePath) {
+  Fixture fx;
+  EXPECT_FALSE(AppendRunManifestLine("/nonexistent-dir/x.jsonl", fx.metrics, fx.cfg,
+                                     fx.stats, {}));
+}
+
+}  // namespace
+}  // namespace glb::harness

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "harness/manifest.h"
 #include "power/energy_model.h"
 
 namespace {
@@ -28,6 +29,12 @@ void Usage() {
       "  --max-cycles N  abort (with a stall diagnostic) after N cycles\n"
       "  --stats         dump the raw statistics registry\n"
       "  --csv           emit machine-readable key,value lines\n"
+      "observability (docs/OBSERVABILITY.md):\n"
+      "  --trace FILE    write a Perfetto/Chrome trace-event JSON of the run\n"
+      "  --json [FILE]   bare: print a pretty run manifest to stdout instead of\n"
+      "                  the report; with FILE: append one compact JSONL manifest\n"
+      "                  line (the BENCH_*.json convention) and keep the report\n"
+      "  --log-level L   off|warn|info|trace (overrides GLB_LOG)\n"
       "fault injection & self-healing (see README.md):\n"
       "  --fault_watchdog N      barrier watchdog timeout in cycles (0 = off;\n"
       "                          enables retry + software fallback)\n"
@@ -61,6 +68,7 @@ int main(int argc, char** argv) {
     Usage();
     return 0;
   }
+  const bench::Observability obs(flags);
   const std::string wl = flags.GetString("workload", "Synthetic");
   const auto kind = ParseBarrier(flags.GetString("barrier", "GL"));
   const bench::Scale scale = bench::Scale::FromFlags(flags);
@@ -78,6 +86,27 @@ int main(int argc, char** argv) {
   const sim::RunStatus status = sys.RunProgramsStatus(
       [&](core::Core& c, CoreId id) { return workload->Body(c, id, *barrier); },
       max_cycles);
+
+  // Manifests are emitted even for stalled runs (the stall diagnostic
+  // lands in run.validation / run.stall).
+  if (flags.Has("json")) {
+    const harness::RunMetrics m =
+        harness::CollectMetrics(sys, status, *workload, harness::ToString(kind));
+    harness::ManifestOptions opts;
+    opts.tool = "glbsim";
+    const std::string jpath = flags.GetString("json", "");
+    if (jpath.empty() || jpath == "true") {  // bare --json: manifest is the report
+      opts.pretty = true;
+      harness::WriteRunManifest(std::cout, m, cfg, sys.stats(), opts);
+      std::cout << '\n';
+      return m.completed && m.validation.empty() ? 0 : 1;
+    }
+    if (!harness::AppendRunManifestLine(jpath, m, cfg, sys.stats(), opts)) {
+      std::cerr << "failed to append manifest to " << jpath << "\n";
+      return 1;
+    }
+  }
+
   if (!status.idle) {
     std::cerr << "simulation did not complete: " << status.DescribeStall() << "\n";
     return 1;
