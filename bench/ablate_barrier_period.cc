@@ -6,6 +6,7 @@
 // ~2.9k cycles) gains 88% while OCEAN (period ~205k) gains 5%.
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "bench_util.h"
 #include "workloads/workload.h"
@@ -45,21 +46,33 @@ int main(int argc, char** argv) {
   const bench::Observability obs(flags);
   const auto cfg = bench::ConfigFromFlags(flags);
   const auto barriers = static_cast<std::uint32_t>(flags.GetInt("barriers", 100));
+  const int jobs = bench::JobsFromFlags(flags, obs);
 
   std::cout << "Ablation B: GL benefit vs barrier period (" << cfg.num_cores()
             << " cores, " << barriers << " barriers)\n\n";
 
-  harness::Table t({"Busy cycles", "DSW period", "DSW cycles", "GL cycles",
-                    "GL reduction"});
-  for (Cycle work : {0ull, 100ull, 500ull, 2000ull, 10000ull, 50000ull, 200000ull}) {
+  const std::vector<Cycle> works = {0,    100,   500,    2000,
+                                    10000, 50000, 200000};
+  bench::SweepClock clock(flags, "ablate_barrier_period", jobs);
+  std::vector<harness::ExperimentSpec> specs;
+  for (Cycle work : works) {
     auto factory = [barriers, work]() {
       return std::make_unique<PeriodicBarriers>(barriers, work);
     };
-    const auto dsw = harness::RunExperiment(factory, harness::BarrierKind::kDSW, cfg);
-    const auto gl = harness::RunExperiment(factory, harness::BarrierKind::kGL, cfg);
+    specs.push_back({factory, harness::BarrierKind::kDSW, cfg});
+    specs.push_back({factory, harness::BarrierKind::kGL, cfg});
+  }
+  const auto results = harness::RunExperimentsParallel(specs, jobs);
+  clock.Report(results.size());
+
+  harness::Table t({"Busy cycles", "DSW period", "DSW cycles", "GL cycles",
+                    "GL reduction"});
+  for (std::size_t i = 0; i < works.size(); ++i) {
+    const auto& dsw = results[2 * i];
+    const auto& gl = results[2 * i + 1];
     const double red =
         1.0 - static_cast<double>(gl.cycles) / static_cast<double>(dsw.cycles);
-    t.AddRow({std::to_string(work), harness::Table::Num(dsw.barrier_period),
+    t.AddRow({std::to_string(works[i]), harness::Table::Num(dsw.barrier_period),
               harness::Table::Num(dsw.cycles), harness::Table::Num(gl.cycles),
               harness::Table::Pct(red)});
   }

@@ -67,14 +67,21 @@ int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
   const bench::Observability obs(flags);
+  const int jobs = bench::JobsFromFlags(flags, obs);
   std::cout << "Ablation A: G-line barrier latency vs mesh size"
                " (simultaneous arrival -> release)\n\n";
   harness::Table t({"Mesh", "Cores", "G-lines", "First release", "Last release",
                     "Within 6-tx budget"});
   const std::pair<std::uint32_t, std::uint32_t> meshes[] = {
       {1, 1}, {2, 2}, {2, 4}, {4, 4}, {4, 8}, {6, 6}, {7, 7}, {8, 8}};
-  for (auto [rows, cols] : meshes) {
-    const Result r = RunBarrier(rows, cols);
+  bench::SweepClock clock(flags, "ablate_gline_scaling", jobs);
+  std::vector<Result> flat_results(std::size(meshes));
+  harness::ParallelFor(flat_results.size(), jobs, [&](std::size_t i) {
+    flat_results[i] = RunBarrier(meshes[i].first, meshes[i].second);
+  });
+  for (std::size_t i = 0; i < std::size(meshes); ++i) {
+    const auto [rows, cols] = meshes[i];
+    const Result& r = flat_results[i];
     const bool in_budget = (cols - 1) <= 6 && (rows - 1) <= 6;
     sim::Engine e;
     StatSet s;
@@ -92,8 +99,13 @@ int main(int argc, char** argv) {
                     "Last release"});
   const std::pair<std::uint32_t, std::uint32_t> big[] = {
       {8, 8}, {10, 10}, {14, 14}, {16, 16}, {21, 21}, {32, 32}, {49, 49}};
-  for (auto [rows, cols] : big) {
-    const Result r = RunHierarchical(rows, cols);
+  std::vector<Result> hier_results(std::size(big));
+  harness::ParallelFor(hier_results.size(), jobs, [&](std::size_t i) {
+    hier_results[i] = RunHierarchical(big[i].first, big[i].second);
+  });
+  for (std::size_t i = 0; i < std::size(big); ++i) {
+    const auto [rows, cols] = big[i];
+    const Result& r = hier_results[i];
     sim::Engine e;
     StatSet s2;
     gline::HierarchicalBarrierNetwork net(e, rows, cols, gline::HierConfig{}, s2);
@@ -103,6 +115,7 @@ int main(int argc, char** argv) {
               std::to_string(r.last_release)});
   }
   h.Print(std::cout);
+  clock.Report(flat_results.size() + hier_results.size());
   std::cout << "\nTwo levels double the 4-cycle barrier to ~8-9 cycles but scale"
                " to 49x49 = 2401 cores\nwith every G-line inside the"
                " 6-transmitter budget.\n";

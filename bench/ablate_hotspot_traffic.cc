@@ -4,6 +4,7 @@
 // point is that all of this disappears from the data network.
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "bench_util.h"
 
@@ -12,19 +13,31 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const bench::Observability obs(flags);
   const auto iters = static_cast<std::uint32_t>(flags.GetInt("iters", 100));
+  const int jobs = bench::JobsFromFlags(flags, obs);
 
   std::cout << "Ablation C: data-network messages per barrier episode\n\n";
+  const std::vector<std::uint32_t> core_counts = {4, 8, 16, 32};
+  auto factory = [iters]() {
+    return std::make_unique<workloads::Synthetic>(iters);
+  };
+  bench::SweepClock clock(flags, "ablate_hotspot_traffic", jobs);
+  std::vector<harness::ExperimentSpec> specs;
+  for (std::uint32_t cores : core_counts) {
+    const auto cfg = cmp::CmpConfig::WithCores(cores);
+    specs.push_back({factory, harness::BarrierKind::kGL, cfg});
+    specs.push_back({factory, harness::BarrierKind::kCSW, cfg});
+    specs.push_back({factory, harness::BarrierKind::kDSW, cfg});
+  }
+  const auto results = harness::RunExperimentsParallel(specs, jobs);
+  clock.Report(results.size());
+
   harness::Table t({"Cores", "Barrier", "Msgs/episode", "Request", "Reply",
                     "Coherence", "GL msgs"});
-  for (std::uint32_t cores : {4u, 8u, 16u, 32u}) {
-    const auto cfg = cmp::CmpConfig::WithCores(cores);
-    auto factory = [iters]() {
-      return std::make_unique<workloads::Synthetic>(iters);
-    };
-    const harness::RunMetrics gl =
-        harness::RunExperiment(factory, harness::BarrierKind::kGL, cfg);
-    for (auto kind : {harness::BarrierKind::kCSW, harness::BarrierKind::kDSW}) {
-      const auto m = harness::RunExperiment(factory, kind, cfg);
+  std::size_t next = 0;
+  for (std::uint32_t cores : core_counts) {
+    const harness::RunMetrics& gl = results[next++];
+    for (int k = 0; k < 2; ++k) {
+      const auto& m = results[next++];
       const double per = static_cast<double>(m.total_msgs()) /
                          static_cast<double>(m.barriers);
       t.AddRow({std::to_string(cores), m.barrier, harness::Table::Num(per),

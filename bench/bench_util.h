@@ -3,16 +3,20 @@
 // same knobs (--cores, --paper-scale, workload size overrides).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "cmp/cmp_system.h"
 #include "common/flags.h"
+#include "common/json.h"
 #include "common/log.h"
 #include "fault/fault_model.h"
 #include "harness/experiment.h"
+#include "harness/parallel.h"
 #include "harness/report.h"
 #include "trace/trace.h"
 #include "workloads/em3d.h"
@@ -57,6 +61,64 @@ class Observability {
   }
 
   trace::FileSession session_;
+};
+
+/// Parses --jobs for sweep benches: default 1 (serial), 0 or negative
+/// means "all hardware threads". Tracing uses a process-global sink
+/// that is not safe under concurrent runs, so an active --trace session
+/// forces the sweep back to serial with a note.
+inline int JobsFromFlags(const Flags& flags, const Observability& obs) {
+  int jobs = harness::NormalizeJobs(static_cast<int>(flags.GetInt("jobs", 1)));
+  if (obs.tracing() && jobs > 1) {
+    std::cerr << "note: --trace uses a process-global sink; forcing --jobs 1\n";
+    jobs = 1;
+  }
+  return jobs;
+}
+
+/// Wall-clock of a sweep, reported only when --bench-json PATH is given
+/// (stderr one-liner + one compact JSONL row of schema glb.sweep_wall
+/// appended to PATH). Kept out of stdout and the deterministic result
+/// manifests on purpose: sweep outputs must be byte-identical for any
+/// --jobs value, and wall-clock is the one thing parallelism changes.
+class SweepClock {
+ public:
+  SweepClock(const Flags& flags, std::string tool, int jobs)
+      : tool_(std::move(tool)),
+        jobs_(jobs),
+        bench_json_(flags.GetString("bench-json", "")),
+        t0_(std::chrono::steady_clock::now()) {}
+
+  /// Call once, after the sweep's runs completed.
+  void Report(std::size_t runs) const {
+    if (bench_json_.empty() || bench_json_ == "true") return;
+    const std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - t0_;
+    std::cerr << "[" << tool_ << "] " << runs << " runs in "
+              << harness::Table::Num(wall.count(), 1) << " ms (jobs=" << jobs_
+              << ")\n";
+    std::ofstream f(bench_json_, std::ios::app);
+    if (!f) {
+      std::cerr << "failed to append sweep timing to " << bench_json_ << "\n";
+      return;
+    }
+    json::Writer w(f, /*pretty=*/false);
+    w.BeginObject();
+    w.Field("schema", "glb.sweep_wall");
+    w.Field("schema_version", static_cast<std::uint32_t>(1));
+    w.Field("tool", tool_);
+    w.Field("runs", static_cast<std::uint64_t>(runs));
+    w.Field("jobs", static_cast<std::int64_t>(jobs_));
+    w.Field("wall_ms", wall.count());
+    w.EndObject();
+    f << '\n';
+  }
+
+ private:
+  std::string tool_;
+  int jobs_;
+  std::string bench_json_;
+  std::chrono::steady_clock::time_point t0_;
 };
 
 /// Benchmark inputs. Defaults are scaled for a laptop-class host while

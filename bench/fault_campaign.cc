@@ -13,14 +13,23 @@
 // the fallback). Any violation makes the binary exit nonzero, so the
 // campaign doubles as a long-running acceptance test:
 //
+// Each (rate, seed) run builds its own Engine, BarrierNetwork,
+// FaultInjector and StatSet, so the campaign fans the full grid out
+// over --jobs threads; results (including violation reports) are
+// aggregated and printed in submission order, byte-identical for any
+// jobs value. The TSan preset in scripts/check.sh runs this sweep at
+// --jobs 4 to prove the runs really are disjoint.
+//
 //   ./bench/fault_campaign              # 5 rates x 25 seeds = 125 runs
-//   ./bench/fault_campaign --seeds=50 --episodes=80
+//   ./bench/fault_campaign --seeds=50 --episodes=80 --jobs 4
 //   ./bench/fault_campaign --json BENCH_fault_campaign.json   # JSONL manifest
 #include <cstdint>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -48,6 +57,9 @@ struct RunResult {
   std::uint64_t degraded_episodes = 0;
   Histogram recovery_lat;   // first fault detection -> episode completion
   Histogram episode_span;   // first arrival -> release start
+  std::string violations;   // oracle-violation report, printed by the
+                            // aggregator in submission order (RunOnce
+                            // itself must not touch shared streams)
 };
 
 RunResult RunOnce(double drop_rate, std::uint64_t seed, int episodes,
@@ -104,22 +116,24 @@ RunResult RunOnce(double drop_rate, std::uint64_t seed, int episodes,
     r.episode_span.Merge(*h);
   }
   r.ok = true;
+  std::ostringstream viol;
   if (!idle) {
-    std::cerr << "VIOLATION: hang at drop_rate=" << drop_rate
-              << " seed=" << seed << '\n';
+    viol << "VIOLATION: hang at drop_rate=" << drop_rate << " seed=" << seed
+         << '\n';
     r.ok = false;
   }
   if (early_release) {
-    std::cerr << "VIOLATION: early release at drop_rate=" << drop_rate
-              << " seed=" << seed << '\n';
+    viol << "VIOLATION: early release at drop_rate=" << drop_rate
+         << " seed=" << seed << '\n';
     r.ok = false;
   }
   if (r.episodes != static_cast<std::uint64_t>(episodes)) {
-    std::cerr << "VIOLATION: " << r.episodes << "/" << episodes
-              << " episodes completed at drop_rate=" << drop_rate
-              << " seed=" << seed << '\n';
+    viol << "VIOLATION: " << r.episodes << "/" << episodes
+         << " episodes completed at drop_rate=" << drop_rate
+         << " seed=" << seed << '\n';
     r.ok = false;
   }
+  r.violations = viol.str();
   return r;
 }
 
@@ -182,6 +196,7 @@ int main(int argc, char** argv) {
   const int episodes = static_cast<int>(flags.GetInt("episodes", 40));
   const auto watchdog = static_cast<Cycle>(flags.GetInt("watchdog", 3000));
   const auto retries = static_cast<std::uint32_t>(flags.GetInt("retries", 2));
+  const int jobs = bench::JobsFromFlags(flags, obs);
 
   const double rates[] = {0.0, 0.001, 0.005, 0.02, 0.05};
   std::cout << "Fault campaign: 4x8 barrier network, " << seeds
@@ -189,19 +204,34 @@ int main(int argc, char** argv) {
             << watchdog << " retries=" << retries << "\n"
             << "(fault-free baseline: 4-cycle barrier)\n\n";
 
+  // Flatten the rate x seed grid: every run is independent, so the
+  // whole campaign is one ParallelFor. Aggregation stays sequential and
+  // in submission order below.
+  bench::SweepClock clock(flags, "fault_campaign", jobs);
+  const std::size_t kNumRates = std::size(rates);
+  const auto per_rate = static_cast<std::size_t>(seeds);
+  std::vector<RunResult> runs(kNumRates * per_rate);
+  harness::ParallelFor(runs.size(), jobs, [&](std::size_t i) {
+    const double rate = rates[i / per_rate];
+    const auto seed = static_cast<std::uint64_t>(i % per_rate) + 1;
+    runs[i] = RunOnce(rate, seed, episodes, watchdog, retries);
+  });
+  clock.Report(runs.size());
+
   harness::Table t({"DropRate", "Runs", "Episodes", "Injected", "Timeouts",
                     "Retries", "Degraded", "MeanRecovery", "MeanEpisode"});
   bool all_ok = true;
   int total_runs = 0;
   std::vector<RateAgg> sweep;
-  for (const double rate : rates) {
+  for (std::size_t rate_idx = 0; rate_idx < kNumRates; ++rate_idx) {
     RateAgg ra;
-    ra.rate = rate;
+    ra.rate = rates[rate_idx];
     RunResult& agg = ra.agg;
     agg.ok = true;
     for (int s = 1; s <= seeds; ++s) {
-      const RunResult r = RunOnce(rate, static_cast<std::uint64_t>(s), episodes,
-                                  watchdog, retries);
+      const RunResult& r =
+          runs[rate_idx * per_rate + static_cast<std::size_t>(s - 1)];
+      if (!r.violations.empty()) std::cerr << r.violations;
       ++total_runs;
       ++ra.runs;
       agg.ok = agg.ok && r.ok;
@@ -214,7 +244,7 @@ int main(int argc, char** argv) {
       agg.episode_span.Merge(r.episode_span);
     }
     all_ok = all_ok && agg.ok;
-    t.AddRow({harness::Table::Num(rate, 3), std::to_string(seeds),
+    t.AddRow({harness::Table::Num(ra.rate, 3), std::to_string(seeds),
               harness::Table::Num(agg.episodes), harness::Table::Num(agg.injected),
               harness::Table::Num(agg.timeouts), harness::Table::Num(agg.retries),
               harness::Table::Num(agg.degraded_episodes),

@@ -5,46 +5,130 @@
 // cores on a log-scale y axis; the expected shape is CSW growing
 // steeply (hot-spot), DSW growing like log2(P) tree rounds, and GL flat
 // at a handful of cycles (13 in the paper's measurement, 4 ideal).
+//
+// The 12 runs (4 core counts x 3 mechanisms) are independent, so they
+// fan out over --jobs threads; the table and --json manifest are
+// assembled from submission-order results and are byte-identical for
+// any jobs value.
+//
+//   ./bench/fig5_barrier_latency --jobs 4
+//   ./bench/fig5_barrier_latency --max-cores 8 --json fig5.json
+#include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
 
+namespace {
+
+using namespace glb;
+
+struct Fig5Point {
+  std::uint32_t cores = 0;
+  double avg[3] = {};  // CSW, DSW, GL
+};
+
+/// One glb.fig5 object: the whole sweep, deterministic (no wall-clock,
+/// no jobs echo — identical output no matter how the runs were spread
+/// over threads).
+void WriteFig5Manifest(std::ostream& os, bool pretty, std::uint32_t iters,
+                       const std::vector<Fig5Point>& points) {
+  json::Writer w(os, pretty);
+  w.BeginObject();
+  w.Field("schema", "glb.fig5");
+  w.Field("schema_version", static_cast<std::uint32_t>(1));
+  w.Field("tool", "fig5_barrier_latency");
+  w.Field("synthetic_iters", iters);
+  w.Key("points");
+  w.BeginArray();
+  for (const auto& p : points) {
+    w.BeginObject();
+    w.Field("cores", p.cores);
+    w.Field("csw_avg_cycles", p.avg[0]);
+    w.Field("dsw_avg_cycles", p.avg[1]);
+    w.Field("gl_avg_cycles", p.avg[2]);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace glb;
   Flags flags(argc, argv);
   const bench::Observability obs(flags);
   bench::Scale scale = bench::Scale::FromFlags(flags);
   if (!flags.Has("synthetic-iters") && !flags.Has("paper-scale")) {
     scale.synthetic_iters = 200;  // stationary well before this
   }
+  const int jobs = bench::JobsFromFlags(flags, obs);
+  const auto max_cores =
+      static_cast<std::uint32_t>(flags.GetInt("max-cores", 32));
+
+  std::vector<std::uint32_t> core_counts;
+  for (std::uint32_t cores : {4u, 8u, 16u, 32u}) {
+    if (cores <= max_cores) core_counts.push_back(cores);
+  }
+
+  constexpr harness::BarrierKind kKinds[] = {
+      harness::BarrierKind::kCSW, harness::BarrierKind::kDSW,
+      harness::BarrierKind::kGL};
 
   std::cout << "Figure 5: average cycles per barrier (synthetic, "
             << scale.synthetic_iters << " iterations x 4 barriers)\n\n";
 
+  bench::SweepClock clock(flags, "fig5_barrier_latency", jobs);
+  const auto factory = bench::FactoryFor("Synthetic", scale);
+  std::vector<harness::ExperimentSpec> specs;
+  for (std::uint32_t cores : core_counts) {
+    for (auto kind : kKinds) {
+      specs.push_back({factory, kind, cmp::CmpConfig::WithCores(cores)});
+    }
+  }
+  const auto results = harness::RunExperimentsParallel(specs, jobs);
+  clock.Report(results.size());
+
   harness::Table t({"Cores", "CSW", "DSW", "GL", "CSW/GL", "DSW/GL"});
-  for (std::uint32_t cores : {4u, 8u, 16u, 32u}) {
-    const auto cfg = cmp::CmpConfig::WithCores(cores);
-    const auto factory = bench::FactoryFor("Synthetic", scale);
-    double avg[3] = {};
-    int idx = 0;
-    for (auto kind : {harness::BarrierKind::kCSW, harness::BarrierKind::kDSW,
-                      harness::BarrierKind::kGL}) {
-      const auto m = harness::RunExperiment(factory, kind, cfg);
+  std::vector<Fig5Point> points;
+  std::size_t next = 0;
+  for (std::uint32_t cores : core_counts) {
+    Fig5Point p;
+    p.cores = cores;
+    for (int idx = 0; idx < 3; ++idx) {
+      const auto& m = results[next++];
       if (!m.completed || !m.validation.empty()) {
         std::cerr << "run failed: " << m.workload << "/" << m.barrier << '\n';
         return 1;
       }
-      avg[idx++] = static_cast<double>(m.cycles) /
-                   static_cast<double>(m.barriers);
+      p.avg[idx] =
+          static_cast<double>(m.cycles) / static_cast<double>(m.barriers);
     }
-    t.AddRow({std::to_string(cores), harness::Table::Num(avg[0]),
-              harness::Table::Num(avg[1]), harness::Table::Num(avg[2]),
-              harness::Table::Num(avg[0] / avg[2], 1),
-              harness::Table::Num(avg[1] / avg[2], 1)});
+    t.AddRow({std::to_string(cores), harness::Table::Num(p.avg[0]),
+              harness::Table::Num(p.avg[1]), harness::Table::Num(p.avg[2]),
+              harness::Table::Num(p.avg[0] / p.avg[2], 1),
+              harness::Table::Num(p.avg[1] / p.avg[2], 1)});
+    points.push_back(p);
   }
   t.Print(std::cout);
   std::cout << "\nPaper shape: GL flat (~13 cycles measured, 4 ideal); DSW and CSW"
                " grow with cores,\nCSW worst (hot-spot on one counter line)."
                " Log-scale separation of orders of magnitude at 32 cores.\n";
+
+  if (flags.Has("json")) {
+    const std::string jpath = flags.GetString("json", "");
+    if (jpath.empty() || jpath == "true") {  // bare --json: pretty to stdout
+      WriteFig5Manifest(std::cout, /*pretty=*/true, scale.synthetic_iters, points);
+      std::cout << '\n';
+    } else {  // append one compact JSONL line (BENCH_*.json convention)
+      std::ofstream f(jpath, std::ios::app);
+      if (!f) {
+        std::cerr << "failed to append manifest to " << jpath << "\n";
+        return 1;
+      }
+      WriteFig5Manifest(f, /*pretty=*/false, scale.synthetic_iters, points);
+      f << '\n';
+    }
+  }
   return 0;
 }

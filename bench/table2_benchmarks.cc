@@ -2,8 +2,13 @@
 // period (average cycles between consecutive barriers), measured by
 // running every benchmark on the Table-1 machine with the GL barrier
 // (the paper computes the period as total cycles / total barriers).
+//
+// The seven benchmark runs are independent and fan out over --jobs
+// threads; rows are assembled in submission order so the table is
+// identical for any jobs value.
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "bench_util.h"
 
@@ -13,6 +18,7 @@ int main(int argc, char** argv) {
   const bench::Observability obs(flags);
   const bench::Scale scale = bench::Scale::FromFlags(flags);
   const auto cfg = bench::ConfigFromFlags(flags);
+  const int jobs = bench::JobsFromFlags(flags, obs);
 
   std::cout << "Table 2: benchmark configuration (measured on " << cfg.num_cores()
             << " cores, GL barrier)\n";
@@ -21,14 +27,23 @@ int main(int argc, char** argv) {
                "  Kernel6 1,022,000 / 4,908; OCEAN 364 / 205,206;"
                " UNSTRUCTURED 80 / 67,361; EM3D 198 / 3,673\n\n";
 
+  const std::vector<const char*> names = {"Synthetic", "Kernel2", "Kernel3",
+                                          "Kernel6", "OCEAN", "UNSTRUCTURED",
+                                          "EM3D"};
+  bench::SweepClock clock(flags, "table2_benchmarks", jobs);
+  std::vector<harness::ExperimentSpec> specs;
+  for (const char* name : names) {
+    specs.push_back(
+        {bench::FactoryFor(name, scale), harness::BarrierKind::kGL, cfg});
+  }
+  const auto results = harness::RunExperimentsParallel(specs, jobs);
+  clock.Report(results.size());
+
   harness::Table t({"Benchmark", "Input Size", "#Barriers", "Barrier Period", "Valid"});
-  for (const char* name : {"Synthetic", "Kernel2", "Kernel3", "Kernel6", "OCEAN",
-                           "UNSTRUCTURED", "EM3D"}) {
-    const auto factory = bench::FactoryFor(name, scale);
-    const std::string desc = factory()->input_desc();
-    const auto m =
-        harness::RunExperiment(factory, harness::BarrierKind::kGL, cfg);
-    t.AddRow({name, desc, harness::Table::Num(m.barriers),
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string desc = specs[i].make_workload()->input_desc();
+    const auto& m = results[i];
+    t.AddRow({names[i], desc, harness::Table::Num(m.barriers),
               harness::Table::Num(m.barrier_period),
               m.validation.empty() ? "ok" : "FAIL: " + m.validation});
   }

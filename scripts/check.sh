@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # Gatekeeper: build the default and sanitizer configurations and run the
-# full test suite under both. Every test gets a per-test timeout so a
-# hung simulation fails loudly instead of wedging CI.
+# full test suite under both, then prove the --jobs parallel sweep
+# runner race-free under ThreadSanitizer. Every test gets a per-test
+# timeout so a hung simulation fails loudly instead of wedging CI.
 #
-#   scripts/check.sh            # default + asan
+#   scripts/check.sh            # default + asan + tsan sweep
 #   scripts/check.sh --fast     # default only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PRESETS=(default asan)
+RUN_TSAN=1
 if [ "${1:-}" = "--fast" ]; then
   PRESETS=(default)
+  RUN_TSAN=0
 fi
 
 for preset in "${PRESETS[@]}"; do
@@ -19,5 +22,18 @@ for preset in "${PRESETS[@]}"; do
   cmake --build --preset "$preset" -j
   ctest --preset "$preset" -j "$(nproc)"
 done
+
+if [ "$RUN_TSAN" = "1" ]; then
+  # The tsan preset builds only the bench/tool binaries; the sweeps
+  # below exercise the ParallelFor pool exactly the way the figure and
+  # campaign harnesses use it. halt_on_error makes the first race fatal.
+  echo "=== tsan parallel sweeps ==="
+  cmake --preset tsan
+  cmake --build --preset tsan -j -t fault_campaign -t fig5_barrier_latency
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/bench/fault_campaign --seeds 6 --episodes 10 --jobs 4 > /dev/null
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/bench/fig5_barrier_latency --max-cores 8 --jobs 4 > /dev/null
+fi
 
 echo "check.sh: all configurations green"

@@ -30,6 +30,22 @@ namespace glb::detail {
   } else                                                                         \
     ::glb::detail::CheckStream(#cond, __FILE__, __LINE__)
 
+// GLB_DCHECK: same contract as GLB_CHECK, but compiled out of optimized
+// builds. Reserved for per-event hot-path invariants (the engine checks
+// every schedule/dispatch) where the branch is measurable; anything
+// protocol-level stays a GLB_CHECK. Active in Debug builds (the asan and
+// tsan presets), or everywhere with -DGLB_FORCE_DCHECK.
+#if !defined(NDEBUG) || defined(GLB_FORCE_DCHECK)
+#define GLB_DCHECK_ENABLED 1
+#define GLB_DCHECK(cond) GLB_CHECK(cond)
+#else
+#define GLB_DCHECK_ENABLED 0
+// Dead-code expansion: everything still type-checks (no unused-variable
+// warnings) but the condition and stream compile to nothing.
+#define GLB_DCHECK(cond) \
+  while (false) GLB_CHECK(cond)
+#endif
+
 #define GLB_UNREACHABLE(msg) \
   ::glb::detail::CheckFailed("unreachable", __FILE__, __LINE__, (msg))
 

@@ -1,5 +1,7 @@
 #include "harness/experiment.h"
 
+#include <chrono>
+
 #include "common/check.h"
 #include "sync/dissemination_barrier.h"
 #include "sync/hybrid_barrier.h"
@@ -36,14 +38,18 @@ RunMetrics RunExperiment(const WorkloadFactory& make_workload, BarrierKind kind,
   workload->Init(sys);
   auto barrier = MakeBarrier(kind, sys);
 
+  const auto t0 = std::chrono::steady_clock::now();
   const sim::RunStatus status = sys.RunProgramsStatus(
       [&](core::Core& core, CoreId id) { return workload->Body(core, id, *barrier); },
       max_cycles);
-  return CollectMetrics(sys, status, *workload, ToString(kind));
+  const std::chrono::duration<double, std::milli> wall =
+      std::chrono::steady_clock::now() - t0;
+  return CollectMetrics(sys, status, *workload, ToString(kind), wall.count());
 }
 
 RunMetrics CollectMetrics(cmp::CmpSystem& sys, const sim::RunStatus& status,
-                          workloads::Workload& workload, const std::string& barrier_name) {
+                          workloads::Workload& workload, const std::string& barrier_name,
+                          double wall_ms) {
   RunMetrics m;
   m.workload = workload.name();
   m.barrier = barrier_name;
@@ -62,6 +68,9 @@ RunMetrics CollectMetrics(cmp::CmpSystem& sys, const sim::RunStatus& status,
   m.msgs_reply = sys.stats().CounterValue("noc.msgs.reply");
   m.msgs_coherence = sys.stats().CounterValue("noc.msgs.coherence");
   m.host_events = sys.engine().events_processed();
+  m.wall_ms = wall_ms;
+  m.events_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(m.host_events) / (wall_ms / 1000.0) : 0.0;
   m.faults_injected = sys.stats().CounterValue("fault.injected");
   m.barrier_timeouts = sys.stats().CounterValue("gl.timeouts");
   m.barrier_retries = sys.stats().CounterValue("gl.retries");

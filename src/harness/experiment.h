@@ -58,6 +58,13 @@ struct RunMetrics {
   /// Simulator health.
   bool completed = false;
   std::uint64_t host_events = 0;
+  /// Host-side performance of the run (not simulated time): wall-clock
+  /// of the event loop and events dispatched per host second. Zero when
+  /// the caller did not time the run. Deterministic outputs (tables,
+  /// CSV) must never include these; the JSON manifest records them so
+  /// BENCH_*.json keeps a perf trajectory.
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
   /// Stall diagnostic when !completed ("simulation stalled at cycle N,
   /// pending events: M ..."); empty on a clean finish.
   std::string stall;
@@ -77,9 +84,11 @@ using WorkloadFactory = std::function<std::unique_ptr<workloads::Workload>()>;
 /// Extracts RunMetrics from an already-run system. Shared by
 /// RunExperiment and drivers that run the system themselves (glbsim
 /// needs the live StatSet for --stats/--json, which RunExperiment
-/// hides).
+/// hides). `wall_ms`, when nonzero, records the host wall-clock of the
+/// event loop and derives events_per_sec.
 RunMetrics CollectMetrics(cmp::CmpSystem& sys, const sim::RunStatus& status,
-                          workloads::Workload& workload, const std::string& barrier_name);
+                          workloads::Workload& workload, const std::string& barrier_name,
+                          double wall_ms = 0.0);
 
 /// Runs one experiment to completion (or `max_cycles`) and collects the
 /// metrics. The system is built fresh, the workload initialized, one

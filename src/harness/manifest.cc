@@ -113,6 +113,10 @@ void WriteRun(json::Writer& w, const RunMetrics& m) {
   w.Field("validation", m.validation);
   w.Field("stall", m.stall);
   w.Field("host_events", m.host_events);
+  // Host-side throughput (wall clock, not simulated time): the perf
+  // trajectory BENCH_*.json tracks across engine changes.
+  w.Field("host_wall_ms", m.wall_ms);
+  w.Field("host_events_per_sec", m.events_per_sec);
   w.Key("breakdown");
   w.BeginObject();
   for (int i = 0; i < core::kNumTimeCats; ++i) {

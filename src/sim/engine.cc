@@ -1,45 +1,151 @@
+// Engine hot path. Deliberately free of string/stream machinery: the
+// stall formatter lives in run_status.cc, and the per-event invariants
+// are GLB_DCHECKs (active in Debug/sanitizer builds only).
 #include "sim/engine.h"
 
 #include <algorithm>
-#include <sstream>
+#include <new>
 #include <utility>
 
 namespace glb::sim {
 
-std::string RunStatus::DescribeStall() const {
-  if (idle) return "";
-  std::ostringstream os;
-  os << "simulation stalled at cycle " << now << ", pending events: "
-     << pending_events << " (earliest pending at cycle " << next_event_at << ")";
-  return os.str();
+Engine::Engine() {
+  // Reserve up front so steady-state scheduling never reallocates: the
+  // far heap gets vector capacity, the node pool a first (uncarved)
+  // chunk.
+  far_.reserve(1024);
+  chunks_.reserve(16);
+  chunks_.push_back(std::make_unique_for_overwrite<std::byte[]>(kNodesPerChunk * sizeof(Node)));
+  carved_ = 0;
+}
+
+Engine::~Engine() {
+  // Destroy every carved node — free-listed ones hold moved-from Tasks,
+  // the rest are still-pending events whose Tasks die with the engine.
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    const std::size_t n = (c + 1 == chunks_.size()) ? carved_ : kNodesPerChunk;
+    Node* base = reinterpret_cast<Node*>(chunks_[c].get());
+    for (std::size_t i = 0; i < n; ++i) base[i].~Node();
+  }
+}
+
+Engine::Node* Engine::AllocNode() {
+  if (free_ != nullptr) {
+    Node* n = free_;
+    free_ = n->next;
+    return n;
+  }
+  if (carved_ == kNodesPerChunk) {
+    chunks_.push_back(std::make_unique_for_overwrite<std::byte[]>(kNodesPerChunk * sizeof(Node)));
+    carved_ = 0;
+  }
+  return new (chunks_.back().get() + carved_++ * sizeof(Node)) Node;
 }
 
 void Engine::ScheduleAt(Cycle at, Callback fn) {
-  GLB_CHECK(at >= now_) << "scheduling into the past: at=" << at << " now=" << now_;
-  GLB_CHECK(fn != nullptr) << "null event callback";
-  heap_.push_back(Event{at, next_seq_++, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), After);
+  GLB_DCHECK(at >= now_) << "scheduling into the past: at=" << at << " now=" << now_;
+  GLB_DCHECK(static_cast<bool>(fn)) << "null event callback";
+  Node* n = AllocNode();
+  n->next = nullptr;
+  n->fn = std::move(fn);
+  ++pending_;
+  if (at - now_ < kRingCycles) {
+    // Near future: append to the cycle's FIFO bucket. No allocation, no
+    // heap sift — the common case (mesh hops, cache latencies, G-line
+    // flushes, even DRAM fills are all inside the ring window).
+    const std::size_t idx = static_cast<std::size_t>(at & kRingMask);
+    Bucket& bkt = ring_[idx];
+    if (bkt.tail != nullptr) {
+      bkt.tail->next = n;
+    } else {
+      bkt.head = n;
+      occupied_[idx >> 6] |= 1ull << (idx & 63);
+    }
+    bkt.tail = n;
+    ++ring_count_;
+  } else {
+    far_.push_back(FarEvent{at, next_seq_++, n});
+    std::push_heap(far_.begin(), far_.end(), After);
+  }
 }
 
-void Engine::Step() {
-  std::pop_heap(heap_.begin(), heap_.end(), After);
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
-  GLB_CHECK(ev.at >= now_) << "heap produced past event";
-  now_ = ev.at;
-  ++events_processed_;
-  ev.fn();
+Cycle Engine::NextRingCycle() const {
+  // Circular scan of the occupancy bitmap starting at now_'s slot: the
+  // first set bit, walking forward, is the earliest pending ring cycle
+  // (every bucket holds exactly one cycle of the [now_, now_+ring)
+  // window). kOccWords full words plus a wrapped re-check of the start
+  // word's low bits.
+  const std::uint32_t start = static_cast<std::uint32_t>(now_ & kRingMask);
+  std::size_t w = start >> 6;
+  const std::uint32_t b = start & 63;
+  std::uint64_t word = occupied_[w] & (~0ull << b);
+  for (std::size_t i = 0;; ++i) {
+    if (word != 0) {
+      const Cycle p = static_cast<Cycle>((w << 6) +
+                                         static_cast<std::size_t>(__builtin_ctzll(word)));
+      return now_ + ((p - start) & kRingMask);
+    }
+    GLB_DCHECK(i < kOccWords) << "NextRingCycle on empty ring";
+    w = (w + 1) & (kOccWords - 1);
+    word = occupied_[w];
+    if (i == kOccWords - 1) word &= ~(~0ull << b);  // wrapped: start word, bits < b
+  }
+}
+
+Cycle Engine::NextEventCycle() const {
+  Cycle best = kCycleNever;
+  if (ring_count_ > 0) best = NextRingCycle();
+  if (!far_.empty() && far_.front().at < best) best = far_.front().at;
+  return best;
+}
+
+void Engine::RunCurrentCycle() {
+  // Far-heap events due now run first: a cycle is only reachable from
+  // the heap while it is outside the ring window, strictly before any
+  // ring insertion for it, so every heap event at this cycle has a
+  // smaller seq than every bucket event at it.
+  while (!far_.empty() && far_.front().at == now_) {
+    std::pop_heap(far_.begin(), far_.end(), After);
+    Node* n = far_.back().node;
+    far_.pop_back();
+    Task fn = std::move(n->fn);
+    FreeNode(n);
+    --pending_;
+    ++events_processed_;
+    fn();
+  }
+  // Bucket FIFO preserves scheduling order; events appended mid-drain
+  // (the ScheduleIn(0) pattern) are picked up by the same loop.
+  const std::size_t idx = static_cast<std::size_t>(now_ & kRingMask);
+  Bucket& bkt = ring_[idx];
+  while (bkt.head != nullptr) {
+    Node* n = bkt.head;
+    bkt.head = n->next;
+    if (bkt.head == nullptr) bkt.tail = nullptr;
+    // With many events pending, successive nodes of one bucket can sit
+    // a chunk-stride apart; fetch the successor while this event runs.
+    if (bkt.head != nullptr) __builtin_prefetch(bkt.head);
+    Task fn = std::move(n->fn);
+    FreeNode(n);
+    --pending_;
+    --ring_count_;
+    ++events_processed_;
+    fn();
+  }
+  occupied_[idx >> 6] &= ~(1ull << (idx & 63));
 }
 
 RunStatus Engine::RunUntilIdleStatus(Cycle max_cycles) {
-  while (!heap_.empty()) {
-    if (heap_.front().at > max_cycles) {
+  while (pending_ > 0) {
+    const Cycle next = NextEventCycle();
+    if (next > max_cycles) {
       return RunStatus{.idle = false,
                        .now = now_,
-                       .pending_events = heap_.size(),
-                       .next_event_at = heap_.front().at};
+                       .pending_events = pending_,
+                       .next_event_at = next};
     }
-    Step();
+    now_ = next;
+    RunCurrentCycle();
   }
   return RunStatus{.idle = true, .now = now_, .pending_events = 0,
                    .next_event_at = kCycleNever};
@@ -47,7 +153,12 @@ RunStatus Engine::RunUntilIdleStatus(Cycle max_cycles) {
 
 void Engine::RunUntil(Cycle until) {
   GLB_CHECK(until >= now_) << "RunUntil into the past";
-  while (!heap_.empty() && heap_.front().at <= until) Step();
+  while (pending_ > 0) {
+    const Cycle next = NextEventCycle();
+    if (next > until) break;
+    now_ = next;
+    RunCurrentCycle();
+  }
   now_ = until;
 }
 

@@ -5,15 +5,26 @@
 // Determinism guarantee: events fire in (cycle, insertion-sequence)
 // order, so two runs with identical inputs produce identical event
 // interleavings regardless of host platform.
+//
+// Hot-path design (docs/PERFORMANCE.md): a power-of-two ring of
+// per-cycle FIFO buckets absorbs near-future events — the common case,
+// since mesh serialization, cache latencies and G-line flushes all
+// schedule within a few dozen cycles — while far-future events (DRAM
+// fills, watchdog timeouts) overflow into a min-heap. Event nodes are
+// recycled through a free list and callbacks are sim::Task (48-byte
+// inline storage), so the bucket fast path performs zero heap
+// allocations in steady state.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
+#include "sim/task.h"
 
 namespace glb::sim {
 
@@ -31,13 +42,20 @@ struct RunStatus {
 
   explicit operator bool() const { return idle; }
   /// "simulation stalled at cycle N, pending events: M (earliest
-  /// pending at cycle K)" — empty when idle.
+  /// pending at cycle K)" — empty when idle. Defined in run_status.cc so
+  /// the string formatting machinery stays out of the engine's
+  /// translation unit.
   std::string DescribeStall() const;
 };
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Task;
+
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Current simulated cycle. During an event callback this is the
   /// cycle the event was scheduled for.
@@ -68,27 +86,93 @@ class Engine {
   void RunUntil(Cycle until);
 
   std::uint64_t events_processed() const { return events_processed_; }
-  std::size_t pending_events() const { return heap_.size(); }
-  bool idle() const { return heap_.empty(); }
+  std::size_t pending_events() const { return pending_; }
+  bool idle() const { return pending_ == 0; }
+
+  /// Cycle of the earliest pending event (kCycleNever when idle).
+  Cycle NextEventCycle() const;
+
+  /// Events currently waiting in the far-future overflow heap rather
+  /// than the bucket ring (introspection for tests/benches).
+  std::size_t far_pending() const { return far_.size(); }
+
+  /// Near-future horizon: ScheduleIn(delta) with delta < kRingCycles
+  /// takes the allocation-free bucket path. Sized to cover every
+  /// memory-system latency (DRAM is ~400 cycles) so only watchdog-scale
+  /// timeouts overflow to the heap.
+  static constexpr Cycle kRingCycles = 1024;
 
  private:
-  struct Event {
+  static constexpr Cycle kRingMask = kRingCycles - 1;
+  static constexpr std::size_t kOccWords = kRingCycles / 64;
+  static constexpr std::size_t kNodesPerChunk = 1024;
+
+  struct Node {
+    Node* next = nullptr;
+    Task fn;
+  };
+
+  /// Singly-linked FIFO of same-(cycle mod ring) events.
+  struct Bucket {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+  };
+
+  /// Far-heap entry: ordering keys inline so heap sifts never chase the
+  /// node pointer.
+  struct FarEvent {
     Cycle at;
     std::uint64_t seq;
-    Callback fn;
+    Node* node;
   };
 
   // Min-heap comparator expressed as "a ordered after b" for std::*_heap.
-  static bool After(const Event& a, const Event& b) {
+  static bool After(const FarEvent& a, const FarEvent& b) {
     if (a.at != b.at) return a.at > b.at;
     return a.seq > b.seq;
   }
 
-  // Pops and runs the front event.
-  void Step();
+  Node* AllocNode();
+  void FreeNode(Node* n) {
+    n->next = free_;
+    free_ = n;
+  }
 
-  std::vector<Event> heap_;
+  /// Runs every event due at `now_` — far-heap events first (they are
+  /// always older than bucket events at the same cycle), then the
+  /// bucket FIFO, including events appended to it mid-drain.
+  void RunCurrentCycle();
+
+  Cycle NextRingCycle() const;  // requires a non-empty ring
+
+  Bucket ring_[kRingCycles];
+  /// Occupancy bitmap over ring_: bit (c & kRingMask) set iff that
+  /// bucket is non-empty. Makes next-event search a few ctz ops.
+  std::uint64_t occupied_[kOccWords] = {};
+  /// Far-future overflow (at - now >= kRingCycles), a (cycle, seq)
+  /// min-heap.
+  std::vector<FarEvent> far_;
+  /// Recycled event nodes; chunks_ owns the raw memory they are carved
+  /// from. Chunks are uninitialized storage and nodes are
+  /// placement-constructed one at a time as the pool grows (a bump
+  /// pointer into the newest chunk), so a fresh node's cache line is
+  /// touched exactly once — by the schedule that first uses it — rather
+  /// than by an up-front construction-and-free-listing pass over the
+  /// whole chunk. The destructor destroys carved nodes: every chunk but
+  /// the last is fully carved, the last up to carved_.
+  Node* free_ = nullptr;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::size_t carved_ = kNodesPerChunk;
+
   Cycle now_ = 0;
+  std::size_t pending_ = 0;
+  /// Subset of pending_ sitting in ring buckets (saves scanning the
+  /// occupancy bitmap to learn the ring is empty).
+  std::size_t ring_count_ = 0;
+  /// Far-heap tie-break. Bucket FIFOs encode insertion order
+  /// structurally, so only far events consume sequence numbers; the
+  /// heap-before-bucket dispatch rule covers cross-queue ties (see
+  /// RunCurrentCycle).
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
 };

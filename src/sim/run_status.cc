@@ -1,0 +1,17 @@
+// RunStatus::DescribeStall lives in its own translation unit so the
+// engine's hot path (engine.cc) never pulls in <sstream>.
+#include <sstream>
+
+#include "sim/engine.h"
+
+namespace glb::sim {
+
+std::string RunStatus::DescribeStall() const {
+  if (idle) return "";
+  std::ostringstream os;
+  os << "simulation stalled at cycle " << now << ", pending events: "
+     << pending_events << " (earliest pending at cycle " << next_event_at << ")";
+  return os.str();
+}
+
+}  // namespace glb::sim

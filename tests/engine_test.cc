@@ -150,6 +150,9 @@ TEST(Engine, ManyEventsStressOrdering) {
   }
 }
 
+#if GLB_DCHECK_ENABLED
+// Past-scheduling is a hot-path GLB_DCHECK: enforced in Debug/sanitizer
+// builds (the asan preset runs this), compiled out of optimized builds.
 TEST(EngineDeath, SchedulingIntoThePastAborts) {
   Engine e;
   e.ScheduleAt(10, [&]() {
@@ -157,6 +160,7 @@ TEST(EngineDeath, SchedulingIntoThePastAborts) {
   });
   e.RunUntilIdle();
 }
+#endif
 
 }  // namespace
 }  // namespace glb::sim

@@ -9,6 +9,7 @@
 //   glbsim --workload Kernel3 --barrier GL --cores 32
 //   glbsim --workload OCEAN --barrier DSW --cores 16 --ocean-iters 10 --stats
 //   glbsim --workload Synthetic --barrier HYB --synthetic-iters 500 --csv
+#include <chrono>
 #include <iostream>
 #include <string>
 
@@ -83,15 +84,18 @@ int main(int argc, char** argv) {
   const Cycle max_cycles = flags.Has("max-cycles")
                                ? static_cast<Cycle>(flags.GetInt("max-cycles", 0))
                                : kCycleNever;
+  const auto t0 = std::chrono::steady_clock::now();
   const sim::RunStatus status = sys.RunProgramsStatus(
       [&](core::Core& c, CoreId id) { return workload->Body(c, id, *barrier); },
       max_cycles);
+  const std::chrono::duration<double, std::milli> wall =
+      std::chrono::steady_clock::now() - t0;
 
   // Manifests are emitted even for stalled runs (the stall diagnostic
   // lands in run.validation / run.stall).
   if (flags.Has("json")) {
-    const harness::RunMetrics m =
-        harness::CollectMetrics(sys, status, *workload, harness::ToString(kind));
+    const harness::RunMetrics m = harness::CollectMetrics(
+        sys, status, *workload, harness::ToString(kind), wall.count());
     harness::ManifestOptions opts;
     opts.tool = "glbsim";
     const std::string jpath = flags.GetString("json", "");
