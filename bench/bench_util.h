@@ -216,6 +216,10 @@ inline cmp::CmpConfig ConfigFromFlags(const Flags& flags) {
       static_cast<Cycle>(flags.GetInt("fault_watchdog", 0));
   cfg.gline.max_retries =
       static_cast<std::uint32_t>(flags.GetInt("fault_retries", 2));
+  // The hierarchical network shares the resilience knobs: whichever
+  // network the run selects gets the same watchdog/retry budget.
+  cfg.hier.watchdog_timeout = cfg.gline.watchdog_timeout;
+  cfg.hier.max_retries = cfg.gline.max_retries;
   if (cfg.fault.enabled() && !cfg.gline.resilient()) {
     std::cerr << "note: --fault_* injection enabled without --fault_watchdog; "
                  "the barrier network may hang (that is the point of the "

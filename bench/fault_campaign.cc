@@ -20,8 +20,15 @@
 // jobs value. The TSan preset in scripts/check.sh runs this sweep at
 // --jobs 4 to prove the runs really are disjoint.
 //
+// With --barrier gl-hier (or GLH) the campaign targets the hierarchical
+// multi-level network instead: a 14x14 mesh (4 clusters of 7x7 chained
+// under a 2x2 top level), with faults injected on every G-line at every
+// level and the same oracle — the safety invariant must hold at every
+// depth.
+//
 //   ./bench/fault_campaign              # 5 rates x 25 seeds = 125 runs
 //   ./bench/fault_campaign --seeds=50 --episodes=80 --jobs 4
+//   ./bench/fault_campaign --barrier gl-hier --jobs 4
 //   ./bench/fault_campaign --json BENCH_fault_campaign.json   # JSONL manifest
 #include <cstdint>
 #include <fstream>
@@ -40,6 +47,7 @@
 #include "fault/fault_injector.h"
 #include "fault/fault_model.h"
 #include "gline/barrier_network.h"
+#include "gline/hierarchy.h"
 #include "harness/manifest.h"
 #include "harness/report.h"
 #include "sim/engine.h"
@@ -62,16 +70,39 @@ struct RunResult {
                             // itself must not touch shared streams)
 };
 
-RunResult RunOnce(double drop_rate, std::uint64_t seed, int episodes,
+/// Campaign mesh: 4x8 flat, or 14x14 hierarchical (4 clusters of 7x7
+/// under a 2x2 top level — faults land on every level's lines).
+std::uint32_t CampaignRows(bool hier) { return hier ? 14 : 4; }
+std::uint32_t CampaignCols(bool hier) { return hier ? 14 : 8; }
+
+RunResult RunOnce(bool hier, double drop_rate, std::uint64_t seed, int episodes,
                   Cycle watchdog, std::uint32_t retries) {
-  constexpr std::uint32_t kRows = 4, kCols = 8, kCores = kRows * kCols;
+  const std::uint32_t kRows = CampaignRows(hier), kCols = CampaignCols(hier);
+  const std::uint32_t kCores = kRows * kCols;
 
   sim::Engine engine;
   StatSet stats;
-  gline::BarrierNetConfig cfg;
-  cfg.watchdog_timeout = watchdog;
-  cfg.max_retries = retries;
-  gline::BarrierNetwork net(engine, kRows, kCols, cfg, stats);
+  std::unique_ptr<gline::BarrierNetwork> flat;
+  std::unique_ptr<gline::HierarchicalBarrierNetwork> hnet;
+  if (hier) {
+    gline::HierConfig cfg;
+    cfg.watchdog_timeout = watchdog;
+    cfg.max_retries = retries;
+    hnet = std::make_unique<gline::HierarchicalBarrierNetwork>(engine, kRows,
+                                                               kCols, cfg, stats);
+  } else {
+    gline::BarrierNetConfig cfg;
+    cfg.watchdog_timeout = watchdog;
+    cfg.max_retries = retries;
+    flat = std::make_unique<gline::BarrierNetwork>(engine, kRows, kCols, cfg, stats);
+  }
+  auto arrive = [&](CoreId c, std::function<void()> cb) {
+    if (hier) {
+      hnet->Arrive(0, c, std::move(cb));
+    } else {
+      flat->Arrive(0, c, std::move(cb));
+    }
+  };
 
   fault::FaultPlan plan;
   plan.seed = seed;
@@ -79,7 +110,13 @@ RunResult RunOnce(double drop_rate, std::uint64_t seed, int episodes,
   plan.gline_dup_rate = drop_rate / 4;
   plan.csma_corrupt_rate = drop_rate / 4;
   fault::FaultInjector inj(engine, plan, stats);
-  if (plan.enabled()) inj.Arm(net);
+  if (plan.enabled()) {
+    if (hier) {
+      inj.Arm(*hnet);
+    } else {
+      inj.Arm(*flat);
+    }
+  }
 
   Rng rng(seed * 1099511628211ull + 3);
   int episode = 0;
@@ -93,7 +130,7 @@ RunResult RunOnce(double drop_rate, std::uint64_t seed, int episodes,
     for (CoreId c = 0; c < kCores; ++c) {
       engine.ScheduleAt(now + 1 + rng.NextBelow(20), [&, c]() {
         ++arrived;
-        net.Arrive(0, c, [&]() {
+        arrive(c, [&]() {
           if (arrived != kCores) early_release = true;
           if (++released == kCores && ++episode < episodes) start_episode();
         });
@@ -104,17 +141,29 @@ RunResult RunOnce(double drop_rate, std::uint64_t seed, int episodes,
 
   RunResult r;
   const bool idle = engine.RunUntilIdle(100'000'000);
-  r.episodes = net.barriers_completed();
+  if (hier) {
+    r.episodes = hnet->barriers_completed();
+    r.timeouts = hnet->AggregateCounter("timeouts");
+    r.retries = hnet->AggregateCounter("retries");
+    r.degraded_episodes = hnet->AggregateCounter("degraded_episodes");
+    // Fold every node's histograms (per-ctx recovery, per-node spans).
+    stats.ForEachHistogram([&](const std::string& name, const Histogram& h) {
+      if (name.ends_with(".recovery_latency")) r.recovery_lat.Merge(h);
+      if (name.ends_with(".episode_span")) r.episode_span.Merge(h);
+    });
+  } else {
+    r.episodes = flat->barriers_completed();
+    r.timeouts = stats.CounterValue("gl.timeouts");
+    r.retries = stats.CounterValue("gl.retries");
+    r.degraded_episodes = stats.CounterValue("gl.degraded_episodes");
+    if (const Histogram* h = stats.FindHistogram("gl.ctx0.recovery_latency")) {
+      r.recovery_lat.Merge(*h);
+    }
+    if (const Histogram* h = stats.FindHistogram("gl.episode_span")) {
+      r.episode_span.Merge(*h);
+    }
+  }
   r.injected = stats.CounterValue("fault.injected");
-  r.timeouts = stats.CounterValue("gl.timeouts");
-  r.retries = stats.CounterValue("gl.retries");
-  r.degraded_episodes = stats.CounterValue("gl.degraded_episodes");
-  if (const Histogram* h = stats.FindHistogram("gl.ctx0.recovery_latency")) {
-    r.recovery_lat.Merge(*h);
-  }
-  if (const Histogram* h = stats.FindHistogram("gl.episode_span")) {
-    r.episode_span.Merge(*h);
-  }
   r.ok = true;
   std::ostringstream viol;
   if (!idle) {
@@ -147,9 +196,9 @@ struct RateAgg {
 /// rate's stats shaped by harness::WriteStatsBlock (same layout as the
 /// glb.run manifests, including histogram p50/p95/p99 from the merged
 /// per-run histograms).
-void WriteCampaignManifest(std::ostream& os, bool pretty, int seeds, int episodes,
-                           Cycle watchdog, std::uint32_t retries, bool all_ok,
-                           const std::vector<RateAgg>& sweep) {
+void WriteCampaignManifest(std::ostream& os, bool pretty, bool hier, int seeds,
+                           int episodes, Cycle watchdog, std::uint32_t retries,
+                           bool all_ok, const std::vector<RateAgg>& sweep) {
   json::Writer w(os, pretty);
   w.BeginObject();
   w.Field("schema", "glb.fault_campaign");
@@ -157,8 +206,9 @@ void WriteCampaignManifest(std::ostream& os, bool pretty, int seeds, int episode
   w.Field("tool", "fault_campaign");
   w.Key("params");
   w.BeginObject();
-  w.Field("rows", static_cast<std::uint32_t>(4));
-  w.Field("cols", static_cast<std::uint32_t>(8));
+  w.Field("barrier", hier ? "GLH" : "GL");
+  w.Field("rows", CampaignRows(hier));
+  w.Field("cols", CampaignCols(hier));
   w.Field("seeds", static_cast<std::int64_t>(seeds));
   w.Field("episodes_per_run", static_cast<std::int64_t>(episodes));
   w.Field("watchdog", watchdog);
@@ -197,12 +247,25 @@ int main(int argc, char** argv) {
   const auto watchdog = static_cast<Cycle>(flags.GetInt("watchdog", 3000));
   const auto retries = static_cast<std::uint32_t>(flags.GetInt("retries", 2));
   const int jobs = bench::JobsFromFlags(flags, obs);
+  const std::string barrier = flags.GetString("barrier", "gl");
+  bool hier = false;
+  if (barrier == "gl-hier" || barrier == "GLH") {
+    hier = true;
+  } else if (barrier != "gl" && barrier != "GL") {
+    std::cerr << "bad --barrier '" << barrier << "' (gl|gl-hier)\n";
+    return 2;
+  }
 
   const double rates[] = {0.0, 0.001, 0.005, 0.02, 0.05};
-  std::cout << "Fault campaign: 4x8 barrier network, " << seeds
-            << " seeds x " << episodes << " episodes per rate, watchdog="
-            << watchdog << " retries=" << retries << "\n"
-            << "(fault-free baseline: 4-cycle barrier)\n\n";
+  std::cout << "Fault campaign: " << CampaignRows(hier) << "x"
+            << CampaignCols(hier)
+            << (hier ? " hierarchical (multi-level)" : "")
+            << " barrier network, " << seeds << " seeds x " << episodes
+            << " episodes per rate, watchdog=" << watchdog
+            << " retries=" << retries << "\n"
+            << (hier ? "(fault-free baseline: 4 cycles per level, faults"
+                       " injected at every level)\n\n"
+                     : "(fault-free baseline: 4-cycle barrier)\n\n");
 
   // Flatten the rate x seed grid: every run is independent, so the
   // whole campaign is one ParallelFor. Aggregation stays sequential and
@@ -214,7 +277,7 @@ int main(int argc, char** argv) {
   harness::ParallelFor(runs.size(), jobs, [&](std::size_t i) {
     const double rate = rates[i / per_rate];
     const auto seed = static_cast<std::uint64_t>(i % per_rate) + 1;
-    runs[i] = RunOnce(rate, seed, episodes, watchdog, retries);
+    runs[i] = RunOnce(hier, rate, seed, episodes, watchdog, retries);
   });
   clock.Report(runs.size());
 
@@ -258,8 +321,8 @@ int main(int argc, char** argv) {
     const std::string jpath = flags.GetString("json", "");
     if (jpath.empty() || jpath == "true") {  // bare --json: pretty to stdout
       std::cout << '\n';
-      WriteCampaignManifest(std::cout, /*pretty=*/true, seeds, episodes, watchdog,
-                            retries, all_ok, sweep);
+      WriteCampaignManifest(std::cout, /*pretty=*/true, hier, seeds, episodes,
+                            watchdog, retries, all_ok, sweep);
       std::cout << '\n';
     } else {  // append one compact JSONL line (BENCH_*.json convention)
       std::ofstream f(jpath, std::ios::app);
@@ -267,8 +330,8 @@ int main(int argc, char** argv) {
         std::cerr << "failed to append manifest to " << jpath << "\n";
         return 1;
       }
-      WriteCampaignManifest(f, /*pretty=*/false, seeds, episodes, watchdog, retries,
-                            all_ok, sweep);
+      WriteCampaignManifest(f, /*pretty=*/false, hier, seeds, episodes, watchdog,
+                            retries, all_ok, sweep);
       f << '\n';
     }
   }

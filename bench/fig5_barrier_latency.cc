@@ -11,13 +11,23 @@
 // assembled from submission-order results and are byte-identical for
 // any jobs value.
 //
+// With --hier the sweep continues past the paper's 32 cores into
+// many-core meshes (8x8 -> 32x32), comparing the flat network (relaxed,
+// overloaded lines) against the hierarchical §5 scheme (--barrier
+// GLH): average cycles per barrier, hierarchy depth and the total
+// G-line wire budget of each design. The extra table and the glb.fig5_hier
+// manifest are only emitted under --hier, so the default output stays
+// byte-identical.
+//
 //   ./bench/fig5_barrier_latency --jobs 4
 //   ./bench/fig5_barrier_latency --max-cores 8 --json fig5.json
+//   ./bench/fig5_barrier_latency --hier --jobs 4 --json fig5.json
 #include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "bench_util.h"
+#include "gline/hierarchy.h"
 
 namespace {
 
@@ -26,6 +36,16 @@ using namespace glb;
 struct Fig5Point {
   std::uint32_t cores = 0;
   double avg[3] = {};  // CSW, DSW, GL
+};
+
+struct HierPoint {
+  std::uint32_t cores = 0;
+  double gl_avg = 0.0;   // flat network, relaxed (overloaded) lines
+  double glh_avg = 0.0;  // hierarchical network
+  std::uint32_t levels = 0;
+  std::uint32_t clusters = 0;
+  std::uint32_t gl_lines = 0;   // flat wire budget, 2*(rows+1)
+  std::uint32_t glh_lines = 0;  // sum over every node at every level
 };
 
 /// One glb.fig5 object: the whole sweep, deterministic (no wall-clock,
@@ -53,6 +73,33 @@ void WriteFig5Manifest(std::ostream& os, bool pretty, std::uint32_t iters,
   w.EndObject();
 }
 
+/// One glb.fig5_hier object: latency-vs-cores and wire-count curves for
+/// the flat vs hierarchical networks. Deterministic like glb.fig5.
+void WriteHierManifest(std::ostream& os, bool pretty, std::uint32_t iters,
+                       const std::vector<HierPoint>& points) {
+  json::Writer w(os, pretty);
+  w.BeginObject();
+  w.Field("schema", "glb.fig5_hier");
+  w.Field("schema_version", static_cast<std::uint32_t>(1));
+  w.Field("tool", "fig5_barrier_latency");
+  w.Field("synthetic_iters", iters);
+  w.Key("points");
+  w.BeginArray();
+  for (const auto& p : points) {
+    w.BeginObject();
+    w.Field("cores", p.cores);
+    w.Field("gl_avg_cycles", p.gl_avg);
+    w.Field("glh_avg_cycles", p.glh_avg);
+    w.Field("levels", p.levels);
+    w.Field("clusters", p.clusters);
+    w.Field("gl_lines", p.gl_lines);
+    w.Field("glh_lines", p.glh_lines);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,10 +112,20 @@ int main(int argc, char** argv) {
   const int jobs = bench::JobsFromFlags(flags, obs);
   const auto max_cores =
       static_cast<std::uint32_t>(flags.GetInt("max-cores", 32));
+  const bool hier = flags.GetBool("hier", false);
+  const auto hier_max_cores =
+      static_cast<std::uint32_t>(flags.GetInt("hier-max-cores", 1024));
 
   std::vector<std::uint32_t> core_counts;
   for (std::uint32_t cores : {4u, 8u, 16u, 32u}) {
     if (cores <= max_cores) core_counts.push_back(cores);
+  }
+  std::vector<std::uint32_t> hier_counts;
+  if (hier) {
+    // 8x8 -> 16x16 -> 32x32: past the flat network's 7x7 budget.
+    for (std::uint32_t cores : {64u, 256u, 1024u}) {
+      if (cores <= hier_max_cores) hier_counts.push_back(cores);
+    }
   }
 
   constexpr harness::BarrierKind kKinds[] = {
@@ -85,6 +142,14 @@ int main(int argc, char** argv) {
     for (auto kind : kKinds) {
       specs.push_back({factory, kind, cmp::CmpConfig::WithCores(cores)});
     }
+  }
+  // The hier sweep rides the same parallel runner: flat (relaxed,
+  // overloaded lines) vs hierarchical at each many-core mesh.
+  for (std::uint32_t cores : hier_counts) {
+    specs.push_back({factory, harness::BarrierKind::kGL,
+                     cmp::CmpConfig::WithCores(cores)});
+    specs.push_back({factory, harness::BarrierKind::kGLH,
+                     cmp::CmpConfig::WithCores(cores)});
   }
   const auto results = harness::RunExperimentsParallel(specs, jobs);
   clock.Report(results.size());
@@ -115,11 +180,59 @@ int main(int argc, char** argv) {
                " grow with cores,\nCSW worst (hot-spot on one counter line)."
                " Log-scale separation of orders of magnitude at 32 cores.\n";
 
+  std::vector<HierPoint> hier_points;
+  if (hier) {
+    std::cout << "\nHierarchical sweep (flat relaxed GL vs multi-level GLH, §5"
+                 " scheme):\n\n";
+    harness::Table ht({"Cores", "Mesh", "GL", "GLH", "Levels", "Clusters",
+                       "GL lines", "GLH lines"});
+    for (std::uint32_t cores : hier_counts) {
+      HierPoint p;
+      p.cores = cores;
+      for (int idx = 0; idx < 2; ++idx) {
+        const auto& m = results[next++];
+        if (!m.completed || !m.validation.empty()) {
+          std::cerr << "run failed: " << m.workload << "/" << m.barrier << '\n';
+          return 1;
+        }
+        const double avg =
+            static_cast<double>(m.cycles) / static_cast<double>(m.barriers);
+        (idx == 0 ? p.gl_avg : p.glh_avg) = avg;
+      }
+      // Wire budgets and depth come from the network shapes alone; one
+      // un-simulated construction per mesh (no engine run).
+      const auto cfg = cmp::CmpConfig::WithCores(cores);
+      sim::Engine scratch;
+      StatSet scratch_stats;
+      gline::HierarchicalBarrierNetwork net(scratch, cfg.rows, cfg.cols,
+                                            cfg.hier, scratch_stats);
+      p.levels = net.num_levels();
+      p.clusters = net.num_clusters();
+      p.gl_lines = 2 * (cfg.rows + 1);
+      p.glh_lines = net.total_lines();
+      ht.AddRow({std::to_string(p.cores),
+                 std::to_string(cfg.rows) + "x" + std::to_string(cfg.cols),
+                 harness::Table::Num(p.gl_avg), harness::Table::Num(p.glh_avg),
+                 std::to_string(p.levels), std::to_string(p.clusters),
+                 std::to_string(p.gl_lines), std::to_string(p.glh_lines)});
+      hier_points.push_back(p);
+    }
+    ht.Print(std::cout);
+    std::cout << "\nGLH holds the ~4-cycles-per-level model while every line"
+                 " stays inside the\ntransmitter budget; the flat network needs"
+                 " overloaded (relaxed) lines past 7x7.\n";
+  }
+
   if (flags.Has("json")) {
     const std::string jpath = flags.GetString("json", "");
     if (jpath.empty() || jpath == "true") {  // bare --json: pretty to stdout
       WriteFig5Manifest(std::cout, /*pretty=*/true, scale.synthetic_iters, points);
       std::cout << '\n';
+      if (hier) {
+        WriteHierManifest(std::cout, /*pretty=*/true, scale.synthetic_iters,
+                          hier_points);
+        std::cout << '\n';
+      }
     } else {  // append one compact JSONL line (BENCH_*.json convention)
       std::ofstream f(jpath, std::ios::app);
       if (!f) {
@@ -128,6 +241,11 @@ int main(int argc, char** argv) {
       }
       WriteFig5Manifest(f, /*pretty=*/false, scale.synthetic_iters, points);
       f << '\n';
+      if (hier) {
+        WriteHierManifest(f, /*pretty=*/false, scale.synthetic_iters,
+                          hier_points);
+        f << '\n';
+      }
     }
   }
   return 0;

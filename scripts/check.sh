@@ -23,6 +23,15 @@ for preset in "${PRESETS[@]}"; do
   ctest --preset "$preset" -j "$(nproc)"
 done
 
+# Hierarchical smoke: the full fig5 --hier sweep (64/256/1024 cores,
+# latency + wire-count curves) and a short gl-hier fault campaign, so a
+# regression in the multi-level network fails the gate even though the
+# figures themselves are only rebuilt on demand.
+echo "=== gl-hier sweep ==="
+./build/bench/fig5_barrier_latency --hier --jobs "$(nproc)" > /dev/null
+./build/bench/fault_campaign --barrier gl-hier --seeds 3 --episodes 6 \
+  --jobs "$(nproc)" > /dev/null
+
 if [ "$RUN_TSAN" = "1" ]; then
   # The tsan preset builds only the bench/tool binaries; the sweeps
   # below exercise the ParallelFor pool exactly the way the figure and
@@ -33,7 +42,13 @@ if [ "$RUN_TSAN" = "1" ]; then
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/bench/fault_campaign --seeds 6 --episodes 10 --jobs 4 > /dev/null
   TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/bench/fault_campaign --barrier gl-hier --seeds 3 --episodes 6 \
+      --jobs 4 > /dev/null
+  TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/bench/fig5_barrier_latency --max-cores 8 --jobs 4 > /dev/null
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/bench/fig5_barrier_latency --hier --hier-max-cores 256 \
+      --jobs 4 > /dev/null
 fi
 
 echo "check.sh: all configurations green"

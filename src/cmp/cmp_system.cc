@@ -14,7 +14,7 @@ noc::MeshConfig MeshConfigFor(const CmpConfig& cfg) {
 }  // namespace
 
 CmpConfig CmpConfig::WithCores(std::uint32_t n) {
-  GLB_CHECK(n > 0 && n <= 64) << "supported core counts: 1..64";
+  GLB_CHECK(n > 0 && n <= 1024) << "supported core counts: 1..1024";
   // Pick the most square factorization r*c = n with r <= c.
   std::uint32_t best_r = 1;
   for (std::uint32_t r = 1; r * r <= n; ++r) {
@@ -33,11 +33,16 @@ CmpSystem::CmpSystem(const CmpConfig& cfg)
       mesh_(engine_, MeshConfigFor(cfg), stats_),
       fabric_(engine_, mesh_, backing_, cfg.coherence, cfg.l1, cfg.l2, stats_),
       gline_(engine_, cfg.rows, cfg.cols, cfg.gline, stats_) {
+  if (cfg.hier.enabled) {
+    hier_ = std::make_unique<gline::HierarchicalBarrierNetwork>(
+        engine_, cfg.rows, cfg.cols, cfg.hier, stats_);
+  }
   cores_.reserve(cfg.num_cores());
   for (CoreId c = 0; c < cfg.num_cores(); ++c) {
     cores_.push_back(
         std::make_unique<core::Core>(engine_, fabric_.l1(c), c, cfg.core, stats_));
-    cores_.back()->SetBarrierDevice(gline_.Device(0));
+    cores_.back()->SetBarrierDevice(hier_ != nullptr ? hier_->Device(0)
+                                                     : gline_.Device(0));
   }
 
   if (cfg.gline.resilient()) {
@@ -59,7 +64,13 @@ CmpSystem::CmpSystem(const CmpConfig& cfg)
 
   if (cfg.fault.enabled()) {
     injector_ = std::make_unique<fault::FaultInjector>(engine_, cfg.fault, stats_);
-    injector_->Arm(gline_);
+    // Arm whichever network the cores are actually wired to; in hier
+    // mode the hooks land on every node at every level.
+    if (hier_ != nullptr) {
+      injector_->Arm(*hier_);
+    } else {
+      injector_->Arm(gline_);
+    }
     injector_->Arm(mesh_);
   }
 }

@@ -18,6 +18,7 @@
 #include "fault/fault_injector.h"
 #include "fault/fault_model.h"
 #include "gline/barrier_network.h"
+#include "gline/hierarchy.h"
 #include "mem/addr_allocator.h"
 #include "mem/backing_store.h"
 #include "noc/mesh.h"
@@ -34,6 +35,10 @@ struct CmpConfig {
   coherence::CoherenceConfig coherence{};
   noc::MeshConfig noc{};  // rows/cols are overwritten from this struct
   gline::BarrierNetConfig gline{};
+  /// Hierarchical (multi-level) G-line network; `hier.enabled` makes it
+  /// the chip's barrier device instead of the flat network (§5 scheme,
+  /// required past the 7x7 transmitter limit).
+  gline::HierConfig hier{};
   core::CoreConfig core{};
   /// Fault campaign (disabled by default: no hooks are installed).
   fault::FaultPlan fault{};
@@ -45,7 +50,8 @@ struct CmpConfig {
   /// 400-cycle memory, 75-byte links.
   static CmpConfig Table1() { return CmpConfig{}; }
 
-  /// Square-ish mesh with exactly `n` cores (n = r*c, r <= c <= 2r).
+  /// Square-ish mesh with exactly `n` cores (n = r*c, r <= c <= 2r),
+  /// up to the 32x32 = 1024-core many-core scale.
   static CmpConfig WithCores(std::uint32_t n);
 };
 
@@ -63,6 +69,8 @@ class CmpSystem {
   noc::Mesh& mesh() { return mesh_; }
   coherence::Fabric& fabric() { return fabric_; }
   gline::BarrierNetwork& gline() { return gline_; }
+  /// The hierarchical network, or nullptr unless cfg.hier.enabled.
+  gline::HierarchicalBarrierNetwork* hier() { return hier_.get(); }
   core::Core& core(CoreId c) { return *cores_[c]; }
   std::uint32_t num_cores() const { return cfg_.num_cores(); }
   const CmpConfig& config() const { return cfg_; }
@@ -99,6 +107,7 @@ class CmpSystem {
   noc::Mesh mesh_;
   coherence::Fabric fabric_;
   gline::BarrierNetwork gline_;
+  std::unique_ptr<gline::HierarchicalBarrierNetwork> hier_;
   std::vector<std::unique_ptr<core::Core>> cores_;
   /// Degraded-mode software fallback: one hybrid barrier unit per G-line
   /// context, over the data NoC (built only in resilient mode).

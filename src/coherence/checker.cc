@@ -95,7 +95,7 @@ std::vector<std::string> CoherenceChecker::Check() const {
         report(la, "L1 sharers exist but the directory says Uncached");
       } else if (meta->state == DirController::DirState::kShared) {
         for (const Copy& cp : holders) {
-          if ((meta->sharers >> cp.core & 1) == 0) {
+          if (!meta->sharers.Test(cp.core)) {
             report(la, "sharer missing from the directory sharer set");
           }
         }

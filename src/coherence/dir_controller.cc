@@ -14,8 +14,6 @@ namespace {
 /// Retry spacing when every way of a set is pinned by open transactions.
 constexpr Cycle kAllocRetryCycles = 8;
 
-std::uint64_t Bit(CoreId c) { return std::uint64_t{1} << c; }
-
 std::string TxnTraceName(bool is_recall, MsgType type, Addr line_addr) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%s @0x%llx", is_recall ? "recall" : ToString(type),
@@ -50,8 +48,8 @@ void DirController::DumpTransactions(std::ostream& os) const {
     const auto* line = array_.Lookup(addr);
     if (line != nullptr) {
       os << " dir_state=" << static_cast<int>(line->meta.state)
-         << " owner=" << line->meta.owner << " sharers=0x" << std::hex
-         << line->meta.sharers << std::dec;
+         << " owner=" << line->meta.owner
+         << " sharers=" << line->meta.sharers.ToHexString();
     } else {
       os << " (not resident)";
     }
@@ -167,7 +165,7 @@ void DirController::ProcessPut(const Message& msg) {
       line->meta.dirty = true;
     }
     line->meta.state = DirState::kUncached;
-    line->meta.sharers = 0;
+    line->meta.sharers.Clear();
     line->meta.owner = kInvalidCore;
   }
   // A Put from a non-owner is the tail of an eviction/forward race; it
@@ -195,7 +193,7 @@ void DirController::ProcessGet(const Message& msg) {
           Close(msg.line_addr);
           return;
         case DirState::kShared:
-          meta.sharers |= Bit(req);
+          meta.sharers.Add(req);
           SendData(req, line, Grant::kShared);
           Close(msg.line_addr);
           return;
@@ -217,24 +215,23 @@ void DirController::ProcessGet(const Message& msg) {
         Close(msg.line_addr);
         return;
       case DirState::kShared: {
-        const std::uint64_t to_inv = meta.sharers & ~Bit(req);
-        if (to_inv == 0) {
+        SharerSet to_inv = meta.sharers;
+        to_inv.Remove(req);
+        if (to_inv.Empty()) {
           meta.state = DirState::kExclusive;
-          meta.sharers = 0;
+          meta.sharers.Clear();
           meta.owner = req;
           SendData(req, line, Grant::kModified);
           Close(msg.line_addr);
           return;
         }
-        txn.acks_left = PopCount(to_inv);
-        for (CoreId c = 0; c < fabric_.num_cores(); ++c) {
-          if (to_inv & Bit(c)) {
-            invs_sent_->Inc();
-            SendCtl(c, MsgType::kInv, msg.line_addr);
-          }
-        }
+        txn.acks_left = to_inv.Count();
+        to_inv.ForEach([&](CoreId c) {
+          invs_sent_->Inc();
+          SendCtl(c, MsgType::kInv, msg.line_addr);
+        });
         // The sharer set is dissolved now; acks drain into the open txn.
-        meta.sharers = 0;
+        meta.sharers.Clear();
         return;  // completes in OnInvAck
       }
       case DirState::kExclusive:
@@ -317,15 +314,13 @@ void DirController::StartRecall(Cache::Line* victim, std::function<void()> cont)
                              fabric_.engine().Now());
   }
   if (victim->meta.state == DirState::kShared) {
-    txn.acks_left = PopCount(victim->meta.sharers);
+    txn.acks_left = victim->meta.sharers.Count();
     GLB_CHECK(txn.acks_left > 0) << "Shared line with empty sharer set";
-    for (CoreId c = 0; c < fabric_.num_cores(); ++c) {
-      if (victim->meta.sharers & Bit(c)) {
-        invs_sent_->Inc();
-        SendCtl(c, MsgType::kInv, vaddr);
-      }
-    }
-    victim->meta.sharers = 0;
+    victim->meta.sharers.ForEach([&](CoreId c) {
+      invs_sent_->Inc();
+      SendCtl(c, MsgType::kInv, vaddr);
+    });
+    victim->meta.sharers.Clear();
   } else {
     fwds_sent_->Inc();
     SendCtl(victim->meta.owner, MsgType::kFwdGetX, vaddr);
@@ -361,7 +356,7 @@ void DirController::OnInvAck(const Message& msg) {
   auto* line = array_.Lookup(msg.line_addr);
   GLB_CHECK(line != nullptr) << "GetX target evicted mid-transaction";
   line->meta.state = DirState::kExclusive;
-  line->meta.sharers = 0;
+  line->meta.sharers.Clear();
   line->meta.owner = txn.requester;
   SendData(txn.requester, line, Grant::kModified);
   Close(msg.line_addr);
@@ -384,12 +379,14 @@ void DirController::OnOwnerData(const Message& msg) {
   }
   if (txn.type == MsgType::kGetS) {
     line->meta.state = DirState::kShared;
-    line->meta.sharers = Bit(old_owner) | Bit(txn.requester);
+    line->meta.sharers.Clear();
+    line->meta.sharers.Add(old_owner);
+    line->meta.sharers.Add(txn.requester);
     line->meta.owner = kInvalidCore;
     SendData(txn.requester, line, Grant::kShared);
   } else {
     line->meta.state = DirState::kExclusive;
-    line->meta.sharers = 0;
+    line->meta.sharers.Clear();
     line->meta.owner = txn.requester;
     SendData(txn.requester, line, Grant::kModified);
   }

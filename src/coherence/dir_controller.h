@@ -19,6 +19,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "coherence/protocol.h"
+#include "coherence/sharer_set.h"
 #include "mem/backing_store.h"
 #include "mem/cache_array.h"
 
@@ -33,7 +34,7 @@ class DirController {
 
   struct DirMeta {
     DirState state = DirState::kUncached;
-    std::uint64_t sharers = 0;  // bitmask over cores (kShared)
+    SharerSet sharers;  // full-map sharer vector (kShared)
     CoreId owner = kInvalidCore;  // kExclusive
     bool dirty = false;  // L2 copy newer than DRAM
   };
@@ -112,10 +113,6 @@ class DirController {
   void SendData(CoreId to, const Cache::Line* line, Grant grant);
   void SendCtl(CoreId to, MsgType type, Addr line_addr);
   void WriteLineToBacking(const Cache::Line* line);
-
-  static std::uint32_t PopCount(std::uint64_t x) {
-    return static_cast<std::uint32_t>(__builtin_popcountll(x));
-  }
 
   Fabric& fabric_;
   const CoreId tile_;

@@ -14,7 +14,9 @@ Fabric::Fabric(sim::Engine& engine, noc::Mesh& mesh, mem::BackingStore& backing,
   GLB_CHECK(backing.line_bytes() == cfg.line_bytes)
       << "backing store line size mismatch";
   const std::uint32_t n = mesh.config().num_nodes();
-  GLB_CHECK(n <= 64) << "sharer bitmask limits the fabric to 64 cores";
+  GLB_CHECK(n <= SharerSet::kMaxCores)
+      << "full-map sharer vector limits the fabric to " << SharerSet::kMaxCores
+      << " cores";
   l1s_.reserve(n);
   dirs_.reserve(n);
   for (CoreId c = 0; c < n; ++c) {

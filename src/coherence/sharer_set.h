@@ -1,0 +1,95 @@
+// Directory sharer tracking beyond 64 cores.
+//
+// The directory used to keep its sharer list in a single std::uint64_t
+// bitmask, which hard-capped the coherence fabric at 64 cores — far
+// short of the 32x32 = 1024-core meshes the hierarchical barrier
+// network targets. SharerSet is the same full-map bit-vector scheme
+// widened to a fixed array of words: O(1) add/remove/test, and
+// count/iteration proportional to the word count (16 words for 1024
+// cores, 128 bytes per directory entry).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace glb::coherence {
+
+class SharerSet {
+ public:
+  /// Capacity of the full-map vector (the fabric rejects larger meshes).
+  static constexpr std::uint32_t kMaxCores = 1024;
+
+  void Add(CoreId c) { WordOf(c) |= BitOf(c); }
+  void Remove(CoreId c) { WordOf(c) &= ~BitOf(c); }
+  void Clear() { words_.fill(0); }
+
+  bool Test(CoreId c) const {
+    GLB_CHECK(c < kMaxCores) << "core id " << c << " beyond sharer capacity";
+    return (words_[c >> 6] & BitOf(c)) != 0;
+  }
+
+  bool Empty() const {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  std::uint32_t Count() const {
+    std::uint32_t n = 0;
+    for (const std::uint64_t w : words_) {
+      n += static_cast<std::uint32_t>(__builtin_popcountll(w));
+    }
+    return n;
+  }
+
+  /// Calls `fn(CoreId)` for every member, in increasing core order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(static_cast<CoreId>(i * 64 + static_cast<std::size_t>(bit)));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Big-endian hex rendering ("0x0" when empty) for diagnostics.
+  std::string ToHexString() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::size_t hi = words_.size();
+    while (hi > 0 && words_[hi - 1] == 0) --hi;
+    if (hi == 0) return "0x0";
+    std::string s = "0x";
+    bool leading = true;
+    for (std::size_t i = hi; i-- > 0;) {
+      for (int nib = 15; nib >= 0; --nib) {
+        const auto d = static_cast<std::size_t>((words_[i] >> (nib * 4)) & 0xF);
+        if (leading && d == 0 && !(i == 0 && nib == 0)) continue;
+        leading = false;
+        s += kDigits[d];
+      }
+      leading = false;
+    }
+    return s;
+  }
+
+  bool operator==(const SharerSet&) const = default;
+
+ private:
+  static std::uint64_t BitOf(CoreId c) { return std::uint64_t{1} << (c & 63); }
+  std::uint64_t& WordOf(CoreId c) {
+    GLB_CHECK(c < kMaxCores) << "core id " << c << " beyond sharer capacity";
+    return words_[c >> 6];
+  }
+
+  std::array<std::uint64_t, kMaxCores / 64> words_{};
+};
+
+}  // namespace glb::coherence

@@ -8,6 +8,11 @@ namespace glb {
 double Histogram::PercentileApprox(double p) const {
   if (count_ == 0) return 0.0;
   p = std::clamp(p, 0.0, 1.0);
+  // The extremes are tracked exactly, so return them exactly: p=1.0
+  // used to interpolate partway into the top occupied bucket and could
+  // come back below max() (and p=0.0 above min()).
+  if (p <= 0.0) return static_cast<double>(min_);
+  if (p >= 1.0) return static_cast<double>(max_);
   // Target rank in [0, count-1]; walk buckets until it falls inside one.
   double target = p * static_cast<double>(count_ - 1);
   std::uint64_t seen = 0;
@@ -16,8 +21,15 @@ double Histogram::PercentileApprox(double p) const {
     if (n == 0) continue;
     if (target < static_cast<double>(seen + n)) {
       double frac = (target - static_cast<double>(seen)) / static_cast<double>(n);
+      // Bucket 0 holds only {0, 1}; bucket i>=1 holds [2^i, 2^(i+1));
+      // the top bucket is open-ended (BucketOf clamps into it).
+      // Intersect the span with the observed [min, max+1) so the
+      // interpolation never ranges over values the histogram cannot
+      // contain (top bucket reaching past max, bucket 0 reaching 2).
       double lo = i == 0 ? 0.0 : static_cast<double>(1ull << i);
-      double hi = static_cast<double>(1ull << (i + 1));
+      double hi = i == 0 ? 2.0 : static_cast<double>(1ull << (i + 1));
+      lo = std::max(lo, static_cast<double>(min_));
+      hi = std::min(hi, static_cast<double>(max_) + 1.0);
       double v = lo + frac * (hi - lo);
       return std::clamp(v, static_cast<double>(min_), static_cast<double>(max_));
     }

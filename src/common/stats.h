@@ -57,9 +57,10 @@ class Histogram {
 
   /// Approximate p-quantile (p in [0,1]) from the power-of-two buckets:
   /// linear rank interpolation inside the bucket that holds the target
-  /// rank, clamped to [min, max]. Exact when all samples share one
-  /// value; otherwise within a factor of 2 (one bucket width). Returns
-  /// 0 for an empty histogram.
+  /// rank, clamped to [min, max]. Exact at the endpoints (p=0 returns
+  /// min(), p=1 returns max()) and when all samples share one value;
+  /// otherwise within one bucket width of the true sorted-order
+  /// quantile. Returns 0 for an empty histogram.
   double PercentileApprox(double p) const;
 
   /// Folds `other`'s samples into this histogram (used by campaign

@@ -32,6 +32,15 @@ void FaultInjector::Arm(gline::BarrierNetwork& net) {
   });
 }
 
+void FaultInjector::Arm(gline::HierarchicalBarrierNetwork& net) {
+  net.SetLineFaultHook([this](const gline::GLine& line, std::uint32_t count) {
+    return AdjustCount(line, count);
+  });
+  net.SetArrivalFaultHook([this](std::uint32_t ctx, CoreId core) {
+    return FreezeDelay(ctx, core);
+  });
+}
+
 void FaultInjector::Arm(noc::Mesh& mesh) {
   mesh.SetFaultHook([this](const noc::Packet& pkt) { return LinkPenalty(pkt); });
 }

@@ -21,6 +21,7 @@
 #include "fault/fault_model.h"
 #include "gline/barrier_network.h"
 #include "gline/gline.h"
+#include "gline/hierarchy.h"
 #include "noc/mesh.h"
 #include "sim/engine.h"
 
@@ -36,6 +37,10 @@ class FaultInjector {
   /// Installs the S-CSMA corruption hook on every line of `net` and the
   /// core-freeze hook on its arrival path.
   void Arm(gline::BarrierNetwork& net);
+
+  /// Same, on a hierarchical network: line hooks land on every node at
+  /// every level; the freeze hook sees global core ids.
+  void Arm(gline::HierarchicalBarrierNetwork& net);
 
   /// Installs the link delay/drop hook on `mesh`.
   void Arm(noc::Mesh& mesh);

@@ -15,15 +15,17 @@ BarrierNetwork::BarrierNetwork(sim::Engine& engine, std::uint32_t rows,
     : engine_(engine), rows_(rows), cols_(cols), cfg_(cfg), stats_(stats) {
   GLB_CHECK(rows > 0 && cols > 0) << "empty mesh";
   GLB_CHECK(cfg.contexts > 0) << "need at least one barrier context";
-  completed_ = stats.GetCounter("gl.barriers_completed");
-  signals_ = stats.GetCounter("gl.signals");
-  release_latency_ = stats.GetHistogram("gl.release_latency");
-  episode_span_ = stats.GetHistogram("gl.episode_span");
+  GLB_CHECK(!cfg.stat_prefix.empty()) << "empty stat prefix";
+  const std::string& pfx = cfg_.stat_prefix;
+  completed_ = stats.GetCounter(pfx + ".barriers_completed");
+  signals_ = stats.GetCounter(pfx + ".signals");
+  release_latency_ = stats.GetHistogram(pfx + ".release_latency");
+  episode_span_ = stats.GetHistogram(pfx + ".episode_span");
   if (cfg.resilient()) {
-    timeouts_ = stats.GetCounter("gl.timeouts");
-    retries_ = stats.GetCounter("gl.retries");
-    miscounts_ = stats.GetCounter("gl.miscounts");
-    degraded_episodes_ = stats.GetCounter("gl.degraded_episodes");
+    timeouts_ = stats.GetCounter(pfx + ".timeouts");
+    retries_ = stats.GetCounter(pfx + ".retries");
+    miscounts_ = stats.GetCounter(pfx + ".miscounts");
+    degraded_episodes_ = stats.GetCounter(pfx + ".degraded_episodes");
   }
 
   ctxs_.resize(cfg.contexts);
@@ -46,8 +48,8 @@ void BarrierNetwork::BuildContext(std::uint32_t ctx) {
   c.participates.assign(num_cores(), true);
   c.release_cb.resize(num_cores());
   c.release_owed.assign(num_cores(), false);
-  c.trace.track = "gl/ctx" + std::to_string(ctx);
-  const std::string pfx = "gl.ctx" + std::to_string(ctx) + ".";
+  c.trace.track = cfg_.stat_prefix + "/ctx" + std::to_string(ctx);
+  const std::string pfx = cfg_.stat_prefix + ".ctx" + std::to_string(ctx) + ".";
   if (resilient()) {
     c.timeouts = stats_.GetCounter(pfx + "timeouts");
     c.retries = stats_.GetCounter(pfx + "retries");
@@ -339,6 +341,23 @@ void BarrierNetwork::CheckVerticalComplete(std::uint32_t ctx) {
   MasterV& mv = c.mv;
   if (mv.state != MasterState::kAccounting) return;
   if (!mv.node0_flag || mv.scnt != mv.expected) return;
+  if (resilient() && c.completion_hook != nullptr &&
+      c.arrived != c.expected_arrivals) {
+    // An over-counted line completed the gather before every core
+    // arrived. With a completion hook installed the completion would
+    // propagate to an upper hierarchy level and release OTHER clusters
+    // early, so it must be stopped here, not in StartRelease.
+    c.miscounts->Inc();
+    miscounts_->Inc();
+    if (c.recovering_since == kCycleNever) c.recovering_since = engine_.Now();
+    GLB_TRACE(engine_.Now(), "gl",
+              "ctx " << ctx << " early hooked completion detected (" << c.arrived
+                     << "/" << c.expected_arrivals << " arrived); recovering");
+    GLB_TRACE_EVENT(
+        trace::Sink().Instant(c.trace.track, "miscount", engine_.Now()));
+    HandleEpisodeFault(ctx);
+    return;
+  }
   mv.state = MasterState::kWaiting;
   if (c.completion_hook != nullptr) {
     // Hierarchy: hold the release until the upper level says go.

@@ -69,6 +69,12 @@ struct BarrierNetConfig {
   /// Transmitter budget per line (paper: six).
   std::uint32_t max_transmitters = 6;
   TxPolicy policy = TxPolicy::kRelaxed;
+  /// Root of every stat/line/trace-track name this network registers
+  /// ("gl" -> "gl.barriers_completed", "gl.ctx0.sglineH0", track
+  /// "gl/ctx0"). Hierarchical deployments give each level/cluster
+  /// sub-network its own prefix ("glh.l1.c3") so per-network counters
+  /// never alias in the shared StatSet.
+  std::string stat_prefix = "gl";
 
   // --- resilience (0 = off: the network behaves exactly as the paper's
   // fault-free design, with no extra events, stats or state) ----------

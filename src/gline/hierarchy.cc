@@ -1,91 +1,240 @@
 #include "gline/hierarchy.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/check.h"
 
 namespace glb::gline {
+
+namespace {
+std::uint32_t CeilDiv(std::uint32_t a, std::uint32_t b) {
+  return (a + b - 1) / b;
+}
+}  // namespace
 
 HierarchicalBarrierNetwork::HierarchicalBarrierNetwork(sim::Engine& engine,
                                                        std::uint32_t rows,
                                                        std::uint32_t cols,
                                                        const HierConfig& cfg,
                                                        StatSet& stats)
-    : engine_(engine), rows_(rows), cols_(cols), cfg_(cfg) {
+    : engine_(engine), rows_(rows), cols_(cols), cfg_(cfg), stats_(stats) {
   GLB_CHECK(rows > 0 && cols > 0) << "empty mesh";
   GLB_CHECK(cfg.cluster_rows > 0 && cfg.cluster_cols > 0) << "empty clusters";
-  completed_ = stats.GetCounter("glh.barriers_completed");
+  GLB_CHECK(cfg.contexts > 0) << "need at least one barrier context";
+  GLB_CHECK(!cfg.stat_prefix.empty()) << "empty stat prefix";
+  // A 1-wide cluster dimension cannot tile a larger mesh: the grid would
+  // be as large as the mesh and the recursion would never terminate.
+  GLB_CHECK(rows <= cfg.cluster_rows || cfg.cluster_rows >= 2)
+      << "cluster_rows=1 cannot tile " << rows << " rows";
+  GLB_CHECK(cols <= cfg.cluster_cols || cfg.cluster_cols >= 2)
+      << "cluster_cols=1 cannot tile " << cols << " cols";
+  // Every node must itself respect the transmitter budget: the whole
+  // point of the hierarchy is that no line is overloaded (sub-networks
+  // are built with kReject so a violation dies at construction).
+  GLB_CHECK(cfg.cluster_rows <= cfg.max_transmitters + 1 &&
+            cfg.cluster_cols <= cfg.max_transmitters + 1)
+      << "cluster " << cfg.cluster_rows << "x" << cfg.cluster_cols
+      << " exceeds the " << cfg.max_transmitters << "-transmitter budget";
 
-  grid_rows_ = (rows + cfg.cluster_rows - 1) / cfg.cluster_rows;
-  grid_cols_ = (cols + cfg.cluster_cols - 1) / cfg.cluster_cols;
-  // The top-level network must itself respect the transmitter budget:
-  // two levels cover up to (max_tx+1)^2 x (max_tx+1)^2 cores.
-  GLB_CHECK(grid_rows_ <= cfg.max_transmitters + 1 &&
-            grid_cols_ <= cfg.max_transmitters + 1)
-      << "mesh needs more than two levels (" << grid_rows_ << "x" << grid_cols_
-      << " clusters); deeper hierarchies are future work";
+  completed_ = stats.GetCounter(cfg_.stat_prefix + ".barriers_completed");
+  released_.assign(cfg_.contexts, 0);
+  BuildLevels(stats);
+  ChainLevels();
+  for (std::uint32_t ctx = 0; ctx < cfg_.contexts; ++ctx) {
+    devices_.push_back(std::make_unique<HierDevice>(*this, ctx));
+  }
+}
 
-  // Every sub-network must satisfy the strict transmitter budget: the
-  // whole point of the hierarchy is that no line is overloaded.
+void HierarchicalBarrierNetwork::BuildLevels(StatSet& stats) {
   BarrierNetConfig sub;
-  sub.contexts = 1;
-  sub.max_transmitters = cfg.max_transmitters;
+  sub.contexts = cfg_.contexts;
+  sub.max_transmitters = cfg_.max_transmitters;
   sub.policy = TxPolicy::kReject;
+  sub.watchdog_timeout = cfg_.watchdog_timeout;
+  sub.max_retries = cfg_.max_retries;
+  sub.fallback_latency = cfg_.fallback_latency;
 
-  // Balance the cluster grid: with the cluster count fixed, spread the
-  // rows/columns evenly (8x8 becomes four 4x4 clusters rather than a
-  // 7x7 plus slivers).
-  eff_cluster_rows_ = (rows + grid_rows_ - 1) / grid_rows_;
-  eff_cluster_cols_ = (cols + grid_cols_ - 1) / grid_cols_;
-  for (std::uint32_t gr = 0; gr < grid_rows_; ++gr) {
-    for (std::uint32_t gc = 0; gc < grid_cols_; ++gc) {
-      Cluster cl;
-      cl.row0 = gr * eff_cluster_rows_;
-      cl.col0 = gc * eff_cluster_cols_;
-      cl.crows = std::min(eff_cluster_rows_, rows - cl.row0);
-      cl.ccols = std::min(eff_cluster_cols_, cols - cl.col0);
-      cl.net = std::make_unique<BarrierNetwork>(engine, cl.crows, cl.ccols, sub, stats);
-      clusters_.push_back(std::move(cl));
+  std::uint32_t mr = rows_, mc = cols_;
+  for (std::uint32_t k = 0;; ++k) {
+    Level lv;
+    lv.mesh_rows = mr;
+    lv.mesh_cols = mc;
+    lv.grid_rows = CeilDiv(mr, cfg_.cluster_rows);
+    lv.grid_cols = CeilDiv(mc, cfg_.cluster_cols);
+    // Balance the grid: with the cluster count fixed, spread rows and
+    // columns evenly (8x8 becomes four 4x4 clusters rather than a 7x7
+    // plus slivers), then drop grid cells the balanced dims emptied.
+    lv.eff_rows = CeilDiv(mr, lv.grid_rows);
+    lv.eff_cols = CeilDiv(mc, lv.grid_cols);
+    lv.grid_rows = CeilDiv(mr, lv.eff_rows);
+    lv.grid_cols = CeilDiv(mc, lv.eff_cols);
+    for (std::uint32_t gr = 0; gr < lv.grid_rows; ++gr) {
+      for (std::uint32_t gc = 0; gc < lv.grid_cols; ++gc) {
+        Node n;
+        n.row0 = gr * lv.eff_rows;
+        n.col0 = gc * lv.eff_cols;
+        n.nrows = std::min(lv.eff_rows, mr - n.row0);
+        n.ncols = std::min(lv.eff_cols, mc - n.col0);
+        n.prefix = cfg_.stat_prefix + ".l" + std::to_string(k) + ".c" +
+                   std::to_string(lv.nodes.size());
+        sub.stat_prefix = n.prefix;
+        n.net = std::make_unique<BarrierNetwork>(engine_, n.nrows, n.ncols, sub,
+                                                 stats);
+        if (cfg_.resilient()) n.fb.resize(cfg_.contexts);
+        lv.nodes.push_back(std::move(n));
+      }
+    }
+    const bool root = lv.grid_rows == 1 && lv.grid_cols == 1;
+    levels_.push_back(std::move(lv));
+    if (root) break;
+    mr = levels_.back().grid_rows;
+    mc = levels_.back().grid_cols;
+  }
+}
+
+std::uint32_t HierarchicalBarrierNetwork::NodeIndexAt(const Level& level,
+                                                      std::uint32_t r,
+                                                      std::uint32_t c) {
+  return (r / level.eff_rows) * level.grid_cols + (c / level.eff_cols);
+}
+
+void HierarchicalBarrierNetwork::ChainLevels() {
+  for (std::uint32_t k = 0; k + 1 < levels_.size(); ++k) {
+    Level& lv = levels_[k];
+    const Level& up = levels_[k + 1];
+    for (std::uint32_t i = 0; i < lv.nodes.size(); ++i) {
+      Node& n = lv.nodes[i];
+      // This node is "core" (gr, gc) of the level above.
+      const std::uint32_t gr = i / lv.grid_cols, gc = i % lv.grid_cols;
+      n.parent_node = NodeIndexAt(up, gr, gc);
+      const Node& p = up.nodes[n.parent_node];
+      n.parent_slot = (gr - p.row0) * p.ncols + (gc - p.col0);
+
+      BarrierNetwork* child = n.net.get();
+      BarrierNetwork* parent = up.nodes[n.parent_node].net.get();
+      const CoreId slot = n.parent_slot;
+      for (std::uint32_t ctx = 0; ctx < cfg_.contexts; ++ctx) {
+        // Chain: node completion arrives at the level above; the upper
+        // release triggers this node's deferred release wave.
+        child->SetCompletionHook(ctx, [child, parent, slot, ctx]() {
+          parent->Arrive(ctx, slot,
+                         [child, ctx]() { child->TriggerRelease(ctx); });
+        });
+      }
+      if (cfg_.resilient()) {
+        // Degraded non-root nodes must keep deferring to the parent:
+        // buffer local arrivals and forward ONE arrival upward when the
+        // node is full; the parent's release releases the batch. The
+        // batch is snapshotted before Arrive so releases delivered
+        // synchronously cannot mix with next-episode arrivals.
+        child->SetFallback(
+            [this, k, i](std::uint32_t ctx, CoreId /*core*/,
+                         std::function<void()> on_release) {
+              Node& nn = levels_[k].nodes[i];
+              auto& fb = nn.fb[ctx];
+              fb.waiters.push_back(std::move(on_release));
+              if (fb.waiters.size() < fb.expected) return;
+              auto batch =
+                  std::make_shared<std::vector<std::function<void()>>>();
+              batch->swap(fb.waiters);
+              BarrierNetwork* up_net =
+                  levels_[k + 1].nodes[nn.parent_node].net.get();
+              up_net->Arrive(ctx, nn.parent_slot, [batch]() {
+                for (auto& cb : *batch) cb();
+              });
+            },
+            [this, k, i](std::uint32_t ctx, std::uint32_t expected) {
+              levels_[k].nodes[i].fb[ctx].expected = expected;
+            });
+      }
     }
   }
-  top_ = std::make_unique<BarrierNetwork>(engine, grid_rows_, grid_cols_, sub, stats);
+  // The root has no completion hook: its own release wave starting IS
+  // the global release, and (resilient) its built-in counting fallback
+  // is safe because every arrival it sees is a fully-gathered subtree.
+}
 
-  // Chain: cluster completion arrives at the top level; the top-level
-  // release triggers the cluster's deferred release wave.
-  for (std::uint32_t i = 0; i < clusters_.size(); ++i) {
-    clusters_[i].net->SetCompletionHook(0, [this, i]() {
-      top_->Arrive(0, static_cast<CoreId>(i), [this, i]() {
-        clusters_[i].net->TriggerRelease(0);
+core::BarrierDevice* HierarchicalBarrierNetwork::Device(std::uint32_t ctx) {
+  GLB_CHECK(ctx < devices_.size()) << "bad barrier context " << ctx;
+  return devices_[ctx].get();
+}
+
+void HierarchicalBarrierNetwork::Arrive(std::uint32_t ctx, CoreId core,
+                                        std::function<void()> on_release) {
+  GLB_CHECK(ctx < cfg_.contexts) << "bad barrier context " << ctx;
+  GLB_CHECK(core < num_cores()) << "bad core id " << core;
+  GLB_CHECK(on_release != nullptr) << "arrival without release callback";
+  if (arrival_fault_ != nullptr) {
+    const Cycle stall = arrival_fault_(ctx, core);
+    if (stall > 0) {
+      engine_.ScheduleIn(stall, [this, ctx, core,
+                                 cb = std::move(on_release)]() mutable {
+        DoArrive(ctx, core, std::move(cb));
       });
-    });
+      return;
+    }
   }
-  // The top level's own completion is the global barrier.
-  top_->SetCompletionHook(0, [this]() {
-    completed_->Inc();
-    top_->TriggerRelease(0);
+  DoArrive(ctx, core, std::move(on_release));
+}
+
+void HierarchicalBarrierNetwork::DoArrive(std::uint32_t ctx, CoreId core,
+                                          std::function<void()> on_release) {
+  const Level& l0 = levels_.front();
+  const std::uint32_t r = core / cols_, c = core % cols_;
+  const Node& leaf = l0.nodes[NodeIndexAt(l0, r, c)];
+  const CoreId local = (r - leaf.row0) * leaf.ncols + (c - leaf.col0);
+  // Count the global barrier on the LAST core release (not at the root's
+  // completion): correct even when nodes complete through the degraded
+  // fallback path, where the root's gather may be bypassed entirely.
+  leaf.net->Arrive(ctx, local, [this, ctx, cb = std::move(on_release)]() {
+    if (++released_[ctx] == num_cores()) {
+      released_[ctx] = 0;
+      completed_->Inc();
+    }
+    cb();
   });
 }
 
-std::uint32_t HierarchicalBarrierNetwork::ClusterIndexOf(CoreId core) const {
-  const std::uint32_t r = core / cols_, c = core % cols_;
-  return (r / eff_cluster_rows_) * grid_cols_ + (c / eff_cluster_cols_);
+void HierarchicalBarrierNetwork::SetLineFaultHook(GLine::DeliverFaultHook hook) {
+  for (auto& lv : levels_) {
+    for (auto& n : lv.nodes) n.net->SetLineFaultHook(hook);
+  }
 }
 
-CoreId HierarchicalBarrierNetwork::LocalIdOf(CoreId core) const {
-  const std::uint32_t r = core / cols_, c = core % cols_;
-  const Cluster& cl = clusters_[ClusterIndexOf(core)];
-  return (r - cl.row0) * cl.ccols + (c - cl.col0);
-}
-
-void HierarchicalBarrierNetwork::Arrive(CoreId core,
-                                        std::function<void()> on_release) {
-  GLB_CHECK(core < num_cores()) << "bad core id " << core;
-  const std::uint32_t ci = ClusterIndexOf(core);
-  clusters_[ci].net->Arrive(0, LocalIdOf(core), std::move(on_release));
+void HierarchicalBarrierNetwork::SetArrivalFaultHook(
+    BarrierNetwork::ArrivalFaultHook hook) {
+  arrival_fault_ = std::move(hook);
 }
 
 std::uint32_t HierarchicalBarrierNetwork::total_lines() const {
-  std::uint32_t total = top_->total_lines();
-  for (const auto& cl : clusters_) total += cl.net->total_lines();
+  std::uint32_t total = 0;
+  for (const auto& lv : levels_) {
+    for (const auto& n : lv.nodes) total += n.net->total_lines();
+  }
   return total;
+}
+
+bool HierarchicalBarrierNetwork::degraded_any() const {
+  for (const auto& lv : levels_) {
+    for (const auto& n : lv.nodes) {
+      for (std::uint32_t ctx = 0; ctx < cfg_.contexts; ++ctx) {
+        if (n.net->degraded(ctx)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::uint64_t HierarchicalBarrierNetwork::AggregateCounter(
+    const std::string& suffix) const {
+  std::uint64_t sum = 0;
+  for (const auto& lv : levels_) {
+    for (const auto& n : lv.nodes) {
+      sum += stats_.CounterValue(n.prefix + "." + suffix);
+    }
+  }
+  return sum;
 }
 
 }  // namespace glb::gline

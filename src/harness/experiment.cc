@@ -13,6 +13,10 @@ std::unique_ptr<sync::Barrier> MakeBarrier(BarrierKind kind, cmp::CmpSystem& sys
   switch (kind) {
     case BarrierKind::kGL:
       return std::make_unique<sync::GlBarrier>();
+    case BarrierKind::kGLH:
+      GLB_CHECK(sys.hier() != nullptr)
+          << "GLH barrier requested but cfg.hier.enabled was false";
+      return std::make_unique<sync::GlBarrier>("GLH");
     case BarrierKind::kCSW:
       return std::make_unique<sync::CentralBarrier>(sys.allocator(), sys.num_cores());
     case BarrierKind::kDSW:
@@ -33,7 +37,10 @@ std::unique_ptr<sync::Barrier> MakeBarrier(BarrierKind kind, cmp::CmpSystem& sys
 
 RunMetrics RunExperiment(const WorkloadFactory& make_workload, BarrierKind kind,
                          const cmp::CmpConfig& cfg, Cycle max_cycles) {
-  cmp::CmpSystem sys(cfg);
+  cmp::CmpConfig run_cfg = cfg;
+  // Selecting the hierarchical barrier implies building it.
+  if (kind == BarrierKind::kGLH) run_cfg.hier.enabled = true;
+  cmp::CmpSystem sys(run_cfg);
   auto workload = make_workload();
   workload->Init(sys);
   auto barrier = MakeBarrier(kind, sys);
@@ -75,6 +82,12 @@ RunMetrics CollectMetrics(cmp::CmpSystem& sys, const sim::RunStatus& status,
   m.barrier_timeouts = sys.stats().CounterValue("gl.timeouts");
   m.barrier_retries = sys.stats().CounterValue("gl.retries");
   m.degraded_episodes = sys.stats().CounterValue("gl.degraded_episodes");
+  if (sys.hier() != nullptr) {
+    // Hier mode: fold in the per-node aggregates from every level.
+    m.barrier_timeouts += sys.hier()->AggregateCounter("timeouts");
+    m.barrier_retries += sys.hier()->AggregateCounter("retries");
+    m.degraded_episodes += sys.hier()->AggregateCounter("degraded_episodes");
+  }
   m.validation = m.completed ? workload.Validate(sys) : m.stall;
   return m;
 }

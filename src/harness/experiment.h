@@ -17,6 +17,7 @@ namespace glb::harness {
 
 enum class BarrierKind {
   kGL,   // the paper's G-line barrier network
+  kGLH,  // hierarchical (multi-level) G-line network (§5, beyond 7x7)
   kCSW,  // centralized sense-reversal software barrier
   kDSW,  // binary combining-tree software barrier
   kHYB,  // memory-mapped central hardware unit (Sartori/Kumar-style)
@@ -26,6 +27,7 @@ enum class BarrierKind {
 inline const char* ToString(BarrierKind k) {
   switch (k) {
     case BarrierKind::kGL: return "GL";
+    case BarrierKind::kGLH: return "GLH";
     case BarrierKind::kCSW: return "CSW";
     case BarrierKind::kDSW: return "DSW";
     case BarrierKind::kHYB: return "HYB";

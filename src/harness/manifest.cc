@@ -76,6 +76,21 @@ void WriteConfig(json::Writer& w, const cmp::CmpConfig& cfg) {
   w.Field("max_retries", cfg.gline.max_retries);
   w.Field("fallback_latency", cfg.gline.fallback_latency);
   w.EndObject();
+  if (cfg.hier.enabled) {
+    // Echoed only for hierarchical runs so flat-network manifests stay
+    // byte-identical to pre-hierarchy builds.
+    w.Key("hier");
+    w.BeginObject();
+    w.Field("enabled", cfg.hier.enabled);
+    w.Field("cluster_rows", cfg.hier.cluster_rows);
+    w.Field("cluster_cols", cfg.hier.cluster_cols);
+    w.Field("max_transmitters", cfg.hier.max_transmitters);
+    w.Field("contexts", cfg.hier.contexts);
+    w.Field("watchdog_timeout", cfg.hier.watchdog_timeout);
+    w.Field("max_retries", cfg.hier.max_retries);
+    w.Field("fallback_latency", cfg.hier.fallback_latency);
+    w.EndObject();
+  }
   w.Key("core");
   w.BeginObject();
   w.Field("gl_notify_overhead", cfg.core.gl_notify_overhead);

@@ -21,11 +21,17 @@ class Barrier {
 };
 
 /// Adapter over the hardware G-line barrier: arrival is a bar_reg write,
-/// release is the register being cleared by the barrier network.
+/// release is the register being cleared by the barrier network. The
+/// same adapter serves the flat ("GL") and hierarchical ("GLH") networks
+/// — the device wired into the core decides which one answers.
 class GlBarrier final : public Barrier {
  public:
+  explicit GlBarrier(const char* name = "GL") : name_(name) {}
   core::Task Wait(core::Core& core) override;
-  const char* name() const override { return "GL"; }
+  const char* name() const override { return name_; }
+
+ private:
+  const char* name_;
 };
 
 }  // namespace glb::sync

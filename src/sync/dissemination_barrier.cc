@@ -17,13 +17,17 @@ DisseminationBarrier::DisseminationBarrier(mem::AddrAllocator& alloc,
                                            std::uint32_t num_cores)
     : num_cores_(num_cores),
       rounds_(CeilLog2(num_cores)),
+      line_bytes_(alloc.line_bytes()),
       parity_(num_cores, 0),
       sense_(num_cores, 1) {
   GLB_CHECK(num_cores > 0) << "barrier without participants";
-  // One line per flag: [parity][round][core].
+  // One line per flag: [parity][round][core]. The stride is the
+  // allocator's actual line size — a fixed 64 would put two flags on
+  // one line whenever lines are larger (false sharing between a
+  // writer and an unrelated spinner).
   const std::uint64_t count =
       std::uint64_t{2} * std::max(rounds_, 1u) * num_cores_;
-  flags_ = alloc.AllocLines(count * 64);
+  flags_ = alloc.AllocLines(count * line_bytes_);
 }
 
 Addr DisseminationBarrier::FlagAddr(std::uint32_t parity, std::uint32_t round,
@@ -32,7 +36,7 @@ Addr DisseminationBarrier::FlagAddr(std::uint32_t parity, std::uint32_t round,
       (static_cast<std::uint64_t>(parity) * std::max(rounds_, 1u) + round) *
           num_cores_ +
       core;
-  return flags_ + idx * 64;
+  return flags_ + idx * line_bytes_;
 }
 
 core::Task DisseminationBarrier::Wait(core::Core& core) {

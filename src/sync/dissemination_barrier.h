@@ -42,6 +42,7 @@ class DisseminationBarrier final : public Barrier {
 
   std::uint32_t num_cores_;
   std::uint32_t rounds_;
+  std::uint32_t line_bytes_;  // flag stride = the allocator's line size
   Addr flags_ = 0;  // [2 parities][rounds][cores], one line each
   /// Per-core episode state (architecturally registers).
   std::vector<std::uint32_t> parity_;

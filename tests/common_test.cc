@@ -1,6 +1,7 @@
 // Unit tests for the common substrate: RNG, stats, flags.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <vector>
@@ -160,6 +161,65 @@ TEST(Stats, PercentileMonotoneAndWithinBucket) {
   // Out-of-range p is clamped.
   EXPECT_DOUBLE_EQ(h.PercentileApprox(-1.0), h.PercentileApprox(0.0));
   EXPECT_DOUBLE_EQ(h.PercentileApprox(2.0), h.PercentileApprox(1.0));
+}
+
+TEST(Stats, PercentileEndpointsAreExact) {
+  // Regression: p=1.0 used to interpolate partway into the top occupied
+  // bucket and come back below max() (worst near a sparsely-populated
+  // top bucket); min/max are tracked exactly, so the endpoints must be
+  // returned exactly.
+  Histogram h;
+  for (std::uint64_t v : {3u, 3u, 3u, 900u}) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.PercentileApprox(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.PercentileApprox(1.0), 900.0);
+  // Bucket 0 only ever holds {0, 1}: interpolation must not reach 2.
+  Histogram tiny;
+  for (std::uint64_t i = 0; i < 10; ++i) tiny.Record(i % 2);
+  EXPECT_DOUBLE_EQ(tiny.PercentileApprox(1.0), 1.0);
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_LE(tiny.PercentileApprox(p), 1.0) << "p=" << p;
+  }
+}
+
+TEST(Stats, PercentileTracksSortedReferenceQuantile) {
+  // Randomized property test: against a sorted-reference quantile the
+  // bucketed estimate must stay within one bucket width (the width of
+  // the power-of-two bucket holding the true quantile), stay inside
+  // [min, max], and hit p=0/p=1 exactly.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 0x9E3779B9u);
+    Histogram h;
+    std::vector<std::uint64_t> samples;
+    const std::size_t n = 1 + rng.NextBelow(500);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix of magnitudes so every bucket regime (0/1, mid, large) and
+      // sparse top buckets appear across seeds.
+      const std::uint64_t v = rng.NextBool(0.2)
+                                  ? rng.NextBelow(2)
+                                  : rng.NextBelow(1ull << (1 + rng.NextBelow(20)));
+      samples.push_back(v);
+      h.Record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double p : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+      const auto rank = static_cast<std::size_t>(
+          p * static_cast<double>(samples.size() - 1));
+      const std::uint64_t truth = samples[rank];
+      const double est = h.PercentileApprox(p);
+      EXPECT_GE(est, static_cast<double>(samples.front())) << "seed " << seed;
+      EXPECT_LE(est, static_cast<double>(samples.back())) << "seed " << seed;
+      if (p == 0.0 || p == 1.0) {
+        EXPECT_DOUBLE_EQ(est, static_cast<double>(truth)) << "seed " << seed;
+        continue;
+      }
+      // One bucket width around the true sorted-order quantile: the
+      // bucket [2^b, 2^(b+1)) containing `truth` (width 2 for bucket 0).
+      const int b = Histogram::BucketOf(truth);
+      const double width = b == 0 ? 2.0 : static_cast<double>(1ull << b);
+      EXPECT_NEAR(est, static_cast<double>(truth), width)
+          << "seed " << seed << " p=" << p << " n=" << samples.size();
+    }
+  }
 }
 
 TEST(Stats, HistogramMergeFoldsSamples) {

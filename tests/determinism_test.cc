@@ -118,6 +118,42 @@ TEST(Determinism, Fig5PointManifestsAreByteIdenticalAcrossRuns) {
   EXPECT_EQ(a, b);
 }
 
+/// A 256-core (16x16) hierarchical-barrier run serialized as the full
+/// JSON manifest (including the hier config echo and every per-node
+/// "glh.l<k>.c<i>.*" stat), host-timing fields zeroed.
+std::string GlhPoint256() {
+  std::ostringstream os;
+  cmp::CmpConfig cfg = cmp::CmpConfig::WithCores(256);
+  cfg.hier.enabled = true;
+  cmp::CmpSystem sys(cfg);
+  workloads::Synthetic wl(30);
+  wl.Init(sys);
+  auto barrier = harness::MakeBarrier(harness::BarrierKind::kGLH, sys);
+  const sim::RunStatus status = sys.RunProgramsStatus(
+      [&](core::Core& core, CoreId id) { return wl.Body(core, id, *barrier); });
+  harness::RunMetrics m = harness::CollectMetrics(
+      sys, status, wl, harness::ToString(harness::BarrierKind::kGLH));
+  EXPECT_TRUE(m.completed);
+  EXPECT_TRUE(m.validation.empty()) << m.validation;
+  m.wall_ms = 0.0;
+  m.events_per_sec = 0.0;
+  harness::ManifestOptions opts;
+  opts.tool = "determinism_test";
+  harness::WriteRunManifest(os, m, cfg, sys.stats(), opts);
+  return os.str();
+}
+
+TEST(Determinism, GlhPoint256ManifestIsByteIdenticalAcrossRuns) {
+  const std::string a = GlhPoint256();
+  const std::string b = GlhPoint256();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // The hierarchical stats and config echo really are in the manifest.
+  EXPECT_NE(a.find("glh.barriers_completed"), std::string::npos);
+  EXPECT_NE(a.find("glh.l0.c0."), std::string::npos);
+  EXPECT_NE(a.find("\"hier\""), std::string::npos);
+}
+
 TEST(Determinism, ZeroDelayInterleavingsAreStableAndOrdered) {
   const std::string a = ZeroDelayStress();
   const std::string b = ZeroDelayStress();

@@ -1,12 +1,19 @@
-// Hierarchical (two-level) G-line barrier network tests — the §5
-// future-work scheme for meshes beyond 7x7.
+// Hierarchical (multi-level) G-line barrier network tests — the §5
+// scheme for meshes beyond 7x7. Clustering recurses to arbitrary depth,
+// so these cover depth 1 (degenerate), 2 (up to 49x49), 3 (50x50+) and
+// a forced depth-4 configuration, plus contexts, stat aliasing and
+// fault resilience at every level.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/stats.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_model.h"
 #include "gline/hierarchy.h"
 #include "sim/engine.h"
 
@@ -122,13 +129,214 @@ TEST(Hierarchy, RaggedEdgeClusters) {
   }
 }
 
-TEST(HierarchyDeath, ThreeLevelMeshesRejected) {
+TEST(Hierarchy, ThreeLevelMeshes) {
+  // 50x50 = 2500 cores needs an 8x8 cluster grid, which itself exceeds
+  // 7x7 — clustering recurses to depth 3 (was a construction error
+  // before the network generalized past two levels).
+  Fixture f(50, 50);
+  EXPECT_EQ(f.net->num_levels(), 3u);
+  const auto rel = f.RunEpisode(std::vector<Cycle>(2500, 10));
+  const Cycle hi = *std::max_element(rel.begin(), rel.end());
+  const Cycle lo = *std::min_element(rel.begin(), rel.end());
+  EXPECT_GE(lo, 10u);
+  EXPECT_LE(hi, 10u + 4u * 3u);
+  EXPECT_EQ(f.net->barriers_completed(), 1u);
+}
+
+TEST(Hierarchy, LatencyModelFourCyclesPerLevel) {
+  // The paper's model: each level adds one 2-cycle gather and one
+  // 2-cycle release wave, with a combinational hand-off between levels.
+  // For simultaneous arrivals at T the LAST core is released at exactly
+  // T + 4*depth. Sweep the fig5 hier points 64 / 256 / 1024 cores.
+  const struct {
+    std::uint32_t rows, cols, depth;
+  } meshes[] = {{8, 8, 2}, {16, 16, 2}, {32, 32, 2}, {64, 64, 3}};
+  for (const auto& m : meshes) {
+    Fixture f(m.rows, m.cols);
+    ASSERT_EQ(f.net->num_levels(), m.depth) << m.rows << "x" << m.cols;
+    const auto rel =
+        f.RunEpisode(std::vector<Cycle>(m.rows * m.cols, 100));
+    const Cycle hi = *std::max_element(rel.begin(), rel.end());
+    EXPECT_EQ(hi, 100u + 4u * m.depth) << m.rows << "x" << m.cols;
+  }
+}
+
+TEST(Hierarchy, DeepHierarchyFromTinyClusters) {
+  // Shrinking the cluster cap to 2x2 forces 16x16 through four levels
+  // (16 -> 8 -> 4 -> 2 -> root); the latency model holds at depth 4.
+  HierConfig cfg;
+  cfg.cluster_rows = 2;
+  cfg.cluster_cols = 2;
+  Fixture f(16, 16, cfg);
+  EXPECT_EQ(f.net->num_levels(), 4u);
+  EXPECT_EQ(f.net->num_clusters(), 64u);
+  const auto rel = f.RunEpisode(std::vector<Cycle>(256, 50));
+  const Cycle hi = *std::max_element(rel.begin(), rel.end());
+  EXPECT_EQ(hi, 50u + 4u * 4u);
+}
+
+TEST(Hierarchy, MultipleContextsAreIndependent) {
+  // barrier_mux parity: two contexts on the same 8x8 hierarchy; a
+  // straggler in context 1 must not hold up context 0.
+  HierConfig cfg;
+  cfg.contexts = 2;
+  Fixture f(8, 8, cfg);
+  std::vector<Cycle> rel0(64, kCycleNever), rel1(64, kCycleNever);
+  for (CoreId c = 0; c < 64; ++c) {
+    f.engine.ScheduleAt(10, [&f, c, &rel0]() {
+      f.net->Arrive(0, c, [&f, c, &rel0]() { rel0[c] = f.engine.Now(); });
+    });
+    const Cycle at1 = c == 63 ? 500 : 10;
+    f.engine.ScheduleAt(at1, [&f, c, &rel1]() {
+      f.net->Arrive(1, c, [&f, c, &rel1]() { rel1[c] = f.engine.Now(); });
+    });
+  }
+  ASSERT_TRUE(f.engine.RunUntilIdle(1'000'000));
+  for (CoreId c = 0; c < 64; ++c) {
+    EXPECT_LE(rel0[c], 10u + 12u) << "ctx0 stalled by ctx1's straggler";
+    EXPECT_GE(rel1[c], 500u) << "ctx1 released before its straggler";
+  }
+  EXPECT_EQ(f.net->barriers_completed(), 2u);
+}
+
+TEST(Hierarchy, StatPrefixesDoNotAlias) {
+  // Regression: every level/cluster sub-network used to register its
+  // counters under the same "gl." names, so one global barrier bumped
+  // the shared counter once per cluster plus once for the top level
+  // (num_clusters + 1). With per-node prefixes the network-wide counter
+  // increments exactly once and the per-node counters stay separate.
+  Fixture f(8, 8);
+  f.RunEpisode(std::vector<Cycle>(64, 10));
+  EXPECT_EQ(f.stats.CounterValue("glh.barriers_completed"), 1u);
+  // The old aliased name must not exist at all on a hierarchical run.
+  EXPECT_EQ(f.stats.CounterValue("gl.barriers_completed"), 0u);
+  // Each of the 4 leaf clusters and the root completed one local
+  // episode under its own prefix.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(f.stats.CounterValue("glh.l0.c" + std::to_string(i) +
+                                   ".barriers_completed"),
+              1u);
+  }
+  EXPECT_EQ(f.stats.CounterValue("glh.l1.c0.barriers_completed"), 1u);
+  EXPECT_EQ(f.net->AggregateCounter("barriers_completed"), 5u);
+}
+
+TEST(HierarchyResilience, TotalLineFailureDegradesSafely) {
+  // "Wire is toast" at every level: every G-line signal is dropped, so
+  // every node must degrade through watchdog -> retries -> fallback.
+  // The safety invariant still holds: a cross-cluster straggler keeps
+  // the whole chip waiting, and the episode completes (degraded).
+  HierConfig cfg;
+  cfg.watchdog_timeout = 300;
+  cfg.max_retries = 1;
+  Fixture f(8, 8, cfg);
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.gline_drop_rate = 1.0;
+  fault::FaultInjector inj(f.engine, plan, f.stats);
+  inj.Arm(*f.net);
+
+  std::vector<Cycle> arrivals(64, 10);
+  arrivals[63] = 2000;  // bottom-right cluster straggler
+  const auto rel = f.RunEpisode(arrivals);
+  for (CoreId c = 0; c < 64; ++c) {
+    ASSERT_NE(rel[c], kCycleNever) << "core " << c << " never released";
+    EXPECT_GE(rel[c], 2000u) << "core " << c << " released before the straggler";
+  }
+  EXPECT_TRUE(f.net->degraded_any());
+  EXPECT_EQ(f.net->barriers_completed(), 1u);
+  EXPECT_GT(f.net->AggregateCounter("degraded_episodes"), 0u);
+
+  // Degraded steady state: the next episode still completes.
+  const auto rel2 = f.RunEpisode(std::vector<Cycle>(64, f.engine.Now() + 5));
+  for (CoreId c = 0; c < 64; ++c) ASSERT_NE(rel2[c], kCycleNever);
+  EXPECT_EQ(f.net->barriers_completed(), 2u);
+}
+
+class HierFaultFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HierFaultFuzz, EpisodesAlwaysCompleteAndNeverReleaseEarly) {
+  // Mirror of tests/gline_fault_fuzz_test.cc for the multi-level
+  // network: randomized fault plans over multi-cluster meshes; the
+  // resilience invariant must hold at every depth.
+  Rng rng(GetParam() * 0x9E3779B9u);
+
+  const std::pair<std::uint32_t, std::uint32_t> shapes[] = {
+      {8, 8}, {9, 10}, {14, 14}};
+  const auto [rows, cols] = shapes[rng.NextBelow(std::size(shapes))];
+  const std::uint32_t n = rows * cols;
+
   sim::Engine engine;
   StatSet stats;
   HierConfig cfg;
-  EXPECT_DEATH(HierarchicalBarrierNetwork(engine, 50, 50, cfg, stats),
-               "more than two levels");
+  cfg.contexts = 1 + static_cast<std::uint32_t>(rng.NextBool(0.5));
+  // Generous: an upper level's watchdog only starts at its first
+  // cluster arrival, but a sibling cluster may burn its whole retry
+  // budget (watchdog x retries) before forwarding anything.
+  cfg.watchdog_timeout = 2000;
+  cfg.max_retries = static_cast<std::uint32_t>(rng.NextBelow(3));
+  HierarchicalBarrierNetwork net(engine, rows, cols, cfg, stats);
+
+  fault::FaultPlan plan;
+  plan.seed = GetParam();
+  plan.gline_drop_rate = rng.NextBool(0.7) ? rng.NextDouble() * 0.2 : 0.0;
+  plan.gline_dup_rate = rng.NextBool(0.4) ? rng.NextDouble() * 0.15 : 0.0;
+  plan.csma_corrupt_rate = rng.NextBool(0.4) ? rng.NextDouble() * 0.15 : 0.0;
+  plan.core_freeze_rate = rng.NextBool(0.3) ? rng.NextDouble() * 0.05 : 0.0;
+  plan.core_freeze_cycles = 1 + rng.NextBelow(200);
+  fault::FaultInjector inj(engine, plan, stats);
+  inj.Arm(net);
+
+  constexpr int kEpisodes = 6;
+  struct CtxRun {
+    std::uint32_t ctx = 0;
+    int episode = 0;
+    std::uint32_t arrived = 0;
+    std::uint32_t released = 0;
+    bool early_release = false;
+  };
+  std::vector<std::unique_ptr<CtxRun>> runs;
+  for (std::uint32_t ctx = 0; ctx < cfg.contexts; ++ctx) {
+    runs.push_back(std::make_unique<CtxRun>());
+    runs.back()->ctx = ctx;
+  }
+
+  std::function<void(CtxRun*)> start_episode = [&](CtxRun* run) {
+    run->arrived = 0;
+    run->released = 0;
+    const Cycle now = engine.Now();
+    for (CoreId c = 0; c < n; ++c) {
+      engine.ScheduleAt(now + 1 + rng.NextBelow(60), [&, run, c]() {
+        ++run->arrived;
+        net.Arrive(run->ctx, c, [&, run]() {
+          if (run->arrived != n) run->early_release = true;
+          if (++run->released == n && ++run->episode < kEpisodes) {
+            start_episode(run);
+          }
+        });
+      });
+    }
+  };
+  for (auto& run : runs) start_episode(run.get());
+
+  ASSERT_TRUE(engine.RunUntilIdle(50'000'000))
+      << "hierarchical network hung under fault plan seed " << GetParam()
+      << " (" << rows << "x" << cols << ", drop=" << plan.gline_drop_rate
+      << " dup=" << plan.gline_dup_rate << " csma=" << plan.csma_corrupt_rate
+      << " freeze=" << plan.core_freeze_rate << ")";
+  for (auto& run : runs) {
+    EXPECT_EQ(run->episode, kEpisodes)
+        << "ctx " << run->ctx << " starved (seed " << GetParam() << ")";
+    EXPECT_FALSE(run->early_release)
+        << "ctx " << run->ctx << " released a core early (seed " << GetParam()
+        << ")";
+  }
+  EXPECT_EQ(net.barriers_completed(),
+            static_cast<std::uint64_t>(cfg.contexts) * kEpisodes);
 }
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierFaultFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace
 }  // namespace glb::gline

@@ -61,6 +61,51 @@ TEST(Dissemination, ManyEpisodesWithAlternatingSkew) {
   EXPECT_FALSE(violated);
 }
 
+// Regression: the flag stride was a hardcoded 64 bytes, so any
+// allocator with larger lines put two flags (one writer + an unrelated
+// spinner) on the same cache line, and smaller lines wasted address
+// space. The stride must be exactly the allocator's line size: the
+// barrier's whole flag array spans 2 * max(rounds,1) * cores lines.
+TEST(Dissemination, FlagStrideFollowsAllocatorLineSize) {
+  for (std::uint32_t lb : {32u, 64u, 128u}) {
+    mem::AddrAllocator alloc(lb, /*base=*/0x20000);
+    const Addr before = alloc.AllocVar();  // one line
+    DisseminationBarrier barrier(alloc, 4);  // rounds=2: 2*2*4 = 16 flags
+    EXPECT_EQ(barrier.rounds(), 2u);
+    const Addr after = alloc.AllocVar();
+    EXPECT_EQ(after - before, (1u + 16u) * lb) << "line_bytes=" << lb;
+  }
+}
+
+// End-to-end at non-default line sizes: the full coherence stack (L1/L2
+// geometry, allocator and barrier stride all at 32 or 128 bytes) must
+// agree on episode correctness.
+TEST(Dissemination, CorrectAtNonDefaultLineBytes) {
+  for (std::uint32_t lb : {32u, 128u}) {
+    CmpConfig cfg = CmpConfig::WithCores(8);
+    cfg.coherence.line_bytes = lb;
+    cfg.l1.line_bytes = lb;
+    cfg.l2.line_bytes = lb;
+    CmpSystem sys(cfg);
+    DisseminationBarrier barrier(sys.allocator(), 8);
+    std::vector<int> arrived(12, 0);
+    bool violated = false;
+    auto body = [](Core& c, Barrier* b, std::vector<int>* arr, bool* bad) -> Task {
+      for (int e = 0; e < 12; ++e) {
+        co_await c.Compute(1 + (c.id() * 31 + static_cast<std::uint32_t>(e)) % 53);
+        ++(*arr)[static_cast<std::size_t>(e)];
+        co_await b->Wait(c);
+        if ((*arr)[static_cast<std::size_t>(e)] != 8) *bad = true;
+      }
+    };
+    ASSERT_TRUE(sys.RunPrograms(
+        [&](Core& c, CoreId) { return body(c, &barrier, &arrived, &violated); },
+        100'000'000ull))
+        << "line_bytes=" << lb;
+    EXPECT_FALSE(violated) << "line_bytes=" << lb;
+  }
+}
+
 // Non-power-of-two core counts exercise the modular partner arithmetic.
 TEST(Dissemination, NonPowerOfTwoCoreCounts) {
   for (std::uint32_t n : {3u, 6u, 12u}) {

@@ -23,7 +23,8 @@ void Usage() {
   std::cout <<
       "glbsim — G-line barrier CMP simulator driver\n"
       "  --workload W    Synthetic|Kernel2|Kernel3|Kernel6|EM3D|OCEAN|UNSTRUCTURED\n"
-      "  --barrier B     GL|DSW|CSW|HYB (default GL)\n"
+      "  --barrier B     GL|GLH|DSW|CSW|HYB (default GL; GLH aka gl-hier is\n"
+      "                  the hierarchical multi-level G-line network)\n"
       "  --cores N       core count, mesh auto-factored (default 32)\n"
       "  --paper-scale   exact Table-2 inputs (slow)\n"
       "  --<wl>-iters N  per-workload iteration overrides (see bench_util.h)\n"
@@ -52,10 +53,11 @@ void Usage() {
 }
 
 glb::harness::BarrierKind ParseBarrier(const std::string& s) {
-  if (s == "GL") return glb::harness::BarrierKind::kGL;
-  if (s == "DSW") return glb::harness::BarrierKind::kDSW;
-  if (s == "CSW") return glb::harness::BarrierKind::kCSW;
-  if (s == "HYB") return glb::harness::BarrierKind::kHYB;
+  if (s == "GL" || s == "gl") return glb::harness::BarrierKind::kGL;
+  if (s == "GLH" || s == "gl-hier") return glb::harness::BarrierKind::kGLH;
+  if (s == "DSW" || s == "dsw") return glb::harness::BarrierKind::kDSW;
+  if (s == "CSW" || s == "csw") return glb::harness::BarrierKind::kCSW;
+  if (s == "HYB" || s == "hyb") return glb::harness::BarrierKind::kHYB;
   std::cerr << "unknown barrier kind: " << s << "\n";
   std::exit(2);
 }
@@ -73,7 +75,8 @@ int main(int argc, char** argv) {
   const std::string wl = flags.GetString("workload", "Synthetic");
   const auto kind = ParseBarrier(flags.GetString("barrier", "GL"));
   const bench::Scale scale = bench::Scale::FromFlags(flags);
-  const auto cfg = bench::ConfigFromFlags(flags);
+  cmp::CmpConfig cfg = bench::ConfigFromFlags(flags);
+  if (kind == harness::BarrierKind::kGLH) cfg.hier.enabled = true;
 
   // Build and run manually (RunExperiment hides the StatSet, which
   // --stats and the energy estimate need).
@@ -121,6 +124,15 @@ int main(int argc, char** argv) {
   const std::uint64_t barriers =
       sys.stats().CounterValue("core.barriers") / sys.num_cores();
   const auto msgs = sys.stats().SumCountersWithPrefix("noc.msgs.");
+  // Resilience counters: flat network plus (in hier mode) every node.
+  std::uint64_t barrier_timeouts = sys.stats().CounterValue("gl.timeouts");
+  std::uint64_t barrier_retries = sys.stats().CounterValue("gl.retries");
+  std::uint64_t degraded_episodes = sys.stats().CounterValue("gl.degraded_episodes");
+  if (sys.hier() != nullptr) {
+    barrier_timeouts += sys.hier()->AggregateCounter("timeouts");
+    barrier_retries += sys.hier()->AggregateCounter("retries");
+    degraded_episodes += sys.hier()->AggregateCounter("degraded_episodes");
+  }
 
   if (flags.GetBool("csv", false)) {
     auto kv = [](const std::string& k, const std::string& v) {
@@ -140,10 +152,9 @@ int main(int argc, char** argv) {
     kv("energy_noc_pj", harness::Table::Num(energy.noc_pj));
     if (sys.injector() != nullptr) {
       kv("faults_injected", std::to_string(sys.injector()->total_injected()));
-      kv("barrier_timeouts", std::to_string(sys.stats().CounterValue("gl.timeouts")));
-      kv("barrier_retries", std::to_string(sys.stats().CounterValue("gl.retries")));
-      kv("degraded_episodes",
-         std::to_string(sys.stats().CounterValue("gl.degraded_episodes")));
+      kv("barrier_timeouts", std::to_string(barrier_timeouts));
+      kv("barrier_retries", std::to_string(barrier_retries));
+      kv("degraded_episodes", std::to_string(degraded_episodes));
     }
     kv("valid", validation.empty() ? "ok" : validation);
     return validation.empty() ? 0 : 1;
@@ -172,10 +183,14 @@ int main(int argc, char** argv) {
   std::cout << "  host events     " << sys.engine().events_processed() << '\n';
   if (sys.injector() != nullptr) {
     std::cout << "  faults injected " << sys.injector()->total_injected()
-              << "  (timeouts " << sys.stats().CounterValue("gl.timeouts")
-              << ", retries " << sys.stats().CounterValue("gl.retries")
-              << ", degraded episodes "
-              << sys.stats().CounterValue("gl.degraded_episodes") << ")\n";
+              << "  (timeouts " << barrier_timeouts
+              << ", retries " << barrier_retries
+              << ", degraded episodes " << degraded_episodes << ")\n";
+  }
+  if (sys.hier() != nullptr) {
+    std::cout << "  hier network    " << sys.hier()->num_levels() << " levels, "
+              << sys.hier()->num_clusters() << " clusters, "
+              << sys.hier()->total_lines() << " G-lines\n";
   }
 
   if (flags.GetBool("stats", false)) {
