@@ -59,8 +59,10 @@ int main(int argc, char** argv) {
     auto factory = [barriers, work]() {
       return std::make_unique<PeriodicBarriers>(barriers, work);
     };
-    specs.push_back({factory, harness::BarrierKind::kDSW, cfg});
-    specs.push_back({factory, harness::BarrierKind::kGL, cfg});
+    specs.push_back(
+        harness::FactoryExperiment(factory, harness::BarrierKind::kDSW, cfg));
+    specs.push_back(
+        harness::FactoryExperiment(factory, harness::BarrierKind::kGL, cfg));
   }
   const auto results = harness::RunExperimentsParallel(specs, jobs);
   clock.Report(results.size());

@@ -24,9 +24,10 @@ int main(int argc, char** argv) {
   std::vector<harness::ExperimentSpec> specs;
   for (std::uint32_t cores : core_counts) {
     const auto cfg = cmp::CmpConfig::WithCores(cores);
-    specs.push_back({factory, harness::BarrierKind::kGL, cfg});
-    specs.push_back({factory, harness::BarrierKind::kCSW, cfg});
-    specs.push_back({factory, harness::BarrierKind::kDSW, cfg});
+    for (auto kind : {harness::BarrierKind::kGL, harness::BarrierKind::kCSW,
+                      harness::BarrierKind::kDSW}) {
+      specs.push_back(harness::FactoryExperiment(factory, kind, cfg));
+    }
   }
   const auto results = harness::RunExperimentsParallel(specs, jobs);
   clock.Report(results.size());

@@ -5,10 +5,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cmp/cmp_system.h"
 #include "common/flags.h"
@@ -18,6 +20,7 @@
 #include "harness/experiment.h"
 #include "harness/parallel.h"
 #include "harness/report.h"
+#include "harness/spec.h"
 #include "trace/trace.h"
 #include "workloads/em3d.h"
 #include "workloads/livermore.h"
@@ -121,94 +124,96 @@ class SweepClock {
   std::chrono::steady_clock::time_point t0_;
 };
 
-/// Benchmark inputs. Defaults are scaled for a laptop-class host while
-/// keeping the paper's barrier structure (counts and periods); with
-/// --paper-scale the exact Table-2 inputs are used (slow!).
-struct Scale {
-  bool paper = false;
-  std::uint32_t synthetic_iters = 1000;
-  std::uint32_t k2_n = 1024, k2_iters = 20;
-  std::uint32_t k3_n = 1024, k3_iters = 100;
-  std::uint32_t k6_n = 256, k6_iters = 2;
-  std::uint32_t em3d_nodes = 2400, em3d_steps = 25;
-  std::uint32_t ocean_grid = 66, ocean_iters = 30;
-  std::uint32_t unstr_nodes = 2048, unstr_edges = 8192, unstr_steps = 4;
-
-  static Scale FromFlags(const Flags& flags) {
-    Scale s;
-    if (flags.GetBool("paper-scale", false)) {
-      s.paper = true;
-      s.synthetic_iters = 100000;
-      s.k2_n = 1024;
-      s.k2_iters = 1000;
-      s.k3_n = 1024;
-      s.k3_iters = 1000;
-      s.k6_n = 1024;
-      s.k6_iters = 1000;
-      s.em3d_nodes = 19200;  // 38,400 total E+H nodes
-      s.em3d_steps = 25;
-      s.ocean_grid = 258;
-      s.ocean_iters = 120;
-      s.unstr_nodes = 2048;
-      s.unstr_edges = 8192;
-      s.unstr_steps = 8;
-    }
-    s.synthetic_iters = static_cast<std::uint32_t>(
-        flags.GetInt("synthetic-iters", s.synthetic_iters));
-    s.k2_iters = static_cast<std::uint32_t>(flags.GetInt("k2-iters", s.k2_iters));
-    s.k3_iters = static_cast<std::uint32_t>(flags.GetInt("k3-iters", s.k3_iters));
-    s.k6_iters = static_cast<std::uint32_t>(flags.GetInt("k6-iters", s.k6_iters));
-    s.em3d_steps = static_cast<std::uint32_t>(flags.GetInt("em3d-steps", s.em3d_steps));
-    s.ocean_iters =
-        static_cast<std::uint32_t>(flags.GetInt("ocean-iters", s.ocean_iters));
-    s.unstr_steps =
-        static_cast<std::uint32_t>(flags.GetInt("unstr-steps", s.unstr_steps));
-    return s;
-  }
-};
-
-inline harness::WorkloadFactory FactoryFor(const std::string& name, const Scale& s) {
-  using namespace workloads;
-  if (name == "Synthetic") {
-    return [s]() { return std::make_unique<Synthetic>(s.synthetic_iters); };
-  }
-  if (name == "Kernel2") {
-    return [s]() { return std::make_unique<Kernel2>(s.k2_n, s.k2_iters); };
-  }
-  if (name == "Kernel3") {
-    return [s]() { return std::make_unique<Kernel3>(s.k3_n, s.k3_iters); };
-  }
-  if (name == "Kernel6") {
-    return [s]() { return std::make_unique<Kernel6>(s.k6_n, s.k6_iters); };
-  }
-  if (name == "EM3D") {
-    Em3d::Config cfg;
-    cfg.nodes = s.em3d_nodes;
-    cfg.timesteps = s.em3d_steps;
-    return [cfg]() { return std::make_unique<Em3d>(cfg); };
-  }
-  if (name == "OCEAN") {
-    Ocean::Config cfg;
-    cfg.grid = s.ocean_grid;
-    cfg.iterations = s.ocean_iters;
-    return [cfg]() { return std::make_unique<Ocean>(cfg); };
-  }
-  if (name == "UNSTRUCTURED") {
-    Unstructured::Config cfg;
-    cfg.nodes = s.unstr_nodes;
-    cfg.edges = s.unstr_edges;
-    cfg.timesteps = s.unstr_steps;
-    return [cfg]() { return std::make_unique<Unstructured>(cfg); };
-  }
-  std::cerr << "unknown workload: " << name << '\n';
-  std::exit(2);
-}
+/// Benchmark inputs and the workload registry now live in the harness
+/// (src/harness/spec.h) so tests and tools can drive named experiments
+/// without including bench code. The aliases keep the historical
+/// bench:: spellings working.
+using harness::Scale;
+using harness::MakeWorkloadOrExit;
 
 inline const char* const kKernels[] = {"Kernel2", "Kernel3", "Kernel6"};
 inline const char* const kApplications[] = {"UNSTRUCTURED", "OCEAN", "EM3D"};
 
-inline cmp::CmpConfig ConfigFromFlags(const Flags& flags) {
-  const auto cores = static_cast<std::uint32_t>(flags.GetInt("cores", 32));
+/// Splits a comma-separated flag value ("64,256,1024"); empty input
+/// yields an empty list, empty elements are dropped.
+inline std::vector<std::string> SplitList(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end > start) out.push_back(value.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Comma-separated core counts from --name (e.g. --cores 64,256,1024),
+/// falling back to `fallback` when the flag is absent. Exits with
+/// status 2 on a non-numeric or zero element.
+inline std::vector<std::uint32_t> CoreListFromFlags(
+    const Flags& flags, const char* name, std::vector<std::uint32_t> fallback) {
+  if (!flags.Has(name)) return fallback;
+  std::vector<std::uint32_t> cores;
+  for (const std::string& item : SplitList(flags.GetString(name, ""))) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0' || v == 0 || v > 1u << 20) {
+      std::cerr << "bad --" << name << " element '" << item << "'\n";
+      std::exit(2);
+    }
+    cores.push_back(static_cast<std::uint32_t>(v));
+  }
+  if (cores.empty()) {
+    std::cerr << "--" << name << " needs at least one core count\n";
+    std::exit(2);
+  }
+  return cores;
+}
+
+/// Comma-separated barrier names from --name (e.g. --barrier GLH,DSW,DIS),
+/// falling back to `fallback` when absent. Exits with status 2 on an
+/// unknown name.
+inline std::vector<harness::BarrierKind> BarrierListFromFlags(
+    const Flags& flags, const char* name,
+    std::vector<harness::BarrierKind> fallback) {
+  if (!flags.Has(name)) return fallback;
+  std::vector<harness::BarrierKind> kinds;
+  for (const std::string& item : SplitList(flags.GetString(name, ""))) {
+    kinds.push_back(harness::BarrierKindFromNameOrExit(item));
+  }
+  if (kinds.empty()) {
+    std::cerr << "--" << name << " needs at least one barrier name\n";
+    std::exit(2);
+  }
+  return kinds;
+}
+
+/// Comma-separated registered workload names from --name, falling back
+/// to `fallback` when absent. Exits with status 2 on an unknown name.
+inline std::vector<std::string> WorkloadListFromFlags(
+    const Flags& flags, const char* name, std::vector<std::string> fallback) {
+  if (!flags.Has(name)) return fallback;
+  std::vector<std::string> names = SplitList(flags.GetString(name, ""));
+  for (const std::string& item : names) {
+    if (!harness::KnownWorkload(item)) {
+      std::cerr << "unknown workload '" << item << "' (valid:";
+      for (const std::string& n : harness::WorkloadNames()) std::cerr << ' ' << n;
+      std::cerr << ")\n";
+      std::exit(2);
+    }
+  }
+  if (names.empty()) {
+    std::cerr << "--" << name << " needs at least one workload name\n";
+    std::exit(2);
+  }
+  return names;
+}
+
+/// Machine configuration for an explicit core count; sweeps use this
+/// per point while single-machine benches go through ConfigFromFlags.
+inline cmp::CmpConfig ConfigForCores(const Flags& flags, std::uint32_t cores) {
   auto cfg = cmp::CmpConfig::WithCores(cores);
   // Fault campaign / resilience knobs (all off by default).
   cfg.fault = fault::PlanFromFlags(flags);
@@ -226,6 +231,11 @@ inline cmp::CmpConfig ConfigFromFlags(const Flags& flags) {
                  "watchdog) — the run will stop at --max-cycles.\n";
   }
   return cfg;
+}
+
+inline cmp::CmpConfig ConfigFromFlags(const Flags& flags) {
+  return ConfigForCores(
+      flags, static_cast<std::uint32_t>(flags.GetInt("cores", 32)));
 }
 
 }  // namespace glb::bench

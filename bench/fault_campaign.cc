@@ -247,14 +247,14 @@ int main(int argc, char** argv) {
   const auto watchdog = static_cast<Cycle>(flags.GetInt("watchdog", 3000));
   const auto retries = static_cast<std::uint32_t>(flags.GetInt("retries", 2));
   const int jobs = bench::JobsFromFlags(flags, obs);
-  const std::string barrier = flags.GetString("barrier", "gl");
-  bool hier = false;
-  if (barrier == "gl-hier" || barrier == "GLH") {
-    hier = true;
-  } else if (barrier != "gl" && barrier != "GL") {
-    std::cerr << "bad --barrier '" << barrier << "' (gl|gl-hier)\n";
+  const harness::BarrierKind kind =
+      harness::BarrierKindFromNameOrExit(flags.GetString("barrier", "gl"));
+  if (kind != harness::BarrierKind::kGL && kind != harness::BarrierKind::kGLH) {
+    std::cerr << "--barrier must be a G-line network (gl|gl-hier); the"
+                 " campaign injects G-line faults\n";
     return 2;
   }
+  const bool hier = kind == harness::BarrierKind::kGLH;
 
   const double rates[] = {0.0, 0.001, 0.005, 0.02, 0.05};
   std::cout << "Fault campaign: " << CampaignRows(hier) << "x"

@@ -136,20 +136,20 @@ int main(int argc, char** argv) {
             << scale.synthetic_iters << " iterations x 4 barriers)\n\n";
 
   bench::SweepClock clock(flags, "fig5_barrier_latency", jobs);
-  const auto factory = bench::FactoryFor("Synthetic", scale);
   std::vector<harness::ExperimentSpec> specs;
   for (std::uint32_t cores : core_counts) {
     for (auto kind : kKinds) {
-      specs.push_back({factory, kind, cmp::CmpConfig::WithCores(cores)});
+      specs.push_back(harness::NamedExperiment(
+          "Synthetic", scale, kind, cmp::CmpConfig::WithCores(cores)));
     }
   }
   // The hier sweep rides the same parallel runner: flat (relaxed,
   // overloaded lines) vs hierarchical at each many-core mesh.
   for (std::uint32_t cores : hier_counts) {
-    specs.push_back({factory, harness::BarrierKind::kGL,
-                     cmp::CmpConfig::WithCores(cores)});
-    specs.push_back({factory, harness::BarrierKind::kGLH,
-                     cmp::CmpConfig::WithCores(cores)});
+    for (auto kind : {harness::BarrierKind::kGL, harness::BarrierKind::kGLH}) {
+      specs.push_back(harness::NamedExperiment(
+          "Synthetic", scale, kind, cmp::CmpConfig::WithCores(cores)));
+    }
   }
   const auto results = harness::RunExperimentsParallel(specs, jobs);
   clock.Report(results.size());

@@ -3,46 +3,185 @@
 // software barrier (DSW) vs. the G-line barrier (GL) on the Table-1
 // 32-core machine, for the three Livermore kernels and the three
 // scientific applications, plus the AVG_K / AVG_A summary rows.
+//
+// The runs are independent and fan out over --jobs threads; output is
+// assembled from submission-order results, byte-identical for any jobs
+// value.
+//
+// With --scale the figure becomes the 256-1024-core scaling study: the
+// three applications at each --cores count (default 64,256,1024) for
+// each --barrier (default GLH,DSW,DIS), weak-scaled problem sizes
+// (harness::Scale::ForCores, overridable with the --*-n/--*-grid/
+// --*-nodes/--*-iters flags). --json appends one glb.fig6_scale JSONL
+// row per sweep.
+//
+//   ./bench/fig6_exec_breakdown --jobs 4
+//   ./bench/fig6_exec_breakdown --scale --cores 64,256 --jobs 8 --json out.json
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "bench_util.h"
 
+namespace {
+
+using namespace glb;
+
+/// One glb.fig6_scale object: the whole sweep. Deterministic — no
+/// wall-clock, no jobs echo.
+void WriteScaleManifest(std::ostream& os, bool pretty,
+                        const std::vector<harness::ExperimentSpec>& specs,
+                        const std::vector<harness::RunMetrics>& runs) {
+  json::Writer w(os, pretty);
+  w.BeginObject();
+  w.Field("schema", "glb.fig6_scale");
+  w.Field("schema_version", static_cast<std::uint32_t>(1));
+  w.Field("tool", "fig6_exec_breakdown");
+  w.Key("points");
+  w.BeginArray();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& m = runs[i];
+    w.BeginObject();
+    w.Field("cores", m.cores);
+    w.Field("workload", m.workload);
+    w.Field("barrier", m.barrier);
+    w.Field("input", harness::MakeWorkload(specs[i].workload, specs[i].scale)
+                         ->input_desc());
+    w.Field("cycles", m.cycles);
+    w.Field("barriers", m.barriers);
+    w.Field("barrier_period", m.barrier_period);
+    w.Key("breakdown");
+    w.BeginObject();
+    for (int c = 0; c < core::kNumTimeCats; ++c) {
+      const auto cat = static_cast<core::TimeCat>(c);
+      w.Field(core::ToString(cat), m.breakdown[cat]);
+    }
+    w.EndObject();
+    w.Field("completed", m.completed);
+    w.Field("valid", m.validation.empty() && m.completed);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+int RunScaleSweep(const Flags& flags, int jobs) {
+  const auto cores_list =
+      bench::CoreListFromFlags(flags, "cores", {64, 256, 1024});
+  const auto kinds = bench::BarrierListFromFlags(
+      flags, "barrier",
+      {harness::BarrierKind::kGLH, harness::BarrierKind::kDSW,
+       harness::BarrierKind::kDIS});
+  const auto names = bench::WorkloadListFromFlags(
+      flags, "workloads",
+      std::vector<std::string>(std::begin(bench::kApplications),
+                               std::end(bench::kApplications)));
+  // Normalize to DSW when it is part of the sweep, else the first kind.
+  std::string base = harness::ToString(kinds.front());
+  for (auto k : kinds) {
+    if (k == harness::BarrierKind::kDSW) base = "DSW";
+  }
+
+  std::cout << "Figure 6 (scaling study): execution time breakdown, "
+               "weak-scaled inputs\n";
+
+  bench::SweepClock clock(flags, "fig6_exec_breakdown", jobs);
+  std::vector<harness::ExperimentSpec> specs;
+  for (std::uint32_t cores : cores_list) {
+    const harness::Scale scale = harness::Scale::FromFlags(flags, cores);
+    for (const std::string& name : names) {
+      for (auto kind : kinds) {
+        specs.push_back(harness::NamedExperiment(
+            name, scale, kind, bench::ConfigForCores(flags, cores)));
+      }
+    }
+  }
+  const auto runs = harness::RunExperimentsParallel(specs, jobs);
+  clock.Report(runs.size());
+
+  bool ok = true;
+  std::size_t next = 0;
+  for (std::uint32_t cores : cores_list) {
+    std::cout << "\n--- " << cores << " cores ---\n\n";
+    std::vector<harness::RunMetrics> slice(
+        runs.begin() + static_cast<std::ptrdiff_t>(next),
+        runs.begin() +
+            static_cast<std::ptrdiff_t>(next + names.size() * kinds.size()));
+    next += names.size() * kinds.size();
+    for (const auto& m : slice) {
+      if (!m.completed || !m.validation.empty()) {
+        std::cerr << "run failed: " << m.workload << "/" << m.barrier << " at "
+                  << cores << " cores: "
+                  << (m.completed ? m.validation : m.stall) << '\n';
+        ok = false;
+      }
+    }
+    harness::PrintBreakdownTable(std::cout, slice, base);
+  }
+
+  if (flags.Has("json")) {
+    const std::string jpath = flags.GetString("json", "");
+    if (jpath.empty() || jpath == "true") {
+      WriteScaleManifest(std::cout, /*pretty=*/true, specs, runs);
+      std::cout << '\n';
+    } else {
+      std::ofstream f(jpath, std::ios::app);
+      if (!f) {
+        std::cerr << "failed to append manifest to " << jpath << "\n";
+        return 1;
+      }
+      WriteScaleManifest(f, /*pretty=*/false, specs, runs);
+      f << '\n';
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace glb;
   Flags flags(argc, argv);
   const bench::Observability obs(flags);
+  const int jobs = bench::JobsFromFlags(flags, obs);
+  if (flags.GetBool("scale", false)) return RunScaleSweep(flags, jobs);
+
   const bench::Scale scale = bench::Scale::FromFlags(flags);
   const auto cfg = bench::ConfigFromFlags(flags);
 
   std::cout << "Figure 6: normalized execution time breakdown, DSW vs GL ("
             << cfg.num_cores() << " cores)\n\n";
 
-  std::vector<harness::RunMetrics> runs;
-  auto run_set = [&](const char* const (&names)[3], const char* label,
-                     double* avg_reduction) {
-    double sum_ratio = 0;
-    for (const char* name : names) {
-      for (auto kind : {harness::BarrierKind::kDSW, harness::BarrierKind::kGL}) {
-        auto m = harness::RunExperiment(bench::FactoryFor(name, scale), kind, cfg);
-        if (!m.completed || !m.validation.empty()) {
-          std::cerr << "run failed: " << name << "/" << harness::ToString(kind)
-                    << ": " << m.validation << '\n';
-          std::exit(1);
-        }
-        runs.push_back(std::move(m));
-      }
-      const auto& dsw = runs[runs.size() - 2];
-      const auto& gl = runs[runs.size() - 1];
-      sum_ratio += static_cast<double>(gl.cycles) / static_cast<double>(dsw.cycles);
+  constexpr harness::BarrierKind kPair[] = {harness::BarrierKind::kDSW,
+                                            harness::BarrierKind::kGL};
+  bench::SweepClock clock(flags, "fig6_exec_breakdown", jobs);
+  std::vector<const char*> order;
+  for (const char* name : bench::kKernels) order.push_back(name);
+  for (const char* name : bench::kApplications) order.push_back(name);
+  std::vector<harness::ExperimentSpec> specs;
+  for (const char* name : order) {
+    for (auto kind : kPair) {
+      specs.push_back(harness::NamedExperiment(name, scale, kind, cfg));
     }
-    *avg_reduction = 1.0 - sum_ratio / 3.0;
-    (void)label;
-  };
+  }
+  const auto runs = harness::RunExperimentsParallel(specs, jobs);
+  clock.Report(runs.size());
 
-  double avg_k = 0, avg_a = 0;
-  run_set(bench::kKernels, "AVG_K", &avg_k);
-  run_set(bench::kApplications, "AVG_A", &avg_a);
+  for (const auto& m : runs) {
+    if (!m.completed || !m.validation.empty()) {
+      std::cerr << "run failed: " << m.workload << "/" << m.barrier << ": "
+                << m.validation << '\n';
+      return 1;
+    }
+  }
+  auto avg_reduction = [&runs](std::size_t first) {
+    double sum_ratio = 0;
+    for (std::size_t i = first; i < first + 6; i += 2) {
+      sum_ratio += static_cast<double>(runs[i + 1].cycles) /
+                   static_cast<double>(runs[i].cycles);
+    }
+    return 1.0 - sum_ratio / 3.0;
+  };
+  const double avg_k = avg_reduction(0), avg_a = avg_reduction(6);
 
   harness::PrintBreakdownTable(std::cout, runs, "DSW");
 

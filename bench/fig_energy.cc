@@ -3,6 +3,18 @@
 // consumption", §5): estimated dynamic energy for every benchmark under
 // DSW vs GL, by component, from the run's event counts (see
 // power/energy_model.h for coefficients and method).
+//
+// With --hier the binary instead prices the hierarchical network's
+// per-level wires for many-core meshes (--cores, default 64,256,1024):
+// each level's signals are scaled by its wire span and the
+// cluster-master hand-offs between levels are charged separately, then
+// compared against the flat-network-equivalent estimate (same events,
+// tile-length wires, free hand-offs). --json appends one
+// glb.energy_hier JSONL row.
+//
+//   ./bench/fig_energy
+//   ./bench/fig_energy --hier --cores 64,256 --json BENCH_glbsim.json
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -11,17 +23,147 @@
 
 namespace {
 
+using namespace glb;
+
 struct Row {
-  glb::harness::RunMetrics metrics;
-  glb::power::EnergyReport energy;
+  harness::RunMetrics metrics;
+  power::EnergyReport energy;
 };
+
+struct HierRow {
+  std::uint32_t cores = 0;
+  std::string workload;
+  power::HierEnergyReport report;
+};
+
+/// One glb.energy_hier object for the whole sweep (deterministic).
+void WriteHierManifest(std::ostream& os, bool pretty,
+                       const std::vector<HierRow>& rows) {
+  json::Writer w(os, pretty);
+  w.BeginObject();
+  w.Field("schema", "glb.energy_hier");
+  w.Field("schema_version", static_cast<std::uint32_t>(1));
+  w.Field("tool", "fig_energy");
+  w.Key("points");
+  w.BeginArray();
+  for (const HierRow& r : rows) {
+    w.BeginObject();
+    w.Field("cores", r.cores);
+    w.Field("workload", r.workload);
+    w.Field("barrier", "GLH");
+    w.Field("total_pj", r.report.base.total_pj());
+    w.Field("noc_pj", r.report.base.noc_pj);
+    w.Field("gline_pj", r.report.base.gline_pj);
+    w.Field("gline_flat_equiv_pj", r.report.flat_equiv_pj);
+    w.Key("levels");
+    w.BeginArray();
+    for (const power::HierEnergyLevel& lvl : r.report.levels) {
+      w.BeginObject();
+      w.Field("level", lvl.wires.level);
+      w.Field("nodes", lvl.wires.nodes);
+      w.Field("lines", lvl.wires.lines);
+      w.Field("span_tiles", lvl.wires.span_tiles);
+      w.Field("signals", lvl.wires.signals);
+      w.Field("handoffs", lvl.wires.handoffs);
+      w.Field("signal_pj", lvl.signal_pj);
+      w.Field("ctrl_pj", lvl.ctrl_pj);
+      w.Field("handoff_pj", lvl.handoff_pj);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+int RunHierStudy(const Flags& flags) {
+  const auto cores_list =
+      bench::CoreListFromFlags(flags, "cores", {64, 256, 1024});
+  const auto names = bench::WorkloadListFromFlags(flags, "workloads",
+                                                  {"Synthetic"});
+  std::cout << "Energy (extension, --hier): per-level G-line wire energy on"
+               " the hierarchical network\n\n";
+  harness::Table t({"Cores", "Workload", "Level", "Nodes", "Lines", "Span",
+                    "Signal nJ", "Ctrl nJ", "Handoff nJ", "Level nJ"});
+  std::vector<HierRow> rows;
+  for (std::uint32_t cores : cores_list) {
+    const harness::Scale scale = harness::Scale::FromFlags(flags, cores);
+    for (const std::string& name : names) {
+      auto cfg = bench::ConfigForCores(flags, cores);
+      cfg.hier.enabled = true;
+      cmp::CmpSystem sys(cfg);
+      auto workload = harness::MakeWorkloadOrExit(name, scale);
+      workload->Init(sys);
+      auto barrier = harness::MakeBarrier(harness::BarrierKind::kGLH, sys);
+      const bool ok = sys.RunPrograms([&](core::Core& c, CoreId id) {
+        return workload->Body(c, id, *barrier);
+      });
+      const std::string validation = workload->Validate(sys);
+      if (!ok || !validation.empty()) {
+        std::cerr << "run failed: " << name << " at " << cores
+                  << " cores: " << validation << '\n';
+        return 1;
+      }
+      HierRow row;
+      row.cores = cores;
+      row.workload = name;
+      row.report = power::EstimateHier(sys.stats(), *sys.hier());
+      for (const power::HierEnergyLevel& lvl : row.report.levels) {
+        t.AddRow({std::to_string(cores), name,
+                  "l" + std::to_string(lvl.wires.level),
+                  std::to_string(lvl.wires.nodes),
+                  std::to_string(lvl.wires.lines),
+                  std::to_string(lvl.wires.span_tiles),
+                  harness::Table::Num(lvl.signal_pj / 1000.0, 2),
+                  harness::Table::Num(lvl.ctrl_pj / 1000.0, 2),
+                  harness::Table::Num(lvl.handoff_pj / 1000.0, 2),
+                  harness::Table::Num(lvl.total_pj() / 1000.0, 2)});
+      }
+      t.AddRow({std::to_string(cores), name, "all", "-", "-", "-", "-", "-",
+                "-",
+                harness::Table::Num(row.report.base.gline_pj / 1000.0, 2)});
+      rows.push_back(std::move(row));
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\nPer-level terms sum to the run's G-line component; the"
+               " flat-equivalent row prices\nthe same events on tile-length"
+               " wires with free hand-offs (always <= the total —\nthe"
+               " hierarchy pays for reach with longer upper-level wires).\n\n";
+  for (const HierRow& r : rows) {
+    std::cout << "  " << r.cores << " cores / " << r.workload << ": gline "
+              << harness::Table::Num(r.report.base.gline_pj / 1000.0, 2)
+              << " nJ vs flat-equivalent "
+              << harness::Table::Num(r.report.flat_equiv_pj / 1000.0, 2)
+              << " nJ\n";
+  }
+
+  if (flags.Has("json")) {
+    const std::string jpath = flags.GetString("json", "");
+    if (jpath.empty() || jpath == "true") {
+      WriteHierManifest(std::cout, /*pretty=*/true, rows);
+      std::cout << '\n';
+    } else {
+      std::ofstream f(jpath, std::ios::app);
+      if (!f) {
+        std::cerr << "failed to append manifest to " << jpath << "\n";
+        return 1;
+      }
+      WriteHierManifest(f, /*pretty=*/false, rows);
+      f << '\n';
+    }
+  }
+  return 0;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace glb;
   Flags flags(argc, argv);
   const bench::Observability obs(flags);
+  if (flags.GetBool("hier", false)) return RunHierStudy(flags);
+
   const bench::Scale scale = bench::Scale::FromFlags(flags);
   const auto cfg = bench::ConfigFromFlags(flags);
 
@@ -37,7 +179,7 @@ int main(int argc, char** argv) {
     std::vector<Row> rows;
     for (auto kind : {harness::BarrierKind::kDSW, harness::BarrierKind::kGL}) {
       cmp::CmpSystem sys(cfg);
-      auto workload = bench::FactoryFor(name, scale)();
+      auto workload = harness::MakeWorkloadOrExit(name, scale);
       workload->Init(sys);
       auto barrier = harness::MakeBarrier(kind, sys);
       const bool ok = sys.RunPrograms([&](core::Core& c, CoreId id) {

@@ -33,15 +33,16 @@ int main(int argc, char** argv) {
   bench::SweepClock clock(flags, "table2_benchmarks", jobs);
   std::vector<harness::ExperimentSpec> specs;
   for (const char* name : names) {
-    specs.push_back(
-        {bench::FactoryFor(name, scale), harness::BarrierKind::kGL, cfg});
+    specs.push_back(harness::NamedExperiment(name, scale,
+                                             harness::BarrierKind::kGL, cfg));
   }
   const auto results = harness::RunExperimentsParallel(specs, jobs);
   clock.Report(results.size());
 
   harness::Table t({"Benchmark", "Input Size", "#Barriers", "Barrier Period", "Valid"});
   for (std::size_t i = 0; i < names.size(); ++i) {
-    const std::string desc = specs[i].make_workload()->input_desc();
+    const std::string desc =
+        harness::MakeWorkload(names[i], scale)->input_desc();
     const auto& m = results[i];
     t.AddRow({names[i], desc, harness::Table::Num(m.barriers),
               harness::Table::Num(m.barrier_period),

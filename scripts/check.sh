@@ -32,6 +32,16 @@ echo "=== gl-hier sweep ==="
 ./build/bench/fault_campaign --barrier gl-hier --seeds 3 --episodes 6 \
   --jobs "$(nproc)" > /dev/null
 
+# Scaling-study smoke: one bounded 256-core point through the fig6/fig7
+# --scale sweeps — EM3D on the hierarchical network with the weak-scaled
+# input and a small step count, so the name-addressed sweep path and the
+# 256-core machine stay green without figure-scale runtimes.
+echo "=== 256-core scaling smoke ==="
+./build/bench/fig6_exec_breakdown --scale --cores 256 --barrier gl-hier \
+  --workloads EM3D --em3d-steps 2 --jobs 2 > /dev/null
+./build/bench/fig7_network_traffic --scale --cores 256 --barrier gl-hier \
+  --workloads EM3D --em3d-steps 2 --jobs 2 > /dev/null
+
 if [ "$RUN_TSAN" = "1" ]; then
   # The tsan preset builds only the bench/tool binaries; the sweeps
   # below exercise the ParallelFor pool exactly the way the figure and

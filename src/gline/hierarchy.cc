@@ -215,6 +215,35 @@ std::uint32_t HierarchicalBarrierNetwork::total_lines() const {
   return total;
 }
 
+std::vector<LevelWireSummary> HierarchicalBarrierNetwork::LevelSummaries() const {
+  std::vector<LevelWireSummary> out;
+  out.reserve(levels_.size());
+  std::uint32_t span = 1;
+  for (std::uint32_t k = 0; k < levels_.size(); ++k) {
+    const Level& lv = levels_[k];
+    LevelWireSummary s;
+    s.level = k;
+    s.nodes = static_cast<std::uint32_t>(lv.nodes.size());
+    s.span_tiles = span;
+    for (const Node& n : lv.nodes) {
+      s.lines += n.net->total_lines();
+      s.signals += stats_.CounterValue(n.prefix + ".signals");
+    }
+    // Every completed sub-barrier one level down is one cluster-master
+    // arrival handed into this level.
+    if (k > 0) {
+      for (const Node& n : levels_[k - 1].nodes) {
+        s.handoffs += stats_.CounterValue(n.prefix + ".barriers_completed");
+      }
+    }
+    out.push_back(s);
+    // Adjacent nodes of the next level sit one of this level's clusters
+    // apart; use the longer cluster edge (conservative for energy).
+    span *= std::max(lv.eff_rows, lv.eff_cols);
+  }
+  return out;
+}
+
 bool HierarchicalBarrierNetwork::degraded_any() const {
   for (const auto& lv : levels_) {
     for (const auto& n : lv.nodes) {

@@ -58,6 +58,23 @@
 
 namespace glb::gline {
 
+/// One level's wire budget and observed activity, for the energy model
+/// and the wire-count tables. `span_tiles` is the mesh distance between
+/// adjacent endpoints of this level's lines: level 0 connects adjacent
+/// cores (span 1); level k connects cluster masters that sit one
+/// level-(k-1) cluster apart, so its lines are physically longer and a
+/// signal on them proportionally more expensive.
+struct LevelWireSummary {
+  std::uint32_t level = 0;       // 0 = leaves over cores
+  std::uint32_t nodes = 0;       // sub-networks at this level
+  std::uint32_t lines = 0;       // G-lines across those sub-networks
+  std::uint32_t span_tiles = 1;  // tiles spanned between adjacent endpoints
+  std::uint64_t signals = 0;     // sum of the nodes' ".signals" counters
+  std::uint64_t handoffs = 0;    // cluster-master arrivals handed into this
+                                 // level (0 at level 0: cores arrive by
+                                 // bar_reg write, not by hand-off)
+};
+
 struct HierConfig {
   /// Maximum cluster dimensions (default: the 7x7 technology limit).
   std::uint32_t cluster_rows = 7;
@@ -132,6 +149,10 @@ class HierarchicalBarrierNetwork final : public core::BarrierDevice {
   }
   /// Total G-lines across every node at every level.
   std::uint32_t total_lines() const;
+  /// Per-level wire counts and activity (one entry per level, leaves
+  /// first); signal/hand-off counts are read from the shared StatSet,
+  /// so call after the run whose energy is being priced.
+  std::vector<LevelWireSummary> LevelSummaries() const;
   /// Global barriers completed (once per barrier, all contexts).
   std::uint64_t barriers_completed() const { return completed_->value(); }
   /// True if any node context has tripped its sticky degraded flag.

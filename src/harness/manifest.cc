@@ -115,6 +115,33 @@ void WriteConfig(json::Writer& w, const cmp::CmpConfig& cfg) {
   w.EndObject();
 }
 
+void WriteExperiment(json::Writer& w, const ExperimentSpec& spec) {
+  w.Key("experiment");
+  w.BeginObject();
+  w.Field("workload", spec.workload);
+  w.Field("barrier", ToString(spec.barrier));
+  if (spec.max_cycles != kCycleNever) w.Field("max_cycles", spec.max_cycles);
+  w.Key("scale");
+  w.BeginObject();
+  w.Field("paper", spec.scale.paper);
+  w.Field("synthetic_iters", spec.scale.synthetic_iters);
+  w.Field("k2_n", spec.scale.k2_n);
+  w.Field("k2_iters", spec.scale.k2_iters);
+  w.Field("k3_n", spec.scale.k3_n);
+  w.Field("k3_iters", spec.scale.k3_iters);
+  w.Field("k6_n", spec.scale.k6_n);
+  w.Field("k6_iters", spec.scale.k6_iters);
+  w.Field("em3d_nodes", spec.scale.em3d_nodes);
+  w.Field("em3d_steps", spec.scale.em3d_steps);
+  w.Field("ocean_grid", spec.scale.ocean_grid);
+  w.Field("ocean_iters", spec.scale.ocean_iters);
+  w.Field("unstr_nodes", spec.scale.unstr_nodes);
+  w.Field("unstr_edges", spec.scale.unstr_edges);
+  w.Field("unstr_steps", spec.scale.unstr_steps);
+  w.EndObject();
+  w.EndObject();
+}
+
 void WriteRun(json::Writer& w, const RunMetrics& m) {
   w.Key("run");
   w.BeginObject();
@@ -165,6 +192,7 @@ void WriteRunManifest(std::ostream& os, const RunMetrics& m, const cmp::CmpConfi
   w.Field("schema", kRunManifestSchema);
   w.Field("schema_version", kRunManifestVersion);
   w.Field("tool", opts.tool);
+  if (opts.experiment != nullptr) WriteExperiment(w, *opts.experiment);
   WriteRun(w, m);
   WriteConfig(w, cfg);
   w.Key("stats");

@@ -13,6 +13,7 @@
 #include "common/json.h"
 #include "common/stats.h"
 #include "harness/experiment.h"
+#include "harness/spec.h"
 
 namespace glb::harness {
 
@@ -27,6 +28,12 @@ struct ManifestOptions {
   /// Pretty-print (human inspection) vs compact single line (JSONL
   /// appends).
   bool pretty = false;
+  /// When set, the name-addressed spec the run came from is echoed as
+  /// an "experiment" object (workload name, barrier, problem sizes) so
+  /// a manifest line is replayable. Borrowed pointer; must outlive the
+  /// write. Omitted (and the manifest byte-identical to older builds)
+  /// when null.
+  const ExperimentSpec* experiment = nullptr;
 };
 
 /// Writes one complete run manifest object (no trailing newline).

@@ -35,10 +35,8 @@ void ParallelFor(std::size_t n, int jobs, const std::function<void(std::size_t)>
 std::vector<RunMetrics> RunExperimentsParallel(const std::vector<ExperimentSpec>& specs,
                                                int jobs) {
   std::vector<RunMetrics> results(specs.size());
-  ParallelFor(specs.size(), jobs, [&](std::size_t i) {
-    const ExperimentSpec& s = specs[i];
-    results[i] = RunExperiment(s.make_workload, s.kind, s.cfg, s.max_cycles);
-  });
+  ParallelFor(specs.size(), jobs,
+              [&](std::size_t i) { results[i] = RunExperiment(specs[i]); });
   return results;
 }
 

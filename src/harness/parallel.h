@@ -19,16 +19,9 @@
 #include "cmp/cmp_system.h"
 #include "common/types.h"
 #include "harness/experiment.h"
+#include "harness/spec.h"
 
 namespace glb::harness {
-
-/// One experiment of a sweep, in RunExperiment's vocabulary.
-struct ExperimentSpec {
-  WorkloadFactory make_workload;
-  BarrierKind kind = BarrierKind::kGL;
-  cmp::CmpConfig cfg;
-  Cycle max_cycles = kCycleNever;
-};
 
 /// Canonicalizes a --jobs flag value: values < 1 mean "all hardware
 /// threads"; the result is always >= 1.

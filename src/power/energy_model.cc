@@ -44,6 +44,35 @@ EnergyReport Estimate(const StatSet& stats, const EnergyCoefficients& coef) {
   return r;
 }
 
+HierEnergyReport EstimateHier(const StatSet& stats,
+                              const gline::HierarchicalBarrierNetwork& net,
+                              const EnergyCoefficients& coef) {
+  HierEnergyReport r;
+  r.base = Estimate(stats, coef);
+  // Re-price the G-line component per level. A GLH run leaves the flat
+  // "gl.*" counters at zero, so this replaces nothing real; the
+  // core-side arrival FSM cost (core.barriers) moves to level 0.
+  r.base.gline_pj = 0;
+  const double core_barriers =
+      static_cast<double>(stats.CounterValue("core.barriers"));
+  for (const gline::LevelWireSummary& wires : net.LevelSummaries()) {
+    HierEnergyLevel lvl;
+    lvl.wires = wires;
+    const double signals = static_cast<double>(wires.signals);
+    lvl.signal_pj =
+        coef.gline_signal_pj * signals * static_cast<double>(wires.span_tiles);
+    const double ctrl_ops =
+        2.0 * signals + (wires.level == 0 ? core_barriers : 0.0);
+    lvl.ctrl_pj = coef.gline_ctrl_pj * ctrl_ops;
+    lvl.handoff_pj =
+        coef.gline_handoff_pj * static_cast<double>(wires.handoffs);
+    r.flat_equiv_pj += coef.gline_signal_pj * signals + lvl.ctrl_pj;
+    r.base.gline_pj += lvl.total_pj();
+    r.levels.push_back(lvl);
+  }
+  return r;
+}
+
 void Print(std::ostream& os, const EnergyReport& r) {
   auto nj = [](double pj) { return pj / 1000.0; };
   os << std::fixed << std::setprecision(1);
@@ -52,6 +81,22 @@ void Print(std::ostream& os, const EnergyReport& r) {
      << r.noc_fraction() * 100 << "%)" << std::setprecision(1)
      << " | l1 " << nj(r.l1_pj) << " | l2 " << nj(r.l2_pj) << " | dram "
      << nj(r.dram_pj) << " | gline " << nj(r.gline_pj) << '\n';
+}
+
+void PrintHier(std::ostream& os, const HierEnergyReport& r) {
+  Print(os, r.base);
+  auto nj = [](double pj) { return pj / 1000.0; };
+  os << std::fixed << std::setprecision(1);
+  for (const HierEnergyLevel& lvl : r.levels) {
+    os << "  gline l" << lvl.wires.level << ": " << lvl.wires.nodes
+       << " nodes, " << lvl.wires.lines << " lines, span " << lvl.wires.span_tiles
+       << " | signal " << nj(lvl.signal_pj) << " nJ | ctrl " << nj(lvl.ctrl_pj)
+       << " | handoff " << nj(lvl.handoff_pj) << " | total "
+       << nj(lvl.total_pj()) << '\n';
+  }
+  os << "  gline flat-equivalent " << nj(r.flat_equiv_pj)
+     << " nJ | hierarchy overhead "
+     << nj(r.base.gline_pj - r.flat_equiv_pj) << " nJ\n";
 }
 
 }  // namespace glb::power

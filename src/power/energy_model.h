@@ -20,8 +20,10 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <vector>
 
 #include "common/stats.h"
+#include "gline/hierarchy.h"
 
 namespace glb::power {
 
@@ -31,8 +33,11 @@ struct EnergyCoefficients {
   double l1_access_pj = 20.0;       // per L1 lookup/fill
   double l2_access_pj = 90.0;       // per L2 bank access
   double dram_access_pj = 12000.0;  // per off-chip access
-  double gline_signal_pj = 1.2;     // per 1-bit G-line broadcast
+  double gline_signal_pj = 1.2;     // per 1-bit G-line broadcast, tile-length wire
   double gline_ctrl_pj = 0.4;       // per controller FSM transition (approx.)
+  /// Per cluster-master hand-off between hierarchy levels: the master's
+  /// completion flag re-driven as the upper level's bar_reg write.
+  double gline_handoff_pj = 0.8;
 };
 
 /// A run's estimated dynamic energy, by component, in picojoules.
@@ -58,5 +63,43 @@ EnergyReport Estimate(const StatSet& stats,
 
 /// Human-readable summary (nanojoules, component shares).
 void Print(std::ostream& os, const EnergyReport& r);
+
+// --- hierarchical (multi-level) G-line network -----------------------------
+
+/// One hierarchy level's priced wire activity. Signals are scaled by
+/// the level's wire span (a level-k line is span_tiles times longer
+/// than a level-0 line, and a broadcast on it proportionally more
+/// expensive); hand-offs price the cluster-master flag re-drive between
+/// levels.
+struct HierEnergyLevel {
+  gline::LevelWireSummary wires;
+  double signal_pj = 0;
+  double ctrl_pj = 0;
+  double handoff_pj = 0;
+  double total_pj() const { return signal_pj + ctrl_pj + handoff_pj; }
+};
+
+/// Energy report for a run on the hierarchical network: the standard
+/// components with the G-line term re-priced per level. Invariants (by
+/// construction): the per-level totals sum exactly to `base.gline_pj`,
+/// and `base.gline_pj >= flat_equiv_pj` (wire span >= 1, hand-offs
+/// are extra work a flat network would not do).
+struct HierEnergyReport {
+  EnergyReport base;  // gline_pj = sum of levels[i].total_pj()
+  std::vector<HierEnergyLevel> levels;
+  /// The same signal/controller events priced as if every line were a
+  /// flat network's tile-length wire and hand-offs were free — the
+  /// flat-network-equivalent estimate the hierarchy is compared to.
+  double flat_equiv_pj = 0;
+};
+
+/// Prices a finished run on `net` (reads the glh.l<k>.c<i>.* counters
+/// that the run left in `stats` via net.LevelSummaries()).
+HierEnergyReport EstimateHier(const StatSet& stats,
+                              const gline::HierarchicalBarrierNetwork& net,
+                              const EnergyCoefficients& coef = EnergyCoefficients{});
+
+/// Human-readable per-level breakdown appended to the Print format.
+void PrintHier(std::ostream& os, const HierEnergyReport& r);
 
 }  // namespace glb::power

@@ -30,6 +30,15 @@ class Em3d final : public Workload {
   Em3d();  // default configuration
   explicit Em3d(const Config& cfg) : cfg_(cfg) {}
 
+  /// Weak-scaling node rule: 75 nodes per class per core, the benches'
+  /// 32-core share (2400 = 75*32). Keeps every block partition
+  /// populated and the remote-edge fraction meaningful as the mesh
+  /// grows; at 1024 cores this is 76,800 nodes per class, double the
+  /// paper's largest input.
+  static std::uint32_t NodesForCores(std::uint32_t cores) {
+    return cores <= 32 ? 2400 : 75 * cores;
+  }
+
   const char* name() const override { return "EM3D"; }
   std::string input_desc() const override;
   void Init(cmp::CmpSystem& sys) override;

@@ -26,6 +26,15 @@ class Ocean final : public Workload {
     double omega = 1.6;             // SOR relaxation factor
   };
 
+  /// Weak-scaling grid rule for the 256-1024-core study: two interior
+  /// rows per core, the same per-core share as the 32-core default
+  /// (66 = 2*32 + 2). Anything narrower leaves cores without rows —
+  /// a degenerate partition where idle cores only inflate barrier
+  /// skew — and anything wider grows a sweep quadratically.
+  static std::uint32_t GridForCores(std::uint32_t cores) {
+    return cores <= 32 ? 66 : 2 * cores + 2;
+  }
+
   Ocean();  // default configuration
   explicit Ocean(const Config& cfg) : cfg_(cfg) {}
 

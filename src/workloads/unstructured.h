@@ -33,6 +33,17 @@ class Unstructured final : public Workload {
   Unstructured();  // default configuration
   explicit Unstructured(const Config& cfg) : cfg_(cfg) {}
 
+  /// Weak-scaling mesh rule: 64 nodes and 256 edges per core, the
+  /// benches' 32-core share (2048 / 8192). The 4x edge-to-node ratio —
+  /// what drives the gather/scatter and the lock-protected fold — is
+  /// preserved at every mesh size.
+  static std::uint32_t NodesForCores(std::uint32_t cores) {
+    return cores <= 32 ? 2048 : 64 * cores;
+  }
+  static std::uint32_t EdgesForCores(std::uint32_t cores) {
+    return cores <= 32 ? 8192 : 256 * cores;
+  }
+
   const char* name() const override { return "UNSTRUCTURED"; }
   std::string input_desc() const override {
     return "mesh " + std::to_string(cfg_.nodes) + " nodes / " +

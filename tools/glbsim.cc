@@ -23,11 +23,16 @@ void Usage() {
   std::cout <<
       "glbsim — G-line barrier CMP simulator driver\n"
       "  --workload W    Synthetic|Kernel2|Kernel3|Kernel6|EM3D|OCEAN|UNSTRUCTURED\n"
-      "  --barrier B     GL|GLH|DSW|CSW|HYB (default GL; GLH aka gl-hier is\n"
+      "                  (any name registered via harness::RegisterWorkload)\n"
+      "  --barrier B     GL|GLH|CSW|DSW|HYB|DIS (default GL; GLH aka gl-hier is\n"
       "                  the hierarchical multi-level G-line network)\n"
       "  --cores N       core count, mesh auto-factored (default 32)\n"
       "  --paper-scale   exact Table-2 inputs (slow)\n"
-      "  --<wl>-iters N  per-workload iteration overrides (see bench_util.h)\n"
+      "  --scale-cores N weak-scale the problem sizes for N cores\n"
+      "                  (harness::Scale::ForCores; default: 32-core sizes)\n"
+      "  --<wl>-iters N  per-workload iteration overrides, and problem sizes:\n"
+      "                  --k2-n --k3-n --k6-n --em3d-nodes --ocean-grid\n"
+      "                  --unstr-nodes --unstr-edges (see harness/spec.h)\n"
       "  --max-cycles N  abort (with a stall diagnostic) after N cycles\n"
       "  --stats         dump the raw statistics registry\n"
       "  --csv           emit machine-readable key,value lines\n"
@@ -52,16 +57,6 @@ void Usage() {
       "  --fault_script \"cycle:site[:target[:magnitude]],...\"  scripted faults\n";
 }
 
-glb::harness::BarrierKind ParseBarrier(const std::string& s) {
-  if (s == "GL" || s == "gl") return glb::harness::BarrierKind::kGL;
-  if (s == "GLH" || s == "gl-hier") return glb::harness::BarrierKind::kGLH;
-  if (s == "DSW" || s == "dsw") return glb::harness::BarrierKind::kDSW;
-  if (s == "CSW" || s == "csw") return glb::harness::BarrierKind::kCSW;
-  if (s == "HYB" || s == "hyb") return glb::harness::BarrierKind::kHYB;
-  std::cerr << "unknown barrier kind: " << s << "\n";
-  std::exit(2);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,21 +67,32 @@ int main(int argc, char** argv) {
     return 0;
   }
   const bench::Observability obs(flags);
-  const std::string wl = flags.GetString("workload", "Synthetic");
-  const auto kind = ParseBarrier(flags.GetString("barrier", "GL"));
-  const bench::Scale scale = bench::Scale::FromFlags(flags);
-  cmp::CmpConfig cfg = bench::ConfigFromFlags(flags);
-  if (kind == harness::BarrierKind::kGLH) cfg.hier.enabled = true;
+  // The run is described by a name-addressed ExperimentSpec (also echoed
+  // into the --json manifest so a line is replayable). --scale-cores
+  // applies the weak-scaling rules before the per-size flag overrides.
+  harness::ExperimentSpec spec;
+  spec.workload = flags.GetString("workload", "Synthetic");
+  spec.barrier =
+      harness::BarrierKindFromNameOrExit(flags.GetString("barrier", "GL"));
+  spec.scale = flags.Has("scale-cores")
+                   ? harness::Scale::FromFlags(
+                         flags, static_cast<std::uint32_t>(
+                                    flags.GetInt("scale-cores", 32)))
+                   : harness::Scale::FromFlags(flags);
+  spec.cfg = bench::ConfigFromFlags(flags);
+  if (flags.Has("max-cycles")) {
+    spec.max_cycles = static_cast<Cycle>(flags.GetInt("max-cycles", 0));
+  }
+  cmp::CmpConfig cfg = spec.cfg;
+  if (spec.barrier == harness::BarrierKind::kGLH) cfg.hier.enabled = true;
 
   // Build and run manually (RunExperiment hides the StatSet, which
   // --stats and the energy estimate need).
   cmp::CmpSystem sys(cfg);
-  auto workload = bench::FactoryFor(wl, scale)();
+  auto workload = harness::MakeWorkloadOrExit(spec.workload, spec.scale);
   workload->Init(sys);
-  auto barrier = harness::MakeBarrier(kind, sys);
-  const Cycle max_cycles = flags.Has("max-cycles")
-                               ? static_cast<Cycle>(flags.GetInt("max-cycles", 0))
-                               : kCycleNever;
+  auto barrier = harness::MakeBarrier(spec.barrier, sys);
+  const Cycle max_cycles = spec.max_cycles;
   const auto t0 = std::chrono::steady_clock::now();
   const sim::RunStatus status = sys.RunProgramsStatus(
       [&](core::Core& c, CoreId id) { return workload->Body(c, id, *barrier); },
@@ -98,9 +104,10 @@ int main(int argc, char** argv) {
   // lands in run.validation / run.stall).
   if (flags.Has("json")) {
     const harness::RunMetrics m = harness::CollectMetrics(
-        sys, status, *workload, harness::ToString(kind), wall.count());
+        sys, status, *workload, harness::ToString(spec.barrier), wall.count());
     harness::ManifestOptions opts;
     opts.tool = "glbsim";
+    opts.experiment = &spec;
     const std::string jpath = flags.GetString("json", "");
     if (jpath.empty() || jpath == "true") {  // bare --json: manifest is the report
       opts.pretty = true;
