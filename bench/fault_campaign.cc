@@ -75,8 +75,24 @@ struct RunResult {
 std::uint32_t CampaignRows(bool hier) { return hier ? 14 : 4; }
 std::uint32_t CampaignCols(bool hier) { return hier ? 14 : 8; }
 
-RunResult RunOnce(bool hier, double drop_rate, std::uint64_t seed, int episodes,
-                  Cycle watchdog, std::uint32_t retries) {
+/// The plan a (rate, seed) run executes: the flag-driven base plan
+/// (scripted entries, straggler knobs, NoC rates — usually empty) with
+/// the swept G-line rates and the run's seed layered on top. Also what
+/// the manifest echoes, so a campaign row is replayable from the
+/// artifact alone.
+fault::FaultPlan CampaignPlan(const fault::FaultPlan& base, double drop_rate,
+                              std::uint64_t seed) {
+  fault::FaultPlan plan = base;
+  plan.seed = seed;
+  plan.gline_drop_rate = drop_rate;
+  plan.gline_dup_rate = drop_rate / 4;
+  plan.csma_corrupt_rate = drop_rate / 4;
+  return plan;
+}
+
+RunResult RunOnce(bool hier, const fault::FaultPlan& base, double drop_rate,
+                  std::uint64_t seed, int episodes, Cycle watchdog,
+                  std::uint32_t retries) {
   const std::uint32_t kRows = CampaignRows(hier), kCols = CampaignCols(hier);
   const std::uint32_t kCores = kRows * kCols;
 
@@ -104,11 +120,7 @@ RunResult RunOnce(bool hier, double drop_rate, std::uint64_t seed, int episodes,
     }
   };
 
-  fault::FaultPlan plan;
-  plan.seed = seed;
-  plan.gline_drop_rate = drop_rate;
-  plan.gline_dup_rate = drop_rate / 4;
-  plan.csma_corrupt_rate = drop_rate / 4;
+  const fault::FaultPlan plan = CampaignPlan(base, drop_rate, seed);
   fault::FaultInjector inj(engine, plan, stats);
   if (plan.enabled()) {
     if (hier) {
@@ -117,6 +129,10 @@ RunResult RunOnce(bool hier, double drop_rate, std::uint64_t seed, int episodes,
       inj.Arm(*flat);
     }
   }
+  // Straggler knobs stretch each core's pre-arrival compute jitter the
+  // same way CmpSystem stretches real compute phases.
+  const bool stragglers = plan.stragglers();
+  if (stragglers) inj.ConfigureCompute(kCores);
 
   Rng rng(seed * 1099511628211ull + 3);
   int episode = 0;
@@ -128,7 +144,9 @@ RunResult RunOnce(bool hier, double drop_rate, std::uint64_t seed, int episodes,
     released = 0;
     const Cycle now = engine.Now();
     for (CoreId c = 0; c < kCores; ++c) {
-      engine.ScheduleAt(now + 1 + rng.NextBelow(20), [&, c]() {
+      Cycle jitter = 1 + rng.NextBelow(20);
+      if (stragglers) jitter = inj.StretchCompute(c, jitter);
+      engine.ScheduleAt(now + jitter, [&, c]() {
         ++arrived;
         arrive(c, [&]() {
           if (arrived != kCores) early_release = true;
@@ -189,6 +207,9 @@ RunResult RunOnce(bool hier, double drop_rate, std::uint64_t seed, int episodes,
 struct RateAgg {
   double rate = 0.0;
   int runs = 0;
+  /// The first seed's full plan; with params.seeds it replays every run
+  /// in this row (seeds are 1..N over the same plan).
+  fault::FaultPlan plan;
   RunResult agg;
 };
 
@@ -222,6 +243,12 @@ void WriteCampaignManifest(std::ostream& os, bool pretty, bool hier, int seeds,
     w.Field("drop_rate", ra.rate);
     w.Field("runs", static_cast<std::int64_t>(ra.runs));
     w.Field("ok", ra.agg.ok);
+    // Full plan echo (rates, magnitudes, straggler knobs, scripted
+    // entries): a row replays from the manifest alone.
+    w.Key("fault_plan");
+    w.BeginObject();
+    harness::WriteFaultPlan(w, ra.plan);
+    w.EndObject();
     StatSet s;
     s.GetCounter("episodes")->Inc(ra.agg.episodes);
     s.GetCounter("faults_injected")->Inc(ra.agg.injected);
@@ -255,6 +282,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   const bool hier = kind == harness::BarrierKind::kGLH;
+  // Extra fault machinery layered under the swept G-line rates: scripted
+  // entries, straggler knobs, NoC rates — all from the standard
+  // --fault_* flags (empty by default, keeping the historical sweep).
+  const fault::FaultPlan base_plan = fault::PlanFromFlags(flags);
 
   const double rates[] = {0.0, 0.001, 0.005, 0.02, 0.05};
   std::cout << "Fault campaign: " << CampaignRows(hier) << "x"
@@ -277,7 +308,7 @@ int main(int argc, char** argv) {
   harness::ParallelFor(runs.size(), jobs, [&](std::size_t i) {
     const double rate = rates[i / per_rate];
     const auto seed = static_cast<std::uint64_t>(i % per_rate) + 1;
-    runs[i] = RunOnce(hier, rate, seed, episodes, watchdog, retries);
+    runs[i] = RunOnce(hier, base_plan, rate, seed, episodes, watchdog, retries);
   });
   clock.Report(runs.size());
 
@@ -289,6 +320,7 @@ int main(int argc, char** argv) {
   for (std::size_t rate_idx = 0; rate_idx < kNumRates; ++rate_idx) {
     RateAgg ra;
     ra.rate = rates[rate_idx];
+    ra.plan = CampaignPlan(base_plan, ra.rate, /*seed=*/1);
     RunResult& agg = ra.agg;
     agg.ok = true;
     for (int s = 1; s <= seeds; ++s) {

@@ -42,18 +42,34 @@ echo "=== 256-core scaling smoke ==="
 ./build/bench/fig7_network_traffic --scale --cores 256 --barrier gl-hier \
   --workloads EM3D --em3d-steps 2 --jobs 2 > /dev/null
 
+# Self-healing v2 smoke: the straggler+rejoin fuzz under ASan (the asan
+# ctest pass runs it too; this filtered rerun keeps the gate loud even
+# if test labels move) and a bounded straggler ablation whose
+# glb.straggler manifest is left in the tree for CI to publish.
+echo "=== straggler resilience smoke ==="
+if [ -x ./build-asan/tests/gline_fault_fuzz_test ]; then
+  ./build-asan/tests/gline_fault_fuzz_test \
+    --gtest_filter='*Straggler*:*Rejoin*' > /dev/null
+fi
+rm -f BENCH_straggler.json
+./build/bench/ablate_straggler --cores 64 --iters 10 \
+  --jobs "$(nproc)" --json BENCH_straggler.json > /dev/null
+
 if [ "$RUN_TSAN" = "1" ]; then
   # The tsan preset builds only the bench/tool binaries; the sweeps
   # below exercise the ParallelFor pool exactly the way the figure and
   # campaign harnesses use it. halt_on_error makes the first race fatal.
   echo "=== tsan parallel sweeps ==="
   cmake --preset tsan
-  cmake --build --preset tsan -j -t fault_campaign -t fig5_barrier_latency
+  cmake --build --preset tsan -j -t fault_campaign -t fig5_barrier_latency \
+    -t ablate_straggler
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/bench/fault_campaign --seeds 6 --episodes 10 --jobs 4 > /dev/null
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/bench/fault_campaign --barrier gl-hier --seeds 3 --episodes 6 \
       --jobs 4 > /dev/null
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/bench/ablate_straggler --cores 64 --iters 5 --jobs 4 > /dev/null
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/bench/fig5_barrier_latency --max-cores 8 --jobs 4 > /dev/null
   TSAN_OPTIONS=halt_on_error=1 \

@@ -72,6 +72,16 @@ CmpSystem::CmpSystem(const CmpConfig& cfg)
       injector_->Arm(gline_);
     }
     injector_->Arm(mesh_);
+    if (cfg.fault.stragglers()) {
+      // Straggler sites stretch compute phases at the core, not the
+      // network; the hook costs nothing on cores the plan leaves alone.
+      injector_->ConfigureCompute(cfg.num_cores());
+      for (auto& core : cores_) {
+        core->SetComputeFaultHook([inj = injector_.get()](CoreId c, Cycle cycles) {
+          return inj->StretchCompute(c, cycles);
+        });
+      }
+    }
   }
 }
 

@@ -55,6 +55,15 @@ class Core {
   /// GlBarrier()).
   void SetBarrierDevice(BarrierDevice* dev) { barrier_dev_ = dev; }
 
+  /// Straggler hook: maps the nominal duration of a compute phase to
+  /// the one actually charged (DVFS slowdown, skewed partitions — see
+  /// fault::FaultInjector::StretchCompute). Unset = identity, and the
+  /// Compute() fast path (cycles == 0 stays 0) is unchanged.
+  using ComputeFaultHook = std::function<Cycle(CoreId, Cycle)>;
+  void SetComputeFaultHook(ComputeFaultHook hook) {
+    compute_fault_hook_ = std::move(hook);
+  }
+
   /// Starts `program` now. `on_done` (optional) runs when it finishes.
   void Run(Task program, std::function<void()> on_done = nullptr);
 
@@ -139,6 +148,9 @@ class Core {
     bool await_ready() const noexcept { return cycles == 0; }
     void await_suspend(std::coroutine_handle<> h) {
       core.BeginOp(TimeCat::kBusy);
+      if (core.compute_fault_hook_) {
+        cycles = core.compute_fault_hook_(core.id_, cycles);
+      }
       core.engine_.ScheduleIn(cycles, [this, h]() {
         core.EndOp();
         h.resume();
@@ -234,6 +246,7 @@ class Core {
   const CoreId id_;
   CoreConfig cfg_;
   BarrierDevice* barrier_dev_ = nullptr;
+  ComputeFaultHook compute_fault_hook_;
 
   std::optional<Task> program_;
   std::function<void()> on_done_;

@@ -21,6 +21,78 @@ FaultInjector::FaultInjector(sim::Engine& engine, const FaultPlan& plan,
   core_freeze_ = stats.GetCounter("fault.core_freeze");
   noc_delay_ = stats.GetCounter("fault.noc_delay");
   noc_drop_ = stats.GetCounter("fault.noc_drop");
+  core_slow_ = stats.GetCounter("fault.core_slow");
+  work_skew_ = stats.GetCounter("fault.work_skew");
+  for (const ScriptedFault& f : plan_.script) {
+    if (f.site == FaultSite::kCoreSlowdown || f.site == FaultSite::kWorkSkew) {
+      has_straggler_script_ = true;
+    }
+  }
+}
+
+void FaultInjector::ConfigureCompute(std::uint32_t num_cores) {
+  if (compute_cores_ >= num_cores) return;
+  compute_cores_ = num_cores;
+  compute_factor_.assign(num_cores, 1.0);
+  for (CoreId core = 0; core < num_cores; ++core) {
+    double f = 1.0;
+    if (plan_.core_slow_rate > 0) {
+      // Per-core hash-derived draw: a private stream seeded from
+      // (plan seed, core id) keeps the pick order-independent.
+      Rng pick(plan_.seed ^ (0x9E3779B97F4A7C15ull * (core + 1)));
+      if (pick.NextDouble() < plan_.core_slow_rate) {
+        f *= plan_.core_slow_factor;
+        core_slow_->Inc();
+        total_->Inc();
+        GLB_TRACE(engine_.Now(), "fault",
+                  "core " << core << " slowed x" << plan_.core_slow_factor);
+      }
+    }
+    if (plan_.work_skew > 0 && num_cores > 1) {
+      f *= 1.0 + plan_.work_skew * static_cast<double>(core) /
+                     static_cast<double>(num_cores - 1);
+      if (core > 0) {
+        work_skew_->Inc();
+        total_->Inc();
+      }
+    }
+    compute_factor_[core] = f;
+  }
+}
+
+Cycle FaultInjector::StretchCompute(CoreId core, Cycle cycles) {
+  if (has_straggler_script_) {
+    // Scripted stragglers fire at the core's first compute phase at or
+    // after the entry's cycle, then stick for the rest of the run.
+    const std::string id = std::to_string(core);
+    std::int32_t mag = 0;
+    while (ConsumeScript(FaultSite::kCoreSlowdown, id, &mag)) {
+      if (core >= compute_factor_.size()) compute_factor_.resize(core + 1, 1.0);
+      const double f = mag > 0 ? 1.0 + mag / 100.0 : plan_.core_slow_factor;
+      compute_factor_[core] *= f;
+      core_slow_->Inc();
+      total_->Inc();
+      GLB_TRACE(engine_.Now(), "fault", "core " << core << " slowed x" << f);
+      mag = 0;
+    }
+    while (ConsumeScript(FaultSite::kWorkSkew, id, &mag)) {
+      if (core >= compute_factor_.size()) compute_factor_.resize(core + 1, 1.0);
+      const double f = mag > 0 ? 1.0 + mag / 100.0 : 1.0 + plan_.work_skew;
+      compute_factor_[core] *= f;
+      work_skew_->Inc();
+      total_->Inc();
+      GLB_TRACE(engine_.Now(), "fault", "core " << core << " skewed x" << f);
+      mag = 0;
+    }
+  }
+  const double f = ComputeFactor(core);
+  if (f == 1.0 || cycles == 0) return cycles;
+  return static_cast<Cycle>(static_cast<double>(cycles) * f + 0.5);
+}
+
+double FaultInjector::ComputeFactor(CoreId core) const {
+  if (core >= compute_factor_.size()) return 1.0;
+  return compute_factor_[core];
 }
 
 void FaultInjector::Arm(gline::BarrierNetwork& net) {

@@ -45,6 +45,13 @@ class FaultInjector {
   /// Installs the link delay/drop hook on `mesh`.
   void Arm(noc::Mesh& mesh);
 
+  /// Prepares the per-core straggler factors for `num_cores` cores
+  /// (kCoreSlowdown picks + kWorkSkew ramp). Which cores straggle is
+  /// hash-derived from (plan seed, core id) — never drawn from the
+  /// shared stream — so the choice is independent of event order and a
+  /// run stays bit-identical for any host parallelism. Idempotent.
+  void ConfigureCompute(std::uint32_t num_cores);
+
   // --- decision points (public for unit tests) -------------------------
 
   /// Possibly corrupts one delivered S-CSMA batch count. Returning 0
@@ -57,6 +64,15 @@ class FaultInjector {
 
   /// Extra cycles a NoC transfer suffers (delay and/or CRC-retransmit).
   Cycle LinkPenalty(const noc::Packet& pkt);
+
+  /// Stretches one compute phase of `core` by its straggler factor
+  /// (persistent slowdown × work-skew ramp × any scripted entries that
+  /// have fired for this core). Identity when the core is healthy.
+  Cycle StretchCompute(CoreId core, Cycle cycles);
+
+  /// The compound compute-time factor currently applied to `core`
+  /// (1.0 = healthy). Exposed for tests and reports.
+  double ComputeFactor(CoreId core) const;
 
   std::uint64_t total_injected() const { return total_->value(); }
   const FaultPlan& plan() const { return plan_; }
@@ -72,6 +88,12 @@ class FaultInjector {
   Rng rng_;
   std::vector<bool> script_fired_;
 
+  /// Persistent per-core compute-time factors (1.0 = healthy), filled
+  /// by ConfigureCompute and further scaled by scripted entries.
+  std::vector<double> compute_factor_;
+  std::uint32_t compute_cores_ = 0;
+  bool has_straggler_script_ = false;
+
   Counter* total_ = nullptr;
   Counter* gline_drop_ = nullptr;
   Counter* gline_dup_ = nullptr;
@@ -79,6 +101,8 @@ class FaultInjector {
   Counter* core_freeze_ = nullptr;
   Counter* noc_delay_ = nullptr;
   Counter* noc_drop_ = nullptr;
+  Counter* core_slow_ = nullptr;
+  Counter* work_skew_ = nullptr;
 };
 
 }  // namespace glb::fault

@@ -1,6 +1,7 @@
 #include "fault/fault_model.h"
 
 #include <cstdlib>
+#include <iostream>
 #include <sstream>
 #include <utility>
 
@@ -16,23 +17,38 @@ const char* ToString(FaultSite site) {
     case FaultSite::kCoreFreeze: return "core_freeze";
     case FaultSite::kNocDelay: return "noc_delay";
     case FaultSite::kNocDrop: return "noc_drop";
+    case FaultSite::kCoreSlowdown: return "core_slow";
+    case FaultSite::kWorkSkew: return "work_skew";
   }
   return "?";
 }
 
-namespace {
-
-FaultSite SiteFromName(const std::string& s) {
-  if (s == "gline_drop") return FaultSite::kGlineDrop;
-  if (s == "gline_dup") return FaultSite::kGlineDuplicate;
-  if (s == "csma") return FaultSite::kCsmaCorrupt;
-  if (s == "freeze") return FaultSite::kCoreFreeze;
-  if (s == "noc_delay") return FaultSite::kNocDelay;
-  if (s == "noc_drop") return FaultSite::kNocDrop;
-  GLB_CHECK(false) << "unknown fault site '" << s
-                   << "' (want gline_drop|gline_dup|csma|freeze|noc_delay|noc_drop)";
-  return FaultSite::kGlineDrop;
+bool FaultSiteFromName(const std::string& name, FaultSite* site) {
+  if (name == "gline_drop") *site = FaultSite::kGlineDrop;
+  else if (name == "gline_dup") *site = FaultSite::kGlineDuplicate;
+  else if (name == "csma" || name == "csma_corrupt") *site = FaultSite::kCsmaCorrupt;
+  else if (name == "freeze" || name == "core_freeze") *site = FaultSite::kCoreFreeze;
+  else if (name == "noc_delay") *site = FaultSite::kNocDelay;
+  else if (name == "noc_drop") *site = FaultSite::kNocDrop;
+  else if (name == "slow" || name == "slowdown" || name == "core_slow")
+    *site = FaultSite::kCoreSlowdown;
+  else if (name == "skew" || name == "work_skew") *site = FaultSite::kWorkSkew;
+  else return false;
+  return true;
 }
+
+FaultSite FaultSiteFromNameOrExit(const std::string& name) {
+  FaultSite site;
+  if (!FaultSiteFromName(name, &site)) {
+    std::cerr << "unknown fault site '" << name
+              << "' (want gline_drop|gline_dup|csma_corrupt|core_freeze|"
+                 "noc_delay|noc_drop|core_slow|work_skew)\n";
+    std::exit(2);
+  }
+  return site;
+}
+
+namespace {
 
 std::vector<ScriptedFault> ParseScript(const std::string& spec) {
   std::vector<ScriptedFault> script;
@@ -49,7 +65,7 @@ std::vector<ScriptedFault> ParseScript(const std::string& spec) {
     std::getline(fields, mag, ':');
     ScriptedFault f;
     f.cycle = static_cast<Cycle>(std::strtoull(cycle.c_str(), nullptr, 10));
-    f.site = SiteFromName(site);
+    f.site = FaultSiteFromNameOrExit(site);
     f.target = target;
     f.magnitude = mag.empty()
                       ? 0
@@ -70,6 +86,7 @@ FaultPlan PlanFromFlags(const Flags& flags) {
   p.core_freeze_rate = flags.GetDouble("fault_freeze", 0.0);
   p.noc_delay_rate = flags.GetDouble("fault_noc_delay", 0.0);
   p.noc_drop_rate = flags.GetDouble("fault_noc_drop", 0.0);
+  p.core_slow_rate = flags.GetDouble("fault_slow", 0.0);
   p.csma_max_skew =
       static_cast<std::uint32_t>(flags.GetInt("fault_csma_skew", 2));
   p.core_freeze_cycles =
@@ -78,6 +95,8 @@ FaultPlan PlanFromFlags(const Flags& flags) {
       static_cast<Cycle>(flags.GetInt("fault_noc_delay_cycles", 50));
   p.noc_retransmit_cycles =
       static_cast<Cycle>(flags.GetInt("fault_noc_retransmit_cycles", 30));
+  p.core_slow_factor = flags.GetDouble("fault_slow_factor", 2.0);
+  p.work_skew = flags.GetDouble("fault_skew", 0.0);
   p.script = ParseScript(flags.GetString("fault_script", ""));
   return p;
 }

@@ -20,7 +20,16 @@
 //   kNocDrop        — a link transfer is corrupted; the link-level CRC
 //                     detects it and the flit is retransmitted after a
 //                     penalty (on-chip links are never silently lossy,
-//                     otherwise no end-to-end protocol could survive).
+//                     otherwise no end-to-end protocol could survive);
+//   kCoreSlowdown   — a persistent DVFS-style straggler: the core's
+//                     compute phases are stretched by a fixed factor for
+//                     the rest of the run (thermal capping, a noisy
+//                     co-tenant), probabilistic per core or scripted;
+//   kWorkSkew       — deterministic load imbalance: compute between
+//                     barriers is stretched by a linear ramp over the
+//                     core index (core 0 unchanged, the last core gets
+//                     the full skew), modeling a skewed partition rather
+//                     than a broken core.
 //
 // The plan is pure data; `fault::FaultInjector` turns it into decisions.
 #pragma once
@@ -41,9 +50,20 @@ enum class FaultSite : std::uint8_t {
   kCoreFreeze,
   kNocDelay,
   kNocDrop,
+  kCoreSlowdown,
+  kWorkSkew,
 };
 
 const char* ToString(FaultSite site);
+
+/// Parses a site name as accepted by `--fault_script`. Every ToString()
+/// spelling round-trips; the historical short aliases (csma, freeze,
+/// slow, skew) stay accepted. Returns false on an unknown name.
+bool FaultSiteFromName(const std::string& name, FaultSite* site);
+
+/// CLI wrapper: prints the valid names to stderr and exits with status 2
+/// on an unknown name (same convention as BarrierKindFromNameOrExit).
+FaultSite FaultSiteFromNameOrExit(const std::string& name);
 
 /// One scripted injection. Fires at the first matching opportunity at or
 /// after `cycle` (exact-cycle matching would make tests brittle against
@@ -56,7 +76,8 @@ struct ScriptedFault {
   /// sites: decimal destination node.
   std::string target;
   /// Site-specific strength: S-CSMA skew (signed), freeze/delay cycles
-  /// (positive). 0 = use the plan-wide default.
+  /// (positive), slowdown/skew percent extra compute time (50 = 1.5x).
+  /// 0 = use the plan-wide default.
   std::int32_t magnitude = 0;
 };
 
@@ -71,6 +92,10 @@ struct FaultPlan {
   double core_freeze_rate = 0.0;
   double noc_delay_rate = 0.0;
   double noc_drop_rate = 0.0;
+  /// Fraction of cores that are persistent stragglers. The choice is
+  /// hash-derived per core (not drawn from the shared stream), so which
+  /// cores straggle is independent of simulation event order.
+  double core_slow_rate = 0.0;
 
   /// Largest |skew| a corrupted S-CSMA count can take.
   std::uint32_t csma_max_skew = 2;
@@ -80,13 +105,29 @@ struct FaultPlan {
   Cycle noc_delay_cycles = 50;
   /// Link-level detect-and-retransmit penalty for a dropped transfer.
   Cycle noc_retransmit_cycles = 30;
+  /// Compute-time multiplier for a core picked by core_slow_rate.
+  double core_slow_factor = 2.0;
+  /// Deterministic work-skew ramp: core i's compute is stretched by
+  /// 1 + work_skew * i/(n-1). 0 disables the site.
+  double work_skew = 0.0;
 
   std::vector<ScriptedFault> script;
 
   bool enabled() const {
     return gline_drop_rate > 0 || gline_dup_rate > 0 || csma_corrupt_rate > 0 ||
            core_freeze_rate > 0 || noc_delay_rate > 0 || noc_drop_rate > 0 ||
-           !script.empty();
+           core_slow_rate > 0 || work_skew > 0 || !script.empty();
+  }
+
+  /// True when any straggler knob is live (used to decide whether the
+  /// per-core compute hook needs to be installed at all).
+  bool stragglers() const {
+    if (core_slow_rate > 0 || work_skew > 0) return true;
+    for (const ScriptedFault& f : script) {
+      if (f.site == FaultSite::kCoreSlowdown || f.site == FaultSite::kWorkSkew)
+        return true;
+    }
+    return false;
   }
 };
 
@@ -95,8 +136,11 @@ struct FaultPlan {
 ///   --fault_csma R            --fault_csma_skew K    --fault_freeze R
 ///   --fault_freeze_cycles N   --fault_noc_delay R    --fault_noc_delay_cycles N
 ///   --fault_noc_drop R        --fault_noc_retransmit_cycles N
+///   --fault_slow R            --fault_slow_factor F  --fault_skew S
 ///   --fault_script "cycle:site[:target[:magnitude]],..."
-/// where site is one of gline_drop|gline_dup|csma|freeze|noc_delay|noc_drop.
+/// where site is one of gline_drop|gline_dup|csma_corrupt|core_freeze|
+/// noc_delay|noc_drop|core_slow|work_skew (plus the short aliases
+/// csma|freeze|slow|skew). Unknown names exit with status 2.
 FaultPlan PlanFromFlags(const Flags& flags);
 
 }  // namespace glb::fault

@@ -27,6 +27,11 @@ BarrierNetwork::BarrierNetwork(sim::Engine& engine, std::uint32_t rows,
     miscounts_ = stats.GetCounter(pfx + ".miscounts");
     degraded_episodes_ = stats.GetCounter(pfx + ".degraded_episodes");
   }
+  if (cfg.rejoin_enabled()) {
+    probes_ = stats.GetCounter(pfx + ".probes");
+    probe_failures_ = stats.GetCounter(pfx + ".probe_failures");
+    rejoins_ = stats.GetCounter(pfx + ".rejoins");
+  }
 
   ctxs_.resize(cfg.contexts);
   for (std::uint32_t ctx = 0; ctx < cfg.contexts; ++ctx) {
@@ -57,6 +62,12 @@ void BarrierNetwork::BuildContext(std::uint32_t ctx) {
     c.degraded_episodes = stats_.GetCounter(pfx + "degraded_episodes");
     c.recovery_latency = stats_.GetHistogram(pfx + "recovery_latency");
   }
+  if (cfg_.rejoin_enabled()) {
+    c.probes = stats_.GetCounter(pfx + "probes");
+    c.probe_failures = stats_.GetCounter(pfx + "probe_failures");
+    c.rejoins = stats_.GetCounter(pfx + "rejoins");
+    c.rejoin_latency = stats_.GetHistogram(pfx + "rejoin_latency");
+  }
 
   c.sgline_h.reserve(rows_);
   c.mgline_h.reserve(rows_);
@@ -67,7 +78,9 @@ void BarrierNetwork::BuildContext(std::uint32_t ctx) {
         cfg_.max_transmitters, cfg_.policy, signals_));
     c.sgline_h.back()->AddReceiver([this, ctx, row](std::uint32_t count) {
       Context& cc = ctxs_[ctx];
-      if (cc.degraded) return;  // stale wave from before the fallback took over
+      // Stale wave from before the fallback took over — unless a
+      // shadow-probe is deliberately exercising the gather path.
+      if (cc.degraded && !cc.probe_active) return;
       MasterH& mh = cc.mh[row];
       if (mh.state != MasterState::kAccounting) {
         GLB_CHECK(resilient())
@@ -106,7 +119,7 @@ void BarrierNetwork::BuildContext(std::uint32_t ctx) {
                                        cfg_.max_transmitters, cfg_.policy, signals_);
   c.sgline_v->AddReceiver([this, ctx](std::uint32_t count) {
     Context& cc = ctxs_[ctx];
-    if (cc.degraded) return;
+    if (cc.degraded && !cc.probe_active) return;
     MasterV& mv = cc.mv;
     if (mv.state != MasterState::kAccounting) {
       GLB_CHECK(resilient()) << "SglineV signal outside Accounting";
@@ -178,14 +191,21 @@ void BarrierNetwork::ResetContext(std::uint32_t ctx) {
   ResetControllers(c);
   if (resilient()) {
     ++c.watchdog_token;  // cancel any in-flight watchdog
+    ++c.probe_token;     // and any in-flight probe timeout
     c.retries_this_episode = 0;
     c.release_inflight = false;
     c.to_release = 0;
     c.release_owed.assign(num_cores(), false);
     c.recovering_since = kCycleNever;
     c.fb_released = 0;
+    c.fb_arrived = 0;
+    c.fb_episodes_since_probe = 0;
+    c.probe_active = false;
+    c.probe_arrived = 0;
+    c.probe_streak = 0;
     GLB_CHECK(c.internal_fb_waiters.empty()) << "reset while fallback gathering";
-    // `degraded` is sticky: faulty hardware stays distrusted.
+    // `degraded` survives the reset: faulty hardware stays distrusted
+    // until a probe sequence clears it (or forever in v1 sticky mode).
   }
 }
 
@@ -274,13 +294,26 @@ void BarrierNetwork::DoArrive(std::uint32_t ctx, CoreId core,
   GLB_CHECK(on_release != nullptr) << "arrival without release callback";
 
   if (c.degraded) {
+    if (cfg_.rejoin_enabled() && !c.probe_active &&
+        c.fb_episodes_since_probe >= cfg_.probe_after) {
+      // Probe only from a fresh episode boundary: every membership
+      // callback consumed means no arrival of this episode predates the
+      // probe, so the hardware count can reach the full membership.
+      bool fresh = true;
+      for (CoreId n = 0; n < num_cores() && fresh; ++n) {
+        if (c.release_cb[n] != nullptr) fresh = false;
+      }
+      if (fresh) StartProbe(ctx);
+    }
     c.release_cb[core] = std::move(on_release);
+    if (c.fb_arrived++ == 0) c.first_arrival = engine_.Now();
     GLB_TRACE(engine_.Now(), "gl",
               "ctx " << ctx << " core " << core << " arrives (degraded, via fallback)");
     if (trace::Active() && !c.trace.deg_active) {
       c.trace.deg_active = true;
       c.trace.deg_first = engine_.Now();
     }
+    if (c.probe_active) ProbeSignalArrival(ctx, core);
     ForwardToFallback(ctx, core);
     return;
   }
@@ -316,7 +349,7 @@ void BarrierNetwork::DoArrive(std::uint32_t ctx, CoreId core,
 
 void BarrierNetwork::CheckRowComplete(std::uint32_t ctx, std::uint32_t row) {
   Context& c = ctxs_[ctx];
-  if (c.degraded) return;
+  if (c.degraded && !c.probe_active) return;
   MasterH& mh = c.mh[row];
   if (mh.state != MasterState::kAccounting) return;
   const bool mcnt_satisfied = mh.mcnt || !mh.core_participates;
@@ -337,7 +370,18 @@ void BarrierNetwork::CheckRowComplete(std::uint32_t ctx, std::uint32_t row) {
 
 void BarrierNetwork::CheckVerticalComplete(std::uint32_t ctx) {
   Context& c = ctxs_[ctx];
-  if (c.degraded) return;
+  if (c.degraded) {
+    if (!c.probe_active) return;
+    // Shadow-probe completion: the hardware gather finished. It is
+    // clean iff its count matches the full membership — and it must be
+    // intercepted HERE, before the completion hook or release wave,
+    // because the fallback owns every in-flight episode.
+    MasterV& pmv = c.mv;
+    if (pmv.state != MasterState::kAccounting) return;
+    if (!pmv.node0_flag || pmv.scnt != pmv.expected) return;
+    EndProbe(ctx, c.probe_arrived == c.expected_arrivals);
+    return;
+  }
   MasterV& mv = c.mv;
   if (mv.state != MasterState::kAccounting) return;
   if (!mv.node0_flag || mv.scnt != mv.expected) return;
@@ -406,6 +450,7 @@ void BarrierNetwork::StartRelease(std::uint32_t ctx) {
       << "release with missing arrivals: " << c.arrived << "/" << c.expected_arrivals;
   completed_->Inc();
   episode_span_->Record(engine_.Now() - c.first_arrival);
+  RecordEpisodeSpan(c, engine_.Now() - c.first_arrival);
   GLB_TRACE(engine_.Now(), "gl", "ctx " << ctx << " release starts");
   if (trace::Active()) {
     // Snapshot the wave for EmitEpisodeTrace: the live gather fields
@@ -530,12 +575,31 @@ void BarrierNetwork::EmitEpisodeTrace(Context& c) {
 // Resilience: watchdog, retry, degraded mode
 // ---------------------------------------------------------------------------
 
+Cycle BarrierNetwork::WindowFor(const Context& c) const {
+  if (!cfg_.adaptive() || c.ewma_span <= 0.0) return cfg_.watchdog_timeout;
+  const Cycle cap =
+      cfg_.watchdog_max > 0 ? cfg_.watchdog_max : 64 * cfg_.watchdog_timeout;
+  const double w = cfg_.watchdog_mult * c.ewma_span;
+  if (w <= static_cast<double>(cfg_.watchdog_timeout)) return cfg_.watchdog_timeout;
+  if (w >= static_cast<double>(cap)) return cap;
+  return static_cast<Cycle>(w);
+}
+
+void BarrierNetwork::RecordEpisodeSpan(Context& c, Cycle span) {
+  if (!cfg_.adaptive()) return;
+  const double s = static_cast<double>(span);
+  c.ewma_span = c.ewma_span == 0.0
+                    ? s
+                    : (1.0 - cfg_.watchdog_alpha) * c.ewma_span +
+                          cfg_.watchdog_alpha * s;
+}
+
 void BarrierNetwork::ArmWatchdog(std::uint32_t ctx) {
   if (!resilient()) return;
   Context& c = ctxs_[ctx];
   if (c.degraded) return;
   const std::uint64_t token = ++c.watchdog_token;
-  engine_.ScheduleIn(cfg_.watchdog_timeout,
+  engine_.ScheduleIn(WindowFor(c),
                      [this, ctx, token]() { OnWatchdog(ctx, token); });
 }
 
@@ -579,6 +643,7 @@ void BarrierNetwork::HandleEpisodeFault(std::uint32_t ctx) {
     ++c.retries_this_episode;
     c.retries->Inc();
     retries_->Inc();
+    c.health = Health::kRetrying;
     RecoverGather(ctx);
     ArmWatchdog(ctx);
   } else {
@@ -679,6 +744,11 @@ void BarrierNetwork::Degrade(std::uint32_t ctx) {
     c.trace.deg_first = c.first_arrival;
   }
   c.degraded = true;
+  c.health = Health::kDegraded;
+  c.degraded_since = engine_.Now();
+  c.fb_arrived = 0;
+  c.fb_episodes_since_probe = 0;
+  c.probe_streak = 0;
   ++c.watchdog_token;  // no more watchdogs for this context
   ResetControllers(c);
   c.release_pending = false;
@@ -731,6 +801,9 @@ void BarrierNetwork::OnFallbackRelease(std::uint32_t ctx, CoreId core) {
   ++c.fb_released;
   if (c.fb_released >= c.expected_arrivals) {
     c.fb_released = 0;
+    c.fb_arrived = 0;
+    ++c.fb_episodes_since_probe;
+    RecordEpisodeSpan(c, engine_.Now() - c.first_arrival);
     completed_->Inc();
     c.degraded_episodes->Inc();
     degraded_episodes_->Inc();
@@ -757,6 +830,9 @@ void BarrierNetwork::OnEpisodeFullyReleased(std::uint32_t ctx) {
   Context& c = ctxs_[ctx];
   c.release_inflight = false;
   c.retries_this_episode = 0;
+  if (c.health == Health::kRetrying) {
+    c.health = c.ever_rejoined ? Health::kRejoined : Health::kHealthy;
+  }
   ++c.watchdog_token;  // the episode's watchdog is obsolete
   if (c.recovering_since != kCycleNever) {
     c.recovery_latency->Record(engine_.Now() - c.recovering_since);
@@ -765,6 +841,119 @@ void BarrierNetwork::OnEpisodeFullyReleased(std::uint32_t ctx) {
   // Cores released early in the wave may already be gathering again;
   // give the young episode its own watchdog window.
   if (c.arrived > 0) ArmWatchdog(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Rejoin: shadow-probing the degraded hardware path
+// ---------------------------------------------------------------------------
+
+void BarrierNetwork::StartProbe(std::uint32_t ctx) {
+  Context& c = ctxs_[ctx];
+  c.probe_active = true;
+  c.probe_arrived = 0;
+  c.health = Health::kProbing;
+  c.probes->Inc();
+  probes_->Inc();
+  // Clean slate for the automata: whatever residue the degradation (or
+  // the previous probe) left behind must not leak into this count.
+  ResetControllers(c);
+  GLB_TRACE(engine_.Now(), "gl",
+            "ctx " << ctx << " shadow-probing the hardware path (streak "
+                   << c.probe_streak << "/" << cfg_.probe_successes << ")");
+  GLB_TRACE_EVENT(trace::Sink().Instant(
+      c.trace.track, "probe", engine_.Now(),
+      trace::Args()
+          .Add("streak", c.probe_streak)
+          .Add("needed", cfg_.probe_successes)
+          .json()));
+  const std::uint64_t token = ++c.probe_token;
+  engine_.ScheduleIn(WindowFor(c),
+                     [this, ctx, token]() { OnProbeTimeout(ctx, token); });
+  // Rows with no participating cores must relay on their own, exactly
+  // as in a live gather.
+  ArmAutonomousRows(ctx);
+}
+
+void BarrierNetwork::ProbeSignalArrival(std::uint32_t ctx, CoreId core) {
+  Context& c = ctxs_[ctx];
+  ++c.probe_arrived;
+  // Tolerant re-implementation of the gather arrival: a fault-corrupted
+  // automaton state aborts the signal instead of CHECK-failing — the
+  // probe then simply times out and counts as dirty.
+  const std::uint32_t row = RowOf(core);
+  if (ColOf(core) == 0) {
+    MasterH& mh = c.mh[row];
+    if (mh.state == MasterState::kAccounting && !mh.mcnt) {
+      mh.mcnt = true;
+      CheckRowComplete(ctx, row);
+    }
+  } else {
+    SlaveH& sh = c.sh[core];
+    if (sh.state == SlaveState::kSignaling) {
+      c.sgline_h[row]->Assert();
+      sh.state = SlaveState::kWaiting;
+    }
+  }
+}
+
+void BarrierNetwork::OnProbeTimeout(std::uint32_t ctx, std::uint64_t token) {
+  Context& c = ctxs_[ctx];
+  if (!c.probe_active || token != c.probe_token) return;
+  EndProbe(ctx, false);
+}
+
+void BarrierNetwork::EndProbe(std::uint32_t ctx, bool clean) {
+  Context& c = ctxs_[ctx];
+  c.probe_active = false;
+  ++c.probe_token;  // cancel the pending timeout
+  ResetControllers(c);
+  c.fb_episodes_since_probe = 0;  // full window before the next probe
+  if (!clean) {
+    c.probe_streak = 0;
+    c.health = Health::kDegraded;
+    c.probe_failures->Inc();
+    probe_failures_->Inc();
+    GLB_TRACE(engine_.Now(), "gl",
+              "ctx " << ctx << " probe failed; hardware stays distrusted");
+    GLB_TRACE_EVENT(
+        trace::Sink().Instant(c.trace.track, "probe-fail", engine_.Now()));
+    return;
+  }
+  ++c.probe_streak;
+  GLB_TRACE(engine_.Now(), "gl",
+            "ctx " << ctx << " probe clean (" << c.probe_streak << "/"
+                   << cfg_.probe_successes << ")");
+  GLB_TRACE_EVENT(
+      trace::Sink().Instant(c.trace.track, "probe-ok", engine_.Now()));
+  if (c.probe_streak >= cfg_.probe_successes) {
+    Rejoin(ctx);
+  } else {
+    c.health = Health::kDegraded;
+  }
+}
+
+void BarrierNetwork::Rejoin(std::uint32_t ctx) {
+  Context& c = ctxs_[ctx];
+  // Safe to flip mid-drain: every arrival of the probed episode is
+  // already with the fallback, which will release it; a core re-arrives
+  // only after consuming its own release callback, so post-rejoin
+  // arrivals land on the (now clean) hardware path with no overlap.
+  c.degraded = false;
+  c.health = Health::kRejoined;
+  c.ever_rejoined = true;
+  c.probe_streak = 0;
+  ++c.rejoin_count;
+  c.rejoins->Inc();
+  rejoins_->Inc();
+  c.rejoin_latency->Record(engine_.Now() - c.degraded_since);
+  GLB_TRACE(engine_.Now(), "gl",
+            "ctx " << ctx << " REJOINED the hardware path after "
+                   << engine_.Now() - c.degraded_since << " cycles degraded");
+  GLB_TRACE_EVENT(trace::Sink().Instant(
+      c.trace.track, "rejoin", engine_.Now(),
+      trace::Args()
+          .Add("degraded_cycles", engine_.Now() - c.degraded_since)
+          .json()));
 }
 
 // ---------------------------------------------------------------------------
@@ -794,6 +983,17 @@ std::uint32_t BarrierNetwork::ScntV(std::uint32_t ctx) const {
 }
 bool BarrierNetwork::McntH(std::uint32_t ctx, std::uint32_t row) const {
   return ctxs_.at(ctx).mh.at(row).mcnt;
+}
+
+const char* ToString(BarrierNetwork::Health health) {
+  switch (health) {
+    case BarrierNetwork::Health::kHealthy: return "healthy";
+    case BarrierNetwork::Health::kRetrying: return "retrying";
+    case BarrierNetwork::Health::kDegraded: return "degraded";
+    case BarrierNetwork::Health::kProbing: return "probing";
+    case BarrierNetwork::Health::kRejoined: return "rejoined";
+  }
+  return "?";
 }
 
 }  // namespace glb::gline

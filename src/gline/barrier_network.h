@@ -40,13 +40,33 @@
 // retries in hardware up to `max_retries` times (full controller reset +
 // re-signal of every outstanding arrival — legal because arrivals are
 // level-coded in bar_reg, not edge-coded on the wire), and finally
-// trips a sticky `degraded` flag that routes this and all later
-// episodes through a software fallback barrier over the coherent NoC.
+// trips a `degraded` flag that routes this and all later episodes
+// through a software fallback barrier over the coherent NoC.
 // A release wave that is itself partially lost is re-driven directly:
 // the gather had legitimately completed, so the releases are owed
 // unconditionally. The invariant maintained under any fault plan:
 // every episode completes (possibly degraded) and no core is released
 // before all participants arrived.
+//
+// Self-healing v2 (both opt-in, defaults preserve v1 behavior bit-for-
+// bit):
+//   * Adaptive watchdog: with `watchdog_mult` > 0 the window tracks an
+//     EWMA of observed episode spans —
+//       window = clamp(mult * ewma, watchdog_timeout, watchdog_max)
+//     — so DVFS stragglers and skewed partitions stretch the window
+//     instead of tripping spurious degradation, while the floor keeps
+//     real drops recovering as fast as v1.
+//   * Hardware rejoin: with `probe_after` > 0 the degraded flag is no
+//     longer sticky. Every `probe_after` fallback episodes the context
+//     shadow-probes the idle hardware gather path: arrivals keep
+//     completing through the fallback, but are also re-signaled through
+//     the G-line automata; if the hardware count matches the membership
+//     within one watchdog window the probe is clean. After
+//     `probe_successes` consecutive clean probes the context rejoins
+//     the hardware path. Per-context health walks
+//       healthy -> retrying -> degraded -> probing -> rejoined
+//     and the probe can never release a core (the fallback owns every
+//     in-flight episode until the rejoin takes effect).
 #pragma once
 
 #include <cstdint>
@@ -90,7 +110,24 @@ struct BarrierNetConfig {
   /// used when no external fallback device is wired in (tests).
   Cycle fallback_latency = 32;
 
+  // --- self-healing v2 (0 = v1 behavior, bit-for-bit) ----------------
+  /// Adaptive watchdog: window = clamp(watchdog_mult * EWMA(episode
+  /// span), watchdog_timeout, watchdog_max). 0 keeps the fixed window.
+  double watchdog_mult = 0.0;
+  /// EWMA smoothing factor for the episode-span estimate.
+  double watchdog_alpha = 0.25;
+  /// Hard ceiling of the adaptive window (0 = 64 * watchdog_timeout):
+  /// bounds how far stragglers can push fault-detection latency.
+  Cycle watchdog_max = 0;
+  /// Hardware rejoin: fallback episodes between shadow-probes of the
+  /// degraded hardware path. 0 keeps the v1 sticky degradation.
+  std::uint32_t probe_after = 0;
+  /// Consecutive clean probes required before the context rejoins.
+  std::uint32_t probe_successes = 2;
+
   bool resilient() const { return watchdog_timeout > 0; }
+  bool adaptive() const { return resilient() && watchdog_mult > 0; }
+  bool rejoin_enabled() const { return resilient() && probe_after > 0; }
 };
 
 class BarrierNetwork {
@@ -98,6 +135,17 @@ class BarrierNetwork {
   // Figure-4 automaton states.
   enum class SlaveState : std::uint8_t { kSignaling, kWaiting };
   enum class MasterState : std::uint8_t { kAccounting, kWaiting };
+
+  /// Per-context self-healing state machine (v2). kRejoined behaves
+  /// like kHealthy but records that the context recovered the hardware
+  /// path after a degradation.
+  enum class Health : std::uint8_t {
+    kHealthy,
+    kRetrying,
+    kDegraded,
+    kProbing,
+    kRejoined,
+  };
 
   BarrierNetwork(sim::Engine& engine, std::uint32_t rows, std::uint32_t cols,
                  const BarrierNetConfig& cfg, StatSet& stats);
@@ -159,12 +207,24 @@ class BarrierNetwork {
       std::function<void(std::uint32_t ctx, std::uint32_t expected)>;
   void SetFallback(FallbackArrive arrive, FallbackReconfigure reconfigure);
 
-  /// True once the context has exhausted its retries and completes all
-  /// episodes through the software fallback (sticky).
+  /// True while the context completes episodes through the software
+  /// fallback (sticky unless cfg.probe_after re-enables rejoin).
   bool degraded(std::uint32_t ctx) const { return ctxs_.at(ctx).degraded; }
   /// Hardware recovery attempts within the current episode.
   std::uint32_t episode_retries(std::uint32_t ctx) const {
     return ctxs_.at(ctx).retries_this_episode;
+  }
+  /// Current position in the healthy -> retrying -> degraded ->
+  /// probing -> rejoined state machine.
+  Health health(std::uint32_t ctx) const { return ctxs_.at(ctx).health; }
+  /// Hardware rejoins of this context so far.
+  std::uint64_t rejoins(std::uint32_t ctx) const {
+    return ctxs_.at(ctx).rejoin_count;
+  }
+  /// Current adaptive-watchdog window (== cfg.watchdog_timeout until
+  /// the EWMA is seeded, or always in fixed mode).
+  Cycle WatchdogWindow(std::uint32_t ctx) const {
+    return WindowFor(ctxs_.at(ctx));
   }
 
   sim::Engine& engine() { return engine_; }
@@ -241,7 +301,8 @@ class BarrierNetwork {
     /// release callback but no owed release already re-arrived for the
     /// NEXT episode; recovery must never release it.
     std::vector<bool> release_owed;
-    /// Sticky: all episodes complete through the software fallback.
+    /// All episodes complete through the software fallback while set
+    /// (sticky in v1; cleared by a successful rejoin in v2).
     bool degraded = false;
     /// First fault detection of the current episode (kCycleNever =
     /// healthy); recovery latency is measured from here to completion.
@@ -252,12 +313,39 @@ class BarrierNetwork {
     std::vector<std::pair<CoreId, std::function<void()>>> internal_fb_waiters;
     bool fallback_configured = false;
 
-    // Per-context resilience stats (created only in resilient mode).
+    // --- v2: adaptive watchdog + rejoin -------------------------------
+    Health health = Health::kHealthy;
+    /// EWMA of observed episode spans (0 = unseeded; cycles).
+    double ewma_span = 0.0;
+    /// When the context last degraded; rejoin latency runs from here.
+    Cycle degraded_since = 0;
+    /// Arrivals seen by the fallback in the current episode (episode-
+    /// boundary heuristic for seeding first_arrival while degraded).
+    std::uint32_t fb_arrived = 0;
+    /// Fallback episodes completed since the last probe (or degrade).
+    std::uint32_t fb_episodes_since_probe = 0;
+    /// A shadow-probe of the hardware gather path is in flight.
+    bool probe_active = false;
+    /// Arrivals re-signaled through the hardware during this probe.
+    std::uint32_t probe_arrived = 0;
+    /// Consecutive clean probes so far.
+    std::uint32_t probe_streak = 0;
+    /// Invalidates in-flight probe-timeout events.
+    std::uint64_t probe_token = 0;
+    std::uint64_t rejoin_count = 0;
+    bool ever_rejoined = false;
+
+    // Per-context resilience stats (created only in resilient mode;
+    // probe/rejoin stats additionally need rejoin to be enabled).
     Counter* timeouts = nullptr;
     Counter* retries = nullptr;
     Counter* miscounts = nullptr;
     Counter* degraded_episodes = nullptr;
     Histogram* recovery_latency = nullptr;
+    Counter* probes = nullptr;
+    Counter* probe_failures = nullptr;
+    Counter* rejoins = nullptr;
+    Histogram* rejoin_latency = nullptr;
 
     // --- tracing (only mutated under trace::Active(); the release-wave
     // snapshot is taken in StartRelease because the live gather fields
@@ -307,6 +395,20 @@ class BarrierNetwork {
   /// Schedules a fresh watchdog window for the current episode.
   void ArmWatchdog(std::uint32_t ctx);
   void OnWatchdog(std::uint32_t ctx, std::uint64_t token);
+  /// The window the next watchdog/probe timeout will use.
+  Cycle WindowFor(const Context& c) const;
+  /// Folds a finished episode's span into the adaptive-window EWMA.
+  void RecordEpisodeSpan(Context& c, Cycle span);
+  /// Starts a shadow-probe of the degraded hardware gather path at a
+  /// fresh fallback-episode boundary.
+  void StartProbe(std::uint32_t ctx);
+  /// Re-signals one fallback arrival through the (tolerant) hardware
+  /// automata while a probe is active.
+  void ProbeSignalArrival(std::uint32_t ctx, CoreId core);
+  void OnProbeTimeout(std::uint32_t ctx, std::uint64_t token);
+  void EndProbe(std::uint32_t ctx, bool clean);
+  /// Clears the degraded flag: the hardware path is trusted again.
+  void Rejoin(std::uint32_t ctx);
   /// A fault was detected (watchdog expiry or S-CSMA miscount): retry
   /// in hardware while the budget lasts, then degrade.
   void HandleEpisodeFault(std::uint32_t ctx);
@@ -363,6 +465,12 @@ class BarrierNetwork {
   Counter* retries_ = nullptr;
   Counter* miscounts_ = nullptr;
   Counter* degraded_episodes_ = nullptr;
+  // Rejoin aggregates (created only when rejoin is enabled).
+  Counter* probes_ = nullptr;
+  Counter* probe_failures_ = nullptr;
+  Counter* rejoins_ = nullptr;
 };
+
+const char* ToString(BarrierNetwork::Health health);
 
 }  // namespace glb::gline

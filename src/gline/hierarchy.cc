@@ -54,9 +54,22 @@ void HierarchicalBarrierNetwork::BuildLevels(StatSet& stats) {
   sub.watchdog_timeout = cfg_.watchdog_timeout;
   sub.max_retries = cfg_.max_retries;
   sub.fallback_latency = cfg_.fallback_latency;
+  sub.watchdog_mult = cfg_.watchdog_mult;
+  sub.watchdog_alpha = cfg_.watchdog_alpha;
+  sub.watchdog_max = cfg_.watchdog_max;
+  sub.probe_after = cfg_.probe_after;
+  sub.probe_successes = cfg_.probe_successes;
 
   std::uint32_t mr = rows_, mc = cols_;
   for (std::uint32_t k = 0;; ++k) {
+    if (cfg_.adaptive()) {
+      // Depth-aware windows: a level-k episode spans the slowest
+      // subtree below it (k extra gather/release hops plus the leaf
+      // skew), so its floor and ceiling grow with depth. Fixed-window
+      // mode keeps the uniform v1 windows bit-for-bit.
+      sub.watchdog_timeout = cfg_.watchdog_timeout * (k + 1);
+      if (cfg_.watchdog_max > 0) sub.watchdog_max = cfg_.watchdog_max * (k + 1);
+    }
     Level lv;
     lv.mesh_rows = mr;
     lv.mesh_cols = mc;

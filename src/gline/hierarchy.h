@@ -95,7 +95,20 @@ struct HierConfig {
   /// Modeled cost of the root's built-in counting fallback.
   Cycle fallback_latency = 32;
 
+  // --- self-healing v2 (see BarrierNetConfig) --------------------------
+  /// Adaptive watchdog multiplier; when > 0, each level k additionally
+  /// scales its window floor by (k+1) — a level-k episode spans the
+  /// slowest subtree below it, so upper levels legitimately run longer
+  /// windows (depth-aware straggler tolerance).
+  double watchdog_mult = 0.0;
+  double watchdog_alpha = 0.25;
+  Cycle watchdog_max = 0;
+  /// Hardware rejoin, applied to every node (0 = v1 sticky).
+  std::uint32_t probe_after = 0;
+  std::uint32_t probe_successes = 2;
+
   bool resilient() const { return watchdog_timeout > 0; }
+  bool adaptive() const { return resilient() && watchdog_mult > 0; }
 };
 
 class HierarchicalBarrierNetwork final : public core::BarrierDevice {

@@ -82,11 +82,15 @@ RunMetrics CollectMetrics(cmp::CmpSystem& sys, const sim::RunStatus& status,
   m.barrier_timeouts = sys.stats().CounterValue("gl.timeouts");
   m.barrier_retries = sys.stats().CounterValue("gl.retries");
   m.degraded_episodes = sys.stats().CounterValue("gl.degraded_episodes");
+  m.barrier_probes = sys.stats().CounterValue("gl.probes");
+  m.barrier_rejoins = sys.stats().CounterValue("gl.rejoins");
   if (sys.hier() != nullptr) {
     // Hier mode: fold in the per-node aggregates from every level.
     m.barrier_timeouts += sys.hier()->AggregateCounter("timeouts");
     m.barrier_retries += sys.hier()->AggregateCounter("retries");
     m.degraded_episodes += sys.hier()->AggregateCounter("degraded_episodes");
+    m.barrier_probes += sys.hier()->AggregateCounter("probes");
+    m.barrier_rejoins += sys.hier()->AggregateCounter("rejoins");
   }
   m.validation = m.completed ? workload.Validate(sys) : m.stall;
   return m;

@@ -75,6 +75,9 @@ struct RunMetrics {
   std::uint64_t barrier_timeouts = 0;
   std::uint64_t barrier_retries = 0;
   std::uint64_t degraded_episodes = 0;
+  /// Self-healing v2 outcome (all 0 unless rejoin is enabled).
+  std::uint64_t barrier_probes = 0;
+  std::uint64_t barrier_rejoins = 0;
 
   std::uint64_t total_msgs() const {
     return msgs_request + msgs_reply + msgs_coherence;

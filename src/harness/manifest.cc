@@ -33,6 +33,42 @@ void WriteStatsBlock(json::Writer& w, const StatSet& stats) {
   w.EndObject();
 }
 
+void WriteFaultPlan(json::Writer& w, const fault::FaultPlan& plan) {
+  w.Field("enabled", plan.enabled());
+  w.Field("seed", plan.seed);
+  w.Field("gline_drop_rate", plan.gline_drop_rate);
+  w.Field("gline_dup_rate", plan.gline_dup_rate);
+  w.Field("csma_corrupt_rate", plan.csma_corrupt_rate);
+  w.Field("core_freeze_rate", plan.core_freeze_rate);
+  w.Field("noc_delay_rate", plan.noc_delay_rate);
+  w.Field("noc_drop_rate", plan.noc_drop_rate);
+  w.Field("csma_max_skew", plan.csma_max_skew);
+  w.Field("core_freeze_cycles", plan.core_freeze_cycles);
+  w.Field("noc_delay_cycles", plan.noc_delay_cycles);
+  w.Field("noc_retransmit_cycles", plan.noc_retransmit_cycles);
+  if (plan.core_slow_rate > 0 || plan.work_skew > 0) {
+    // Straggler knobs appear only when live so pre-straggler manifests
+    // stay byte-identical.
+    w.Field("core_slow_rate", plan.core_slow_rate);
+    w.Field("core_slow_factor", plan.core_slow_factor);
+    w.Field("work_skew", plan.work_skew);
+  }
+  w.Field("scripted_faults", static_cast<std::uint64_t>(plan.script.size()));
+  if (!plan.script.empty()) {
+    w.Key("script");
+    w.BeginArray();
+    for (const fault::ScriptedFault& f : plan.script) {
+      w.BeginObject();
+      w.Field("cycle", f.cycle);
+      w.Field("site", fault::ToString(f.site));
+      w.Field("target", f.target);
+      w.Field("magnitude", static_cast<std::int64_t>(f.magnitude));
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+}
+
 namespace {
 
 void WriteGeometry(json::Writer& w, const char* key, const mem::CacheGeometry& g) {
@@ -75,6 +111,15 @@ void WriteConfig(json::Writer& w, const cmp::CmpConfig& cfg) {
   w.Field("watchdog_timeout", cfg.gline.watchdog_timeout);
   w.Field("max_retries", cfg.gline.max_retries);
   w.Field("fallback_latency", cfg.gline.fallback_latency);
+  if (cfg.gline.adaptive() || cfg.gline.rejoin_enabled()) {
+    // Self-healing v2 knobs appear only when live so v1 manifests stay
+    // byte-identical.
+    w.Field("watchdog_mult", cfg.gline.watchdog_mult);
+    w.Field("watchdog_alpha", cfg.gline.watchdog_alpha);
+    w.Field("watchdog_max", cfg.gline.watchdog_max);
+    w.Field("probe_after", cfg.gline.probe_after);
+    w.Field("probe_successes", cfg.gline.probe_successes);
+  }
   w.EndObject();
   if (cfg.hier.enabled) {
     // Echoed only for hierarchical runs so flat-network manifests stay
@@ -89,6 +134,13 @@ void WriteConfig(json::Writer& w, const cmp::CmpConfig& cfg) {
     w.Field("watchdog_timeout", cfg.hier.watchdog_timeout);
     w.Field("max_retries", cfg.hier.max_retries);
     w.Field("fallback_latency", cfg.hier.fallback_latency);
+    if (cfg.hier.adaptive() || (cfg.hier.resilient() && cfg.hier.probe_after > 0)) {
+      w.Field("watchdog_mult", cfg.hier.watchdog_mult);
+      w.Field("watchdog_alpha", cfg.hier.watchdog_alpha);
+      w.Field("watchdog_max", cfg.hier.watchdog_max);
+      w.Field("probe_after", cfg.hier.probe_after);
+      w.Field("probe_successes", cfg.hier.probe_successes);
+    }
     w.EndObject();
   }
   w.Key("core");
@@ -98,19 +150,7 @@ void WriteConfig(json::Writer& w, const cmp::CmpConfig& cfg) {
   w.EndObject();
   w.Key("fault");
   w.BeginObject();
-  w.Field("enabled", cfg.fault.enabled());
-  w.Field("seed", cfg.fault.seed);
-  w.Field("gline_drop_rate", cfg.fault.gline_drop_rate);
-  w.Field("gline_dup_rate", cfg.fault.gline_dup_rate);
-  w.Field("csma_corrupt_rate", cfg.fault.csma_corrupt_rate);
-  w.Field("core_freeze_rate", cfg.fault.core_freeze_rate);
-  w.Field("noc_delay_rate", cfg.fault.noc_delay_rate);
-  w.Field("noc_drop_rate", cfg.fault.noc_drop_rate);
-  w.Field("csma_max_skew", cfg.fault.csma_max_skew);
-  w.Field("core_freeze_cycles", cfg.fault.core_freeze_cycles);
-  w.Field("noc_delay_cycles", cfg.fault.noc_delay_cycles);
-  w.Field("noc_retransmit_cycles", cfg.fault.noc_retransmit_cycles);
-  w.Field("scripted_faults", static_cast<std::uint64_t>(cfg.fault.script.size()));
+  WriteFaultPlan(w, cfg.fault);
   w.EndObject();
   w.EndObject();
 }
@@ -142,7 +182,7 @@ void WriteExperiment(json::Writer& w, const ExperimentSpec& spec) {
   w.EndObject();
 }
 
-void WriteRun(json::Writer& w, const RunMetrics& m) {
+void WriteRun(json::Writer& w, const RunMetrics& m, const cmp::CmpConfig& cfg) {
   w.Key("run");
   w.BeginObject();
   w.Field("workload", m.workload);
@@ -180,6 +220,19 @@ void WriteRun(json::Writer& w, const RunMetrics& m) {
   w.Field("barrier_retries", m.barrier_retries);
   w.Field("degraded_episodes", m.degraded_episodes);
   w.EndObject();
+  const bool v2 = cfg.gline.adaptive() || cfg.gline.rejoin_enabled() ||
+                  (cfg.hier.enabled && cfg.hier.resilient() &&
+                   (cfg.hier.watchdog_mult > 0 || cfg.hier.probe_after > 0));
+  if (v2) {
+    // Self-healing v2 outcome; emitted only when the adaptive watchdog
+    // or hardware rejoin is configured, so v1 manifests stay
+    // byte-identical.
+    w.Key("resilience");
+    w.BeginObject();
+    w.Field("barrier_probes", m.barrier_probes);
+    w.Field("barrier_rejoins", m.barrier_rejoins);
+    w.EndObject();
+  }
   w.EndObject();
 }
 
@@ -193,7 +246,7 @@ void WriteRunManifest(std::ostream& os, const RunMetrics& m, const cmp::CmpConfi
   w.Field("schema_version", kRunManifestVersion);
   w.Field("tool", opts.tool);
   if (opts.experiment != nullptr) WriteExperiment(w, *opts.experiment);
-  WriteRun(w, m);
+  WriteRun(w, m, cfg);
   WriteConfig(w, cfg);
   w.Key("stats");
   w.BeginObject();

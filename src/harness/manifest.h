@@ -11,6 +11,7 @@
 
 #include "cmp/cmp_system.h"
 #include "common/json.h"
+#include "fault/fault_model.h"
 #include "common/stats.h"
 #include "harness/experiment.h"
 #include "harness/spec.h"
@@ -51,5 +52,13 @@ bool AppendRunManifestLine(const std::string& path, const RunMetrics& m,
 /// already-open writer object scope. Reused by bench-specific manifests
 /// (fault_campaign) so all artifacts shape their stats the same way.
 void WriteStatsBlock(json::Writer& w, const StatSet& stats);
+
+/// Emits the full fault plan (rates, magnitudes, straggler knobs, and —
+/// when non-empty — the scripted entries) into an already-open writer
+/// object scope. Shared between the run manifest's "fault" block and
+/// fault_campaign rows so a campaign is replayable from its manifest
+/// alone. Straggler fields and the script array are emitted only when
+/// live, keeping pre-straggler manifests byte-identical.
+void WriteFaultPlan(json::Writer& w, const fault::FaultPlan& plan);
 
 }  // namespace glb::harness

@@ -70,9 +70,51 @@ TEST(FaultPlan, PlanFromFlagsParsesRatesAndScript) {
   EXPECT_EQ(p.script[2].magnitude, 40);
 }
 
-TEST(FaultPlanDeath, BadSiteNameAborts) {
-  EXPECT_DEATH(PlanFromFlags(MakeFlags({"--fault_script=5:bogus"})),
-               "unknown fault site");
+TEST(FaultPlanDeath, BadSiteNameExitsWithStatus2) {
+  // CLI convention: unknown names are a usage error (exit 2, like
+  // BarrierKindFromNameOrExit), not an internal CHECK abort.
+  EXPECT_EXIT(PlanFromFlags(MakeFlags({"--fault_script=5:bogus"})),
+              ::testing::ExitedWithCode(2), "unknown fault site");
+}
+
+TEST(FaultPlan, SiteNamesRoundTrip) {
+  const FaultSite all[] = {FaultSite::kGlineDrop,    FaultSite::kGlineDuplicate,
+                           FaultSite::kCsmaCorrupt,  FaultSite::kCoreFreeze,
+                           FaultSite::kNocDelay,     FaultSite::kNocDrop,
+                           FaultSite::kCoreSlowdown, FaultSite::kWorkSkew};
+  for (FaultSite site : all) {
+    FaultSite parsed;
+    ASSERT_TRUE(FaultSiteFromName(ToString(site), &parsed))
+        << "ToString spelling '" << ToString(site) << "' must parse back";
+    EXPECT_EQ(parsed, site);
+  }
+  // Historical short aliases stay accepted.
+  FaultSite s;
+  ASSERT_TRUE(FaultSiteFromName("csma", &s));
+  EXPECT_EQ(s, FaultSite::kCsmaCorrupt);
+  ASSERT_TRUE(FaultSiteFromName("freeze", &s));
+  EXPECT_EQ(s, FaultSite::kCoreFreeze);
+  ASSERT_TRUE(FaultSiteFromName("slow", &s));
+  EXPECT_EQ(s, FaultSite::kCoreSlowdown);
+  ASSERT_TRUE(FaultSiteFromName("skew", &s));
+  EXPECT_EQ(s, FaultSite::kWorkSkew);
+  EXPECT_FALSE(FaultSiteFromName("bogus", &s));
+}
+
+TEST(FaultPlan, StragglerFlagsParseAndEnable) {
+  const Flags flags = MakeFlags(
+      {"--fault_slow=0.25", "--fault_slow_factor=3.5", "--fault_skew=0.75"});
+  const FaultPlan p = PlanFromFlags(flags);
+  EXPECT_TRUE(p.enabled());
+  EXPECT_TRUE(p.stragglers());
+  EXPECT_DOUBLE_EQ(p.core_slow_rate, 0.25);
+  EXPECT_DOUBLE_EQ(p.core_slow_factor, 3.5);
+  EXPECT_DOUBLE_EQ(p.work_skew, 0.75);
+  // A scripted straggler site alone also counts as a straggler plan.
+  FaultPlan scripted;
+  scripted.script = {{0, FaultSite::kCoreSlowdown, "2", 100}};
+  EXPECT_TRUE(scripted.stragglers());
+  EXPECT_FALSE(FaultPlan{}.stragglers());
 }
 
 // ---------------------------------------------------------------------------
@@ -124,6 +166,80 @@ TEST(FaultInjectorUnit, FreezeDelayMatchesCoreTarget) {
   EXPECT_EQ(inj.FreezeDelay(0, 1), 0u);
   EXPECT_EQ(inj.FreezeDelay(0, 3), 75u);
   EXPECT_EQ(inj.FreezeDelay(0, 3), 0u) << "scripted freeze consumed";
+}
+
+TEST(FaultInjectorUnit, WorkSkewRampIsDeterministic) {
+  sim::Engine e;
+  StatSet stats;
+  FaultPlan plan;
+  plan.work_skew = 1.0;  // last core gets 2x compute
+  FaultInjector inj(e, plan, stats);
+  inj.ConfigureCompute(5);
+  EXPECT_EQ(inj.StretchCompute(0, 1000), 1000u) << "core 0 is never skewed";
+  EXPECT_EQ(inj.StretchCompute(2, 1000), 1500u);
+  EXPECT_EQ(inj.StretchCompute(4, 1000), 2000u);
+  EXPECT_EQ(stats.CounterValue("fault.work_skew"), 4u)
+      << "one pick per skewed core (cores 1..4)";
+}
+
+TEST(FaultInjectorUnit, CoreSlowdownPicksAreSeedStableAndOrderFree) {
+  // The slow-core choice must depend only on (seed, core), never on the
+  // order compute phases happen to execute in — that is what makes
+  // straggler runs replay byte-identically under any --jobs value.
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.core_slow_rate = 0.5;
+  plan.core_slow_factor = 4.0;
+  auto picks = [&plan](bool reversed) {
+    sim::Engine e;
+    StatSet stats;
+    FaultInjector inj(e, plan, stats);
+    inj.ConfigureCompute(64);
+    std::vector<Cycle> out(64);
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      const CoreId c = reversed ? 63 - i : i;
+      out[c] = inj.StretchCompute(c, 100);
+    }
+    return out;
+  };
+  const auto forward = picks(false);
+  const auto backward = picks(true);
+  EXPECT_EQ(forward, backward);
+  std::uint32_t slow = 0;
+  for (const Cycle c : forward) {
+    EXPECT_TRUE(c == 100 || c == 400) << "factor is all-or-nothing per core";
+    if (c == 400) ++slow;
+  }
+  EXPECT_GT(slow, 0u);
+  EXPECT_LT(slow, 64u) << "rate 0.5 must not slow every core";
+  // A different seed reshuffles the picked set.
+  FaultPlan other = plan;
+  other.seed = 43;
+  sim::Engine e;
+  StatSet stats;
+  FaultInjector inj(e, other, stats);
+  inj.ConfigureCompute(64);
+  std::vector<Cycle> reseeded(64);
+  for (CoreId c = 0; c < 64; ++c) reseeded[c] = inj.StretchCompute(c, 100);
+  EXPECT_NE(forward, reseeded);
+}
+
+TEST(FaultInjectorUnit, ScriptedSlowdownIsPersistentFromItsCycle) {
+  sim::Engine e;
+  StatSet stats;
+  FaultPlan plan;
+  plan.script = {{100, FaultSite::kCoreSlowdown, "2", 50}};  // 1.5x core 2
+  FaultInjector inj(e, plan, stats);
+  inj.ConfigureCompute(4);
+  EXPECT_EQ(inj.StretchCompute(2, 1000), 1000u) << "cycle 0 < scripted cycle";
+  e.ScheduleAt(150, [&]() {
+    EXPECT_EQ(inj.StretchCompute(2, 1000), 1500u);
+    EXPECT_EQ(inj.StretchCompute(3, 1000), 1000u) << "only core 2 targeted";
+    // Persistent: unlike freeze, the slowdown applies forever after.
+    EXPECT_EQ(inj.StretchCompute(2, 1000), 1500u);
+  });
+  e.RunUntilIdle();
+  EXPECT_EQ(stats.CounterValue("fault.core_slow"), 1u);
 }
 
 // ---------------------------------------------------------------------------

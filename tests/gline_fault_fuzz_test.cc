@@ -19,14 +19,21 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <sstream>
+#include <utility>
 #include <vector>
 
+#include "cmp/cmp_system.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_model.h"
 #include "gline/barrier_network.h"
+#include "gline/hierarchy.h"
+#include "harness/experiment.h"
+#include "harness/manifest.h"
 #include "sim/engine.h"
+#include "workloads/synthetic.h"
 
 namespace glb::gline {
 namespace {
@@ -168,6 +175,371 @@ TEST(FaultFuzzBaseline, ArmedButQuietPlanIsInert) {
     EXPECT_EQ(s_inj.CounterValue("fault.injected"), 0u);
     EXPECT_EQ(s_inj.CounterValue("gl.timeouts"), 0u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing v2: straggler + rejoin fuzz
+// ---------------------------------------------------------------------------
+
+// Randomized straggler plans (persistent slowdowns, work skew) combined
+// with G-line drops over 32..1024-core meshes, flat and hierarchical,
+// with the v2 adaptive watchdog and hardware rejoin armed. Asserts the
+// v1 safety invariant (never hang, never release early, every episode
+// completes) plus the v2 liveness obligation: when the fault horizon is
+// finite (scripted drops only), every degraded context must eventually
+// shadow-probe the healthy wires and rejoin.
+class StragglerRejoinFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StragglerRejoinFuzz, SafetyHoldsAndFaultFreePlansRejoin) {
+  Rng rng(GetParam() * 0x2545F4914F6CDD1Dull + 17);
+
+  // Shape and topology derive from the seed index (not the rng) so the
+  // 15-seed suite provably covers every (mesh, flat-vs-hier) combination
+  // including both 64-core and 1024-core extremes.
+  const std::pair<std::uint32_t, std::uint32_t> shapes[] = {
+      {4, 8}, {8, 8}, {16, 16}, {32, 32}};  // 32 .. 1024 cores
+  const auto [rows, cols] = shapes[(GetParam() - 1) % std::size(shapes)];
+  const std::uint32_t n = rows * cols;
+  const bool hier = (GetParam() % 2) == 0;
+
+  // Scripted drops are a finite fault horizon: once every entry is
+  // consumed the wires are healthy forever, so eventual rejoin is an
+  // obligation. Some seeds add a persistent probabilistic drop rate
+  // instead; those assert safety only (staying degraded is legitimate
+  // when the wire really is flaky).
+  const bool persistent_drops = rng.NextBool(0.33);
+
+  sim::Engine engine;
+  StatSet stats;
+
+  // Watchdog floor above the worst-case stretched arrival skew: base
+  // delay <= 40, slowdown factor <= 4, skew factor <= 2 => 320 cycles.
+  const Cycle watchdog = 400 + rng.NextBelow(201);
+  const auto retries = static_cast<std::uint32_t>(rng.NextBelow(3));
+  const double mult = 2.0 + rng.NextDouble() * 4.0;
+  const auto probe_after = static_cast<std::uint32_t>(1 + rng.NextBelow(3));
+  const auto probe_successes = static_cast<std::uint32_t>(1 + rng.NextBelow(2));
+
+  std::unique_ptr<BarrierNetwork> flat;
+  std::unique_ptr<HierarchicalBarrierNetwork> tree;
+  if (hier) {
+    HierConfig cfg;
+    cfg.watchdog_timeout = watchdog;
+    cfg.max_retries = retries;
+    cfg.watchdog_mult = mult;
+    cfg.probe_after = probe_after;
+    cfg.probe_successes = probe_successes;
+    tree = std::make_unique<HierarchicalBarrierNetwork>(engine, rows, cols,
+                                                        cfg, stats);
+  } else {
+    BarrierNetConfig cfg;
+    cfg.watchdog_timeout = watchdog;
+    cfg.max_retries = retries;
+    cfg.watchdog_mult = mult;
+    cfg.probe_after = probe_after;
+    cfg.probe_successes = probe_successes;
+    flat = std::make_unique<BarrierNetwork>(engine, rows, cols, cfg, stats);
+  }
+
+  fault::FaultPlan plan;
+  plan.seed = GetParam();
+  plan.core_slow_rate = rng.NextBool(0.7) ? rng.NextDouble() * 0.5 : 0.0;
+  plan.core_slow_factor = 2.0 + rng.NextDouble() * 2.0;  // 2 .. 4
+  plan.work_skew = rng.NextBool(0.5) ? rng.NextDouble() : 0.0;
+  if (persistent_drops) plan.gline_drop_rate = 0.05 + rng.NextDouble() * 0.15;
+  const auto scripted = static_cast<std::uint32_t>(rng.NextBelow(12));
+  for (std::uint32_t i = 0; i < scripted; ++i) {
+    plan.script.push_back(
+        {rng.NextBelow(4000), fault::FaultSite::kGlineDrop, "sglineH", 0});
+  }
+  fault::FaultInjector inj(engine, plan, stats);
+  if (hier) {
+    inj.Arm(*tree);
+  } else {
+    inj.Arm(*flat);
+  }
+  inj.ConfigureCompute(n);
+
+  auto arrive = [&](CoreId c, std::function<void()> cb) {
+    if (hier) {
+      tree->Arrive(0, c, std::move(cb));
+    } else {
+      flat->Arrive(0, c, std::move(cb));
+    }
+  };
+  std::uint64_t episodes_done = 0;
+  auto run_episode = [&]() {
+    std::uint32_t arrived = 0, released = 0;
+    bool early = false;
+    const Cycle now = engine.Now();
+    for (CoreId c = 0; c < n; ++c) {
+      const Cycle at = now + inj.StretchCompute(c, 1 + rng.NextBelow(40));
+      engine.ScheduleAt(at, [&, c]() {
+        ++arrived;
+        arrive(c, [&]() {
+          if (arrived != n) early = true;
+          ++released;
+        });
+      });
+    }
+    ASSERT_TRUE(engine.RunUntilIdle(20'000'000))
+        << "hung in episode " << episodes_done << " (seed " << GetParam()
+        << ", " << rows << "x" << cols << (hier ? " hier" : " flat") << ")";
+    ASSERT_FALSE(early) << "released a core before all " << n
+                        << " arrived (seed " << GetParam() << ")";
+    ASSERT_EQ(released, n) << "episode " << episodes_done
+                           << " starved (seed " << GetParam() << ")";
+    ++episodes_done;
+  };
+
+  constexpr std::uint64_t kEpisodes = 12;
+  for (std::uint64_t e = 0; e < kEpisodes; ++e) {
+    run_episode();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_EQ(hier ? tree->barriers_completed() : flat->barriers_completed(),
+            kEpisodes);
+
+  if (!persistent_drops) {
+    // Settling phase: the wires have been healthy since the last
+    // scripted entry was consumed, so probes must eventually run clean
+    // and every degraded context must return to the hardware path.
+    auto degraded = [&]() {
+      return hier ? tree->degraded_any() : flat->degraded(0);
+    };
+    int extra = 0;
+    while (degraded() && extra < 40) {
+      run_episode();
+      if (::testing::Test::HasFatalFailure()) return;
+      ++extra;
+    }
+    EXPECT_FALSE(degraded())
+        << "context never rejoined after the scripted fault horizon (seed "
+        << GetParam() << ", " << extra << " settling episodes)";
+    const std::uint64_t deg = hier
+                                  ? tree->AggregateCounter("degraded_episodes")
+                                  : stats.CounterValue("gl.degraded_episodes");
+    const std::uint64_t rejoins =
+        hier ? tree->AggregateCounter("rejoins") : flat->rejoins(0);
+    if (deg > 0) {
+      EXPECT_GE(rejoins, 1u)
+          << "episodes degraded but no rejoin recorded (seed " << GetParam()
+          << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StragglerRejoinFuzz,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// Scripted regression with a provable rejoin: one drop kills the first
+// episode's gather, zero retry budget degrades the context immediately,
+// and because the script is then spent the probe sequence must bring
+// the context back — with post-rejoin releases bit-identical to a
+// never-faulted reference network.
+TEST(StragglerRejoinRegression, FlatScriptedDropDegradesThenRejoins) {
+  sim::Engine engine;
+  StatSet stats;
+  BarrierNetConfig cfg;
+  cfg.watchdog_timeout = 100;
+  cfg.max_retries = 0;
+  cfg.probe_after = 2;
+  cfg.probe_successes = 1;
+  BarrierNetwork net(engine, 2, 2, cfg, stats);
+
+  fault::FaultPlan plan;
+  plan.script.push_back({0, fault::FaultSite::kGlineDrop, "sglineH", 0});
+  fault::FaultInjector inj(engine, plan, stats);
+  inj.Arm(net);
+
+  auto episode = [&](Cycle start) {
+    std::vector<Cycle> released(4, kCycleNever);
+    for (CoreId c = 0; c < 4; ++c) {
+      engine.ScheduleAt(start, [&, c]() {
+        net.Arrive(0, c, [&, c]() { released[c] = engine.Now(); });
+      });
+    }
+    EXPECT_TRUE(engine.RunUntilIdle(1'000'000));
+    for (Cycle r : released) EXPECT_NE(r, kCycleNever);
+    return released;
+  };
+
+  // Episode 1: the scripted drop eats a row gather; with no retry
+  // budget the watchdog degrades the context straight to the fallback.
+  episode(10);
+  ASSERT_TRUE(net.degraded(0));
+  EXPECT_EQ(net.health(0), BarrierNetwork::Health::kDegraded);
+  EXPECT_EQ(stats.CounterValue("gl.degraded_episodes"), 1u);
+
+  // Fallback episodes accumulate toward probe_after = 2; the next
+  // episode's arrivals are then shadow-signaled through the (now
+  // healthy) wires and one clean probe rejoins the hardware path.
+  Cycle t = 1000;
+  while (net.degraded(0) && t < 20'000) {
+    episode(t);
+    t += 1000;
+  }
+  EXPECT_FALSE(net.degraded(0));
+  EXPECT_EQ(net.health(0), BarrierNetwork::Health::kRejoined);
+  EXPECT_GE(net.rejoins(0), 1u);
+  EXPECT_GE(stats.CounterValue("gl.probes"), 1u);
+  EXPECT_EQ(stats.CounterValue("gl.rejoins"), net.rejoins(0));
+
+  // Post-rejoin episodes must run on hardware again: same release
+  // cycles as a reference network that never saw a fault.
+  sim::Engine ref_engine;
+  StatSet ref_stats;
+  BarrierNetwork ref(ref_engine, 2, 2, cfg, ref_stats);
+  std::vector<Cycle> ref_released(4, kCycleNever);
+  for (CoreId c = 0; c < 4; ++c) {
+    ref_engine.ScheduleAt(100, [&, c]() {
+      ref.Arrive(0, c, [&, c]() { ref_released[c] = ref_engine.Now(); });
+    });
+  }
+  EXPECT_TRUE(ref_engine.RunUntilIdle(1'000'000));
+  const Cycle t0 = t + 1000;
+  const auto got = episode(t0);
+  for (CoreId c = 0; c < 4; ++c) {
+    EXPECT_EQ(got[c] - t0, ref_released[c] - 100)
+        << "core " << c << " not released on the 4-cycle hardware path";
+  }
+}
+
+// Same obligation at depth: a scripted drop confined to one leaf
+// cluster of an 8x8 two-level hierarchy degrades that node only, and
+// the node (not the whole chip) probes and rejoins.
+TEST(StragglerRejoinRegression, HierLeafNodeRejoinsAtDepth) {
+  sim::Engine engine;
+  StatSet stats;
+  HierConfig cfg;
+  cfg.watchdog_timeout = 200;
+  cfg.max_retries = 0;
+  cfg.probe_after = 2;
+  cfg.probe_successes = 1;
+  HierarchicalBarrierNetwork net(engine, 8, 8, cfg, stats);
+  ASSERT_GE(net.num_levels(), 2u);
+
+  fault::FaultPlan plan;
+  plan.script.push_back({0, fault::FaultSite::kGlineDrop, "l0.c0.", 0});
+  fault::FaultInjector inj(engine, plan, stats);
+  inj.Arm(net);
+
+  constexpr std::uint32_t kCores = 64;
+  int episodes = 0;
+  auto episode = [&](Cycle start) {
+    std::uint32_t arrived = 0, released = 0;
+    bool early = false;
+    for (CoreId c = 0; c < kCores; ++c) {
+      engine.ScheduleAt(start, [&, c]() {
+        ++arrived;
+        net.Arrive(0, c, [&]() {
+          if (arrived != kCores) early = true;
+          ++released;
+        });
+      });
+    }
+    ASSERT_TRUE(engine.RunUntilIdle(10'000'000));
+    ASSERT_FALSE(early);
+    ASSERT_EQ(released, kCores);
+    ++episodes;
+  };
+
+  episode(10);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_TRUE(net.degraded_any());
+  // The fault was confined to node l0.c0; its siblings stay healthy.
+  EXPECT_TRUE(net.node(0, 0).degraded(0));
+  EXPECT_FALSE(net.node(0, 1).degraded(0));
+  EXPECT_FALSE(net.node(1, 0).degraded(0));
+
+  Cycle t = 5000;
+  while (net.degraded_any() && t < 100'000) {
+    episode(t);
+    if (::testing::Test::HasFatalFailure()) return;
+    t += 5000;
+  }
+  EXPECT_FALSE(net.degraded_any());
+  EXPECT_EQ(net.node(0, 0).health(0), BarrierNetwork::Health::kRejoined);
+  EXPECT_GE(net.AggregateCounter("rejoins"), 1u);
+  EXPECT_GE(net.AggregateCounter("probes"), 1u);
+  EXPECT_EQ(net.barriers_completed(), static_cast<std::uint64_t>(episodes));
+}
+
+// ---------------------------------------------------------------------------
+// 256-core straggler determinism
+// ---------------------------------------------------------------------------
+
+namespace determinism {
+
+/// Compute-then-barrier loop (the straggler hooks stretch Compute, so
+/// the workload must actually compute — Synthetic never does).
+class ComputeLoop final : public workloads::Workload {
+ public:
+  const char* name() const override { return "ComputeLoop"; }
+  std::string input_desc() const override { return "20 x 64-cycle phases"; }
+  void Init(cmp::CmpSystem&) override {}
+  core::Task Body(core::Core& core, CoreId, sync::Barrier& barrier) override {
+    for (int it = 0; it < 20; ++it) {
+      co_await core.Compute(64);
+      co_await barrier.Wait(core);
+    }
+  }
+  std::string Validate(cmp::CmpSystem& sys) override {
+    const std::uint64_t expected = std::uint64_t{20} * sys.num_cores();
+    const std::uint64_t got = sys.stats().CounterValue("core.barriers");
+    if (got != expected) return "barrier count mismatch";
+    return "";
+  }
+};
+
+/// One full 256-core gl-hier run under a straggler+drop plan with the
+/// v2 machinery armed, returning the complete run manifest (config,
+/// metrics, resilience block, every counter and histogram).
+std::string RunManifest() {
+  cmp::CmpConfig cfg = cmp::CmpConfig::WithCores(256);
+  cfg.hier.enabled = true;
+  cfg.hier.watchdog_timeout = 400;
+  cfg.hier.watchdog_mult = 3.0;
+  cfg.hier.probe_after = 2;
+  cfg.hier.probe_successes = 1;
+  cfg.fault.seed = 7;
+  cfg.fault.core_slow_rate = 0.25;
+  cfg.fault.core_slow_factor = 6.0;
+  cfg.fault.work_skew = 0.5;
+  cfg.fault.gline_drop_rate = 0.01;
+
+  cmp::CmpSystem sys(cfg);
+  ComputeLoop wl;
+  wl.Init(sys);
+  auto barrier = harness::MakeBarrier(harness::BarrierKind::kGLH, sys);
+  const sim::RunStatus status = sys.RunProgramsStatus(
+      [&](core::Core& core, CoreId id) { return wl.Body(core, id, *barrier); },
+      /*max_cycles=*/100'000'000);
+  harness::RunMetrics m =
+      harness::CollectMetrics(sys, status, wl, "GLH");  // wall_ms stays 0
+  EXPECT_TRUE(m.completed) << m.stall;
+  EXPECT_TRUE(m.validation.empty()) << m.validation;
+
+  std::ostringstream os;
+  harness::ManifestOptions opts;
+  opts.tool = "fuzz";
+  harness::WriteRunManifest(os, m, sys.config(), sys.stats(), opts);
+  return os.str();
+}
+
+}  // namespace determinism
+
+// Straggler picks are hash-derived from (seed, core), never from the
+// shared decision stream, so a full 256-core run — stragglers, drops,
+// adaptive watchdog, rejoins and all — must be byte-identical across
+// repeats, down to every histogram in the manifest.
+TEST(StragglerDeterminism, Hier256CoreManifestIsByteIdenticalAcrossRuns) {
+  const std::string first = determinism::RunManifest();
+  const std::string second = determinism::RunManifest();
+  EXPECT_EQ(first, second);
+  // The run must actually have exercised the straggler machinery.
+  EXPECT_NE(first.find("\"core_slow_rate\""), std::string::npos);
+  EXPECT_NE(first.find("\"resilience\""), std::string::npos);
 }
 
 }  // namespace

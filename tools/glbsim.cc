@@ -46,6 +46,13 @@ void Usage() {
       "  --fault_watchdog N      barrier watchdog timeout in cycles (0 = off;\n"
       "                          enables retry + software fallback)\n"
       "  --fault_retries N       hardware retries before degrading (default 2)\n"
+      "  --fault_watchdog_mult M adaptive watchdog: window = clamp(M * EWMA of\n"
+      "                          episode spans, floor=--fault_watchdog, cap)\n"
+      "                          (0 = fixed window; --fault_watchdog_alpha A\n"
+      "                          EWMA weight, --fault_watchdog_max C cap)\n"
+      "  --fault_probe_after N   shadow-probe the hardware path after N degraded\n"
+      "                          fallback episodes (0 = sticky degraded mode)\n"
+      "  --fault_probe_successes K  consecutive clean probes to rejoin (default 2)\n"
       "  --fault_seed S          seed for the probabilistic fault stream\n"
       "  --fault_gline_drop R    per-batch G-line assertion loss rate\n"
       "  --fault_gline_dup R     per-batch duplicated-assertion rate\n"
@@ -54,7 +61,13 @@ void Usage() {
       "  --fault_noc_delay R     link delay rate (--fault_noc_delay_cycles N)\n"
       "  --fault_noc_drop R      link CRC-retransmit rate\n"
       "                          (--fault_noc_retransmit_cycles N)\n"
-      "  --fault_script \"cycle:site[:target[:magnitude]],...\"  scripted faults\n";
+      "  --fault_slow R          fraction of cores that are persistent stragglers\n"
+      "                          (--fault_slow_factor F compute stretch, def 2.0)\n"
+      "  --fault_skew S          deterministic work skew: core i's compute is\n"
+      "                          stretched by 1 + S*i/(n-1)\n"
+      "  --fault_script \"cycle:site[:target[:magnitude]],...\"  scripted faults\n"
+      "                  sites: gline_drop|gline_dup|csma_corrupt|core_freeze|\n"
+      "                  noc_delay|noc_drop|core_slow|work_skew\n";
 }
 
 }  // namespace
@@ -135,10 +148,14 @@ int main(int argc, char** argv) {
   std::uint64_t barrier_timeouts = sys.stats().CounterValue("gl.timeouts");
   std::uint64_t barrier_retries = sys.stats().CounterValue("gl.retries");
   std::uint64_t degraded_episodes = sys.stats().CounterValue("gl.degraded_episodes");
+  std::uint64_t barrier_probes = sys.stats().CounterValue("gl.probes");
+  std::uint64_t barrier_rejoins = sys.stats().CounterValue("gl.rejoins");
   if (sys.hier() != nullptr) {
     barrier_timeouts += sys.hier()->AggregateCounter("timeouts");
     barrier_retries += sys.hier()->AggregateCounter("retries");
     degraded_episodes += sys.hier()->AggregateCounter("degraded_episodes");
+    barrier_probes += sys.hier()->AggregateCounter("probes");
+    barrier_rejoins += sys.hier()->AggregateCounter("rejoins");
   }
 
   if (flags.GetBool("csv", false)) {
@@ -162,6 +179,8 @@ int main(int argc, char** argv) {
       kv("barrier_timeouts", std::to_string(barrier_timeouts));
       kv("barrier_retries", std::to_string(barrier_retries));
       kv("degraded_episodes", std::to_string(degraded_episodes));
+      kv("barrier_probes", std::to_string(barrier_probes));
+      kv("barrier_rejoins", std::to_string(barrier_rejoins));
     }
     kv("valid", validation.empty() ? "ok" : validation);
     return validation.empty() ? 0 : 1;
@@ -193,6 +212,10 @@ int main(int argc, char** argv) {
               << "  (timeouts " << barrier_timeouts
               << ", retries " << barrier_retries
               << ", degraded episodes " << degraded_episodes << ")\n";
+    if (barrier_probes > 0 || barrier_rejoins > 0) {
+      std::cout << "  self-healing    probes " << barrier_probes << ", rejoins "
+                << barrier_rejoins << '\n';
+    }
   }
   if (sys.hier() != nullptr) {
     std::cout << "  hier network    " << sys.hier()->num_levels() << " levels, "
