@@ -110,8 +110,9 @@ int RunHierStudy(const Flags& flags) {
       row.workload = name;
       row.report = power::EstimateHier(sys.stats(), *sys.hier());
       for (const power::HierEnergyLevel& lvl : row.report.levels) {
-        t.AddRow({std::to_string(cores), name,
-                  "l" + std::to_string(lvl.wires.level),
+        std::string level_name = "l";
+        level_name += std::to_string(lvl.wires.level);
+        t.AddRow({std::to_string(cores), name, std::move(level_name),
                   std::to_string(lvl.wires.nodes),
                   std::to_string(lvl.wires.lines),
                   std::to_string(lvl.wires.span_tiles),

@@ -55,6 +55,49 @@ rm -f BENCH_straggler.json
 ./build/bench/ablate_straggler --cores 64 --iters 10 \
   --jobs "$(nproc)" --json BENCH_straggler.json > /dev/null
 
+# Observability + perf-regression gate (docs/OBSERVABILITY.md):
+#  1. the bounded fig5 sweeps must reproduce the checked-in baseline
+#     EXACTLY — every fig5 field is deterministic simulated output, so
+#     --no-time makes any drift a hard failure on any machine;
+#  2. a micro_engine self-diff must pass clean AND must fail once a
+#     synthetic 10% regression is injected (proves the gate can fire);
+#  3. a 64-core GLH straggler run with the interval sampler on: its
+#     glb.timeseries row must show the adaptive watchdog above its
+#     configured floor and at least one hardware rejoin (the artifact CI
+#     publishes), and glb_report must render the whole file.
+echo "=== observability + perf-regression gate ==="
+rm -f BENCH_fig5_smoke.json
+./build/bench/fig5_barrier_latency --max-cores 8 \
+  --json BENCH_fig5_smoke.json > /dev/null
+./build/bench/fig5_barrier_latency --hier --hier-max-cores 64 \
+  --json BENCH_fig5_smoke.json > /dev/null
+./build/tools/glb_bench_diff --no-time \
+  bench/baselines/fig5_smoke.json BENCH_fig5_smoke.json
+
+./build/bench/micro_engine --benchmark_filter='BM_EngineScheduleRun/1024' \
+  --benchmark_format=json --benchmark_min_time=0.05 \
+  > BENCH_micro_smoke.json 2> /dev/null
+./build/tools/glb_bench_diff BENCH_micro_smoke.json BENCH_micro_smoke.json
+if ./build/tools/glb_bench_diff --time-threshold 0.05 --inject-regression 10 \
+    BENCH_micro_smoke.json BENCH_micro_smoke.json > /dev/null; then
+  echo "FAIL: glb_bench_diff did not flag an injected regression" >&2
+  exit 1
+fi
+
+rm -f BENCH_straggler_obs.json
+./build/tools/glbsim --workload Synthetic --barrier GLH --cores 64 \
+  --synthetic-iters 80 --fault_watchdog 40 --fault_watchdog_mult 8 \
+  --fault_retries 0 --fault_probe_after 2 --fault_slow 0.05 \
+  --fault_slow_factor 4 --fault_script "600:gline_drop:l0.c0." \
+  --sample-interval 200 --heatmap --profile \
+  --json BENCH_straggler_obs.json > /dev/null
+grep -q '"glh.l0.c0.rejoins":1' BENCH_straggler_obs.json || {
+  echo "FAIL: straggler timeseries shows no hardware rejoin" >&2; exit 1; }
+grep -q '"glh.l0.c0.watchdog_window":5' BENCH_straggler_obs.json || {
+  echo "FAIL: adaptive watchdog never rose above its 40-cycle floor" >&2
+  exit 1; }
+./build/tools/glb_report BENCH_straggler_obs.json > /dev/null
+
 if [ "$RUN_TSAN" = "1" ]; then
   # The tsan preset builds only the bench/tool binaries; the sweeps
   # below exercise the ParallelFor pool exactly the way the figure and

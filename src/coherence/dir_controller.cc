@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "common/prof.h"
 #include "coherence/fabric.h"
 #include "trace/trace.h"
 
@@ -90,6 +91,7 @@ void DirController::WriteLineToBacking(const Cache::Line* line) {
 // ---------------------------------------------------------------------------
 
 void DirController::OnMessage(const Message& msg) {
+  prof::Scope prof_scope(prof::Cat::kCoherence);
   GLB_CHECK(fabric_.HomeOf(msg.line_addr) == tile_)
       << "message @" << msg.line_addr << " routed to wrong home " << tile_;
   switch (msg.type) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "common/prof.h"
 #include "coherence/fabric.h"
 #include "trace/trace.h"
 
@@ -64,6 +65,7 @@ void L1Controller::Send(Message msg) {
 // ---------------------------------------------------------------------------
 
 void L1Controller::Load(Addr addr, LoadCallback done) {
+  prof::Scope prof_scope(prof::Cat::kCoherence);
   GLB_CHECK(!mshr_.valid) << "core " << core_ << " issued a second outstanding op";
   auto* line = cache_.Lookup(addr);
   if (line != nullptr) {
@@ -79,6 +81,7 @@ void L1Controller::Load(Addr addr, LoadCallback done) {
 }
 
 void L1Controller::Store(Addr addr, Word value, StoreCallback done) {
+  prof::Scope prof_scope(prof::Cat::kCoherence);
   GLB_CHECK(!mshr_.valid) << "core " << core_ << " issued a second outstanding op";
   auto* line = cache_.Lookup(addr);
   if (line != nullptr && line->meta.state != LineState::kS) {
@@ -97,6 +100,7 @@ void L1Controller::Store(Addr addr, Word value, StoreCallback done) {
 
 void L1Controller::Amo(Addr addr, AmoOp op, Word operand, Word operand2,
                        LoadCallback done) {
+  prof::Scope prof_scope(prof::Cat::kCoherence);
   GLB_CHECK(!mshr_.valid) << "core " << core_ << " issued a second outstanding op";
   auto* line = cache_.Lookup(addr);
   if (line != nullptr && line->meta.state != LineState::kS) {
@@ -165,6 +169,7 @@ void L1Controller::StartMiss(Mshr::Op op, Addr addr, AmoOp amo, Word operand,
 // ---------------------------------------------------------------------------
 
 void L1Controller::OnMessage(const Message& msg) {
+  prof::Scope prof_scope(prof::Cat::kCoherence);
   switch (msg.type) {
     case MsgType::kData: OnData(msg); return;
     case MsgType::kFwdGetS:

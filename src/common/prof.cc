@@ -1,0 +1,79 @@
+#include "common/prof.h"
+
+#include <chrono>
+
+namespace glb::prof {
+
+const char* ToString(Cat c) {
+  switch (c) {
+    case Cat::kEngine: return "engine";
+    case Cat::kNoc: return "noc";
+    case Cat::kCoherence: return "coherence";
+    case Cat::kBarrier: return "barrier";
+    case Cat::kWorkload: return "workload";
+    case Cat::kOther: return "other";
+  }
+  return "?";
+}
+
+namespace internal {
+
+ThreadState& State() {
+  thread_local ThreadState state;
+  return state;
+}
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+/// Charges the span since the last flush to the open category and
+/// restamps. A thread whose state was never stamped (a worker spawned
+/// after Enable ran on the main thread) starts its clock here instead
+/// of charging time-since-boot to its first category.
+void Flush(ThreadState& s) {
+  const std::uint64_t now = NowNs();
+  if (s.stamp_ns != 0) {
+    s.acc_ns[static_cast<std::size_t>(s.current)] += now - s.stamp_ns;
+  }
+  s.stamp_ns = now;
+}
+}  // namespace
+
+}  // namespace internal
+
+void Enable(bool on) {
+  internal::ThreadState& s = internal::State();
+  s.current = Cat::kOther;
+  s.acc_ns.fill(0);
+  s.stamp_ns = internal::NowNs();
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Snapshot Take() {
+  internal::ThreadState& s = internal::State();
+  if (Enabled()) internal::Flush(s);
+  Snapshot snap;
+  snap.ns = s.acc_ns;
+  return snap;
+}
+
+void Scope::Enter(Cat cat) {
+  internal::ThreadState& s = internal::State();
+  internal::Flush(s);
+  prev_ = s.current;
+  s.current = cat;
+  active_ = true;
+}
+
+void Scope::Exit() {
+  internal::ThreadState& s = internal::State();
+  internal::Flush(s);
+  s.current = prev_;
+}
+
+}  // namespace glb::prof

@@ -1,0 +1,108 @@
+// Host self-profiler: scoped wall-clock attribution of where the
+// *simulator* spends host time (engine dispatch, coherence protocol,
+// NoC, barrier network, workload coroutines). This is the measurement
+// instrument for the "make 1024+ cores cheap" acceleration work — it
+// says nothing about simulated cycles.
+//
+// Profiling is OFF by default. prof::Enable(true) arms it; every
+// instrumentation site then opens a prof::Scope(Cat) whose wall time is
+// charged *exclusively* — a nested Scope re-attributes the inner span
+// to its own category, so the categories partition the total:
+//
+//   prof::Scope s(prof::Cat::kNoc);   // inside Mesh::Send
+//
+// When disabled a Scope costs one relaxed atomic load (the same
+// contract as trace::Active()); no clock is read, nothing allocates.
+//
+// Like RunMetrics::wall_ms, everything here is host wall clock and
+// therefore explicitly OUTSIDE the determinism contract: two identical
+// runs produce identical simulations but different profiles. Manifest
+// consumers must never diff the host_profile block byte-for-byte.
+//
+// Accumulation is thread-local; Take() reads the calling thread's
+// accumulators, so parallel sweep workers each see their own profile.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace glb::prof {
+
+/// Attribution categories, one per major simulator subsystem.
+enum class Cat : std::uint8_t {
+  kEngine = 0,  // event-loop dispatch not claimed by a nested scope
+  kNoc,         // mesh routing/serialization
+  kCoherence,   // L1 + directory protocol handlers
+  kBarrier,     // G-line / hierarchical barrier network
+  kWorkload,    // workload coroutine bodies (compute generators)
+  kOther,       // outside any scope (setup, reporting)
+};
+inline constexpr int kNumCats = 6;
+
+const char* ToString(Cat c);
+
+namespace internal {
+inline std::atomic<bool> g_enabled{false};
+/// Thread-local exclusive-time state: the open category, the wall-clock
+/// stamp of its last attribution flush, and the per-category totals.
+struct ThreadState {
+  Cat current = Cat::kOther;
+  std::uint64_t stamp_ns = 0;
+  std::array<std::uint64_t, kNumCats> acc_ns{};
+};
+ThreadState& State();
+/// Monotonic wall clock in nanoseconds.
+std::uint64_t NowNs();
+}  // namespace internal
+
+/// True while profiling is armed. This is the disabled-path cost of
+/// every Scope.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arms (or disarms) the profiler and resets the calling thread's
+/// accumulators. Call before the run being profiled; not intended to be
+/// toggled while worker threads are inside scopes.
+void Enable(bool on);
+
+/// Per-category wall time of the calling thread since Enable(true).
+struct Snapshot {
+  std::array<std::uint64_t, kNumCats> ns{};
+  std::uint64_t total_ns() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t v : ns) t += v;
+    return t;
+  }
+  double ms(Cat c) const {
+    return static_cast<double>(ns[static_cast<std::size_t>(c)]) / 1e6;
+  }
+};
+
+/// Flushes the open span and returns the calling thread's accumulated
+/// profile. Safe to call with profiling disabled (all zeros).
+Snapshot Take();
+
+/// RAII attribution span. Exclusive: time spent under a nested Scope is
+/// charged to the nested category, not this one.
+class Scope {
+ public:
+  explicit Scope(Cat cat) {
+    if (Enabled()) Enter(cat);
+  }
+  ~Scope() {
+    if (active_) Exit();
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  void Enter(Cat cat);
+  void Exit();
+
+  bool active_ = false;
+  Cat prev_ = Cat::kOther;
+};
+
+}  // namespace glb::prof

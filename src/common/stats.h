@@ -83,6 +83,15 @@ class Histogram {
 
 /// Named registry. Stable addresses: objects live in deques and are never
 /// moved after creation, so components may cache the returned pointers.
+///
+/// Ordering contract: every dump (Print, PrintCsv, ForEach*, and thus
+/// the manifest "stats" block and the interval sampler's series) visits
+/// entries in lexicographic name order — std::map iteration — NEVER in
+/// registration order. Registration order varies with construction
+/// paths and optimization levels, while name order is identical across
+/// compilers and standard libraries, so two glb.run stats blocks from
+/// different builds diff cleanly line-for-line. Pinned by
+/// common_test.cc (StatSetOrdering).
 class StatSet {
  public:
   /// Returns the counter named `name`, creating it on first use.

@@ -27,7 +27,10 @@ void Core::Run(Task program, std::function<void()> on_done) {
   };
   // Kick the program off as a same-cycle event so that Run() can be
   // called for all cores before any of them starts executing.
-  engine_.ScheduleIn(0, [this]() { program_->handle().resume(); });
+  engine_.ScheduleIn(0, [this]() {
+    prof::Scope prof_scope(prof::Cat::kWorkload);
+    program_->handle().resume();
+  });
 }
 
 }  // namespace glb::core

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/prof.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "coherence/l1_controller.h"
@@ -100,6 +101,9 @@ class Core {
       core.l1_.Load(addr, [this, h](Word v) {
         result = v;
         core.EndOp();
+        // The resumed coroutine body is workload code until its next
+        // suspension point (host profiler; docs/OBSERVABILITY.md).
+        prof::Scope prof_scope(prof::Cat::kWorkload);
         h.resume();
       });
     }
@@ -116,6 +120,9 @@ class Core {
       core.stores_->Inc();
       core.l1_.Store(addr, value, [this, h]() {
         core.EndOp();
+        // The resumed coroutine body is workload code until its next
+        // suspension point (host profiler; docs/OBSERVABILITY.md).
+        prof::Scope prof_scope(prof::Cat::kWorkload);
         h.resume();
       });
     }
@@ -136,6 +143,9 @@ class Core {
       core.l1_.Amo(addr, op, operand, operand2, [this, h](Word old) {
         result = old;
         core.EndOp();
+        // The resumed coroutine body is workload code until its next
+        // suspension point (host profiler; docs/OBSERVABILITY.md).
+        prof::Scope prof_scope(prof::Cat::kWorkload);
         h.resume();
       });
     }
@@ -153,6 +163,9 @@ class Core {
       }
       core.engine_.ScheduleIn(cycles, [this, h]() {
         core.EndOp();
+        // The resumed coroutine body is workload code until its next
+        // suspension point (host profiler; docs/OBSERVABILITY.md).
+        prof::Scope prof_scope(prof::Cat::kWorkload);
         h.resume();
       });
     }
@@ -173,6 +186,8 @@ class Core {
         core.barrier_dev_->Arrive(core.id_, [this, h]() {
           core.engine_.ScheduleIn(core.cfg_.gl_resume_overhead, [this, h]() {
             core.EndOp();
+            // Post-release coroutine body is workload code (host profiler).
+            prof::Scope prof_scope(prof::Cat::kWorkload);
             h.resume();
           });
         });
@@ -195,6 +210,9 @@ class Core {
       core.BeginOp(cat);
       arm([this, h]() {
         core.EndOp();
+        // The resumed coroutine body is workload code until its next
+        // suspension point (host profiler; docs/OBSERVABILITY.md).
+        prof::Scope prof_scope(prof::Cat::kWorkload);
         h.resume();
       });
     }

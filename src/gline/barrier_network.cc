@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/prof.h"
 #include "trace/trace.h"
 
 namespace glb::gline {
@@ -269,6 +270,7 @@ void BarrierNetwork::SetFallback(FallbackArrive arrive,
 
 void BarrierNetwork::Arrive(std::uint32_t ctx, CoreId core,
                             std::function<void()> on_release) {
+  prof::Scope prof_scope(prof::Cat::kBarrier);
   GLB_CHECK(ctx < ctxs_.size()) << "bad barrier context " << ctx;
   GLB_CHECK(core < num_cores()) << "bad core id " << core;
   if (arrival_fault_ != nullptr) {
@@ -431,6 +433,7 @@ void BarrierNetwork::TriggerRelease(std::uint32_t ctx) {
 // ---------------------------------------------------------------------------
 
 void BarrierNetwork::StartRelease(std::uint32_t ctx) {
+  prof::Scope prof_scope(prof::Cat::kBarrier);
   Context& c = ctxs_[ctx];
   if (resilient() && c.arrived != c.expected_arrivals) {
     // An over-counted line completed the gather before every core
@@ -604,6 +607,7 @@ void BarrierNetwork::ArmWatchdog(std::uint32_t ctx) {
 }
 
 void BarrierNetwork::OnWatchdog(std::uint32_t ctx, std::uint64_t token) {
+  prof::Scope prof_scope(prof::Cat::kBarrier);
   Context& c = ctxs_[ctx];
   if (c.degraded || token != c.watchdog_token) return;  // episode finished
   c.timeouts->Inc();

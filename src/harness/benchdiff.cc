@@ -1,0 +1,219 @@
+#include "harness/benchdiff.h"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace glb::harness::benchdiff {
+
+namespace {
+
+Metric Det(std::string key, double v) {
+  return Metric{std::move(key), v, /*deterministic=*/true, false};
+}
+
+void AddIfPresent(std::vector<Metric>& out, const json::Value& obj,
+                  const char* key, bool deterministic, bool higher_better) {
+  const json::Value* v = obj.Find(key);
+  if (v == nullptr || !v->IsNumber()) return;
+  out.push_back(Metric{key, v->num_v, deterministic, higher_better});
+}
+
+void ExtractRun(const json::Value& doc, std::vector<Row>& rows) {
+  const json::Value* run = doc.Find("run");
+  if (run == nullptr) return;
+  Row r;
+  r.id = "glb.run/" + run->StringOr("workload", "?") + "/" +
+         run->StringOr("barrier", "?") + "/" +
+         std::to_string(static_cast<std::uint64_t>(run->NumberOr("cores", 0))) + "c";
+  r.metrics.push_back(Det("cycles", run->NumberOr("cycles", 0)));
+  r.metrics.push_back(Det("barriers_per_core", run->NumberOr("barriers_per_core", 0)));
+  if (const json::Value* msgs = run->Find("noc_msgs")) {
+    r.metrics.push_back(Det("noc_msgs.total", msgs->NumberOr("total", 0)));
+  }
+  // Host-side throughput: wall clock, threshold-compared only.
+  AddIfPresent(r.metrics, *run, "host_events_per_sec", false, true);
+  rows.push_back(std::move(r));
+}
+
+void ExtractFig5(const json::Value& doc, std::vector<Row>& rows, bool hier) {
+  const json::Value* points = doc.Find("points");
+  if (points == nullptr || !points->IsArray()) return;
+  const char* schema = hier ? "glb.fig5_hier" : "glb.fig5";
+  for (const json::Value& p : points->arr) {
+    Row r;
+    r.id = std::string(schema) + "/" +
+           std::to_string(static_cast<std::uint64_t>(p.NumberOr("cores", 0))) + "c";
+    // Every fig5 field is simulated output: exact match required.
+    for (const auto& [key, v] : p.obj) {
+      if (key != "cores" && v.IsNumber()) r.metrics.push_back(Det(key, v.num_v));
+    }
+    rows.push_back(std::move(r));
+  }
+}
+
+void ExtractMicroEngine(const json::Value& doc, std::vector<Row>& rows) {
+  const json::Value* results = doc.Find("results");
+  if (results == nullptr || !results->IsArray()) return;
+  for (const json::Value& b : results->arr) {
+    Row r;
+    r.id = "glb.micro_engine/" + b.StringOr("name", "?");
+    AddIfPresent(r.metrics, b, "items_per_second", false, true);
+    AddIfPresent(r.metrics, b, "allocs_per_event", false, false);
+    rows.push_back(std::move(r));
+  }
+}
+
+/// google-benchmark --benchmark_format=json output.
+void ExtractGoogleBenchmark(const json::Value& doc, std::vector<Row>& rows) {
+  const json::Value* benchmarks = doc.Find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->IsArray()) return;
+  for (const json::Value& b : benchmarks->arr) {
+    if (b.StringOr("run_type", "iteration") != "iteration") continue;
+    Row r;
+    r.id = "benchmark/" + b.StringOr("name", "?");
+    AddIfPresent(r.metrics, b, "items_per_second", false, true);
+    // User counters ride at the top level of each benchmark entry.
+    AddIfPresent(r.metrics, b, "allocs_per_event", false, false);
+    if (r.metrics.empty()) AddIfPresent(r.metrics, b, "real_time", false, false);
+    rows.push_back(std::move(r));
+  }
+}
+
+void ExtractDoc(const json::Value& doc, std::vector<Row>& rows) {
+  const std::string schema = doc.StringOr("schema", "");
+  if (schema == "glb.run") {
+    ExtractRun(doc, rows);
+  } else if (schema == "glb.fig5") {
+    ExtractFig5(doc, rows, /*hier=*/false);
+  } else if (schema == "glb.fig5_hier") {
+    ExtractFig5(doc, rows, /*hier=*/true);
+  } else if (schema == "glb.micro_engine") {
+    ExtractMicroEngine(doc, rows);
+  } else if (schema.empty() && doc.Find("benchmarks") != nullptr) {
+    ExtractGoogleBenchmark(doc, rows);
+  }
+  // Unknown schemas (glb.sweep_wall, glb.timeseries, campaign rows, ...)
+  // carry no gateable metrics and are skipped silently.
+}
+
+/// Comparing near-zero baselines relatively is meaningless (the
+/// allocs_per_event counter hovers at ~0.003); below this floor an
+/// absolute slack of the same size applies instead.
+constexpr double kAbsFloor = 0.05;
+
+}  // namespace
+
+std::vector<Row> ParseRows(std::string_view text, std::vector<std::string>* warnings) {
+  std::vector<Row> rows;
+  // Whole-text parse first (pretty documents span lines); fall back to
+  // JSONL line-by-line.
+  if (std::optional<json::Value> doc = json::Parse(text)) {
+    ExtractDoc(*doc, rows);
+    return rows;
+  }
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    const std::string_view line = text.substr(start, end - start);
+    ++line_no;
+    if (!line.empty() && line.find_first_not_of(" \t\r") != std::string_view::npos) {
+      std::string err;
+      if (std::optional<json::Value> doc = json::Parse(line, &err)) {
+        ExtractDoc(*doc, rows);
+      } else if (warnings != nullptr) {
+        warnings->push_back("line " + std::to_string(line_no) + ": " + err);
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return rows;
+}
+
+std::optional<std::vector<Row>> LoadRows(const std::string& path, std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ParseRows(ss.str());
+}
+
+DiffResult Diff(const std::vector<Row>& baseline, std::vector<Row> candidate,
+                const DiffOptions& opts) {
+  DiffResult res;
+  // Last row per id wins on both sides (JSONL trajectories append).
+  std::map<std::string, const Row*> base_by_id;
+  for (const Row& r : baseline) base_by_id[r.id] = &r;
+  std::map<std::string, Row*> cand_by_id;
+  for (Row& r : candidate) cand_by_id[r.id] = &r;
+
+  std::vector<std::string> info;
+  for (auto& [id, cand] : cand_by_id) {
+    const auto bit = base_by_id.find(id);
+    if (bit == base_by_id.end()) {
+      info.push_back("note: " + id + " has no baseline row (skipped)");
+      continue;
+    }
+    const Row& base = *bit->second;
+    for (Metric& cm : cand->metrics) {
+      const Metric* bm = nullptr;
+      for (const Metric& m : base.metrics) {
+        if (m.key == cm.key) { bm = &m; break; }
+      }
+      if (bm == nullptr) continue;
+      ++res.compared;
+      if (cm.deterministic) {
+        if (cm.value != bm->value) {
+          ++res.regressions;
+          std::ostringstream os;
+          os << "REGRESSION " << id << " " << cm.key << ": deterministic metric "
+             << "changed " << bm->value << " -> " << cm.value;
+          res.lines.push_back(os.str());
+        }
+        continue;
+      }
+      if (!opts.compare_time) continue;
+      if (opts.inject_regression_pct != 0.0) {
+        const double f = opts.inject_regression_pct / 100.0;
+        cm.value *= cm.higher_better ? (1.0 - f) : (1.0 + f);
+      }
+      const double delta = cm.value - bm->value;
+      bool bad;
+      if (std::abs(bm->value) < kAbsFloor) {
+        bad = cm.higher_better ? delta < -kAbsFloor : delta > kAbsFloor;
+      } else {
+        const double rel = delta / std::abs(bm->value);
+        bad = cm.higher_better ? rel < -opts.time_threshold
+                               : rel > opts.time_threshold;
+      }
+      if (bad) {
+        ++res.regressions;
+        std::ostringstream os;
+        os << "REGRESSION " << id << " " << cm.key << ": " << bm->value << " -> "
+           << cm.value << " (" << (cm.higher_better ? "higher" : "lower")
+           << "-is-better, threshold " << opts.time_threshold * 100 << "%)";
+        res.lines.push_back(os.str());
+      }
+    }
+  }
+  for (const auto& [id, base] : base_by_id) {
+    if (cand_by_id.find(id) == cand_by_id.end()) {
+      ++res.regressions;
+      res.lines.push_back("REGRESSION " + id + ": row missing from candidate");
+    }
+  }
+  res.lines.insert(res.lines.end(), info.begin(), info.end());
+  return res;
+}
+
+}  // namespace glb::harness::benchdiff

@@ -1,0 +1,77 @@
+// Perf-regression diff gate: loads two bench artifacts (pretty
+// manifests or JSONL appends — glb.run, glb.fig5, glb.fig5_hier,
+// glb.micro_engine, or google-benchmark native output), matches rows by
+// identity, and compares metrics under per-metric rules:
+//
+//   deterministic metrics (simulated cycles, message counts, wire
+//   counts) must match EXACTLY — any drift is a correctness regression,
+//   not noise, because the simulator's outputs are byte-stable;
+//
+//   time metrics (items_per_second, host_events_per_sec) are host
+//   wall-clock and noisy, so they compare under a relative threshold
+//   with a direction (higher- or lower-is-better) inferred per metric.
+//
+// scripts/check.sh and CI run micro_engine and a bounded fig5 sweep
+// through tools/glb_bench_diff against checked-in baselines
+// (bench/baselines/); the gate exits non-zero on any regression.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glb::harness::benchdiff {
+
+struct Metric {
+  std::string key;
+  double value = 0.0;
+  /// Exact-match required (simulated/deterministic quantity) vs
+  /// threshold-compared host-time quantity.
+  bool deterministic = true;
+  /// Time metrics only: which direction is an improvement.
+  bool higher_better = false;
+};
+
+/// One comparable unit: a (schema, discriminator) identity plus its
+/// metrics, e.g. "glb.fig5/16c" or "glb.micro_engine/BM_EngineScheduleRun/1024".
+struct Row {
+  std::string id;
+  std::vector<Metric> metrics;
+};
+
+/// Extracts rows from the concatenation of JSON documents in `text`
+/// (one pretty document, or JSONL one-per-line). Unknown schemas are
+/// skipped; a malformed document adds a warning and is skipped. When a
+/// file carries several rows with one id (a BENCH_*.json trajectory),
+/// the LAST row wins — it is the most recent append.
+std::vector<Row> ParseRows(std::string_view text,
+                           std::vector<std::string>* warnings = nullptr);
+
+/// ParseRows over a file; nullopt (with `*error` set) when unreadable.
+std::optional<std::vector<Row>> LoadRows(const std::string& path, std::string* error);
+
+struct DiffOptions {
+  /// Allowed relative slip for time metrics (0.10 = 10%).
+  double time_threshold = 0.10;
+  /// Compare time metrics at all (off when baseline and candidate come
+  /// from different hosts, where wall clock is meaningless).
+  bool compare_time = true;
+  /// Test hook (--inject-regression): perturbs every candidate time
+  /// metric this many percent in its WORSE direction before comparing,
+  /// proving the gate fails when it should.
+  double inject_regression_pct = 0.0;
+};
+
+struct DiffResult {
+  /// Human-readable findings, regressions first.
+  std::vector<std::string> lines;
+  int compared = 0;
+  int regressions = 0;
+  bool ok() const { return regressions == 0; }
+};
+
+DiffResult Diff(const std::vector<Row>& baseline, std::vector<Row> candidate,
+                const DiffOptions& opts = {});
+
+}  // namespace glb::harness::benchdiff

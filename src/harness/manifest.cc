@@ -9,6 +9,22 @@
 
 namespace glb::harness {
 
+NocHeatmap CollectNocHeatmap(const noc::Mesh& mesh) {
+  NocHeatmap hm;
+  hm.rows = mesh.config().rows;
+  hm.cols = mesh.config().cols;
+  const std::uint32_t n = mesh.config().num_nodes();
+  hm.router_flits.reserve(n);
+  for (auto& grid : hm.link_flits) grid.reserve(n);
+  for (std::uint32_t node = 0; node < n; ++node) {
+    hm.router_flits.push_back(mesh.RouterFlits(node));
+    for (int d = 0; d < noc::Mesh::kNumLinkDirs; ++d) {
+      hm.link_flits[static_cast<std::size_t>(d)].push_back(mesh.LinkFlits(node, d));
+    }
+  }
+  return hm;
+}
+
 void WriteStatsBlock(json::Writer& w, const StatSet& stats) {
   w.Key("counters");
   w.BeginObject();
@@ -236,6 +252,78 @@ void WriteRun(json::Writer& w, const RunMetrics& m, const cmp::CmpConfig& cfg) {
   w.EndObject();
 }
 
+void WriteGrid(json::Writer& w, const std::vector<std::uint64_t>& grid) {
+  w.BeginArray();
+  for (std::uint64_t v : grid) w.Uint(v);
+  w.EndArray();
+}
+
+void WriteHeatmap(json::Writer& w, const NocHeatmap& hm) {
+  w.Key("noc_heatmap");
+  w.BeginObject();
+  w.Field("rows", hm.rows);
+  w.Field("cols", hm.cols);
+  w.Key("router_flits");
+  WriteGrid(w, hm.router_flits);
+  w.Key("link_flits");
+  w.BeginObject();
+  for (int d = 0; d < noc::Mesh::kNumLinkDirs; ++d) {
+    w.Key(noc::Mesh::kLinkDirNames[d]);
+    WriteGrid(w, hm.link_flits[static_cast<std::size_t>(d)]);
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+void WriteHierLevels(json::Writer& w,
+                     const std::vector<gline::LevelWireSummary>& levels) {
+  w.Key("hier_levels");
+  w.BeginArray();
+  for (const gline::LevelWireSummary& l : levels) {
+    w.BeginObject();
+    w.Field("level", l.level);
+    w.Field("nodes", l.nodes);
+    w.Field("lines", l.lines);
+    w.Field("span_tiles", l.span_tiles);
+    w.Field("signals", l.signals);
+    w.Field("handoffs", l.handoffs);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+void WriteHostProfile(json::Writer& w, const prof::Snapshot& snap) {
+  // Host wall clock: outside the determinism contract by design, like
+  // host_wall_ms. Consumers must never byte-diff this block.
+  w.Key("host_profile");
+  w.BeginObject();
+  w.Field("total_ms", static_cast<double>(snap.total_ns()) / 1e6);
+  w.Key("categories_ms");
+  w.BeginObject();
+  for (int c = 0; c < prof::kNumCats; ++c) {
+    const auto cat = static_cast<prof::Cat>(c);
+    w.Field(prof::ToString(cat), snap.ms(cat));
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+void WriteSamples(json::Writer& w, const trace::Sampler& sampler) {
+  w.Field("interval", sampler.interval());
+  w.Key("samples");
+  w.BeginArray();
+  for (const trace::Sample& s : sampler.samples()) {
+    w.BeginObject();
+    w.Field("t", s.t);
+    w.Key("counters");
+    w.BeginObject();
+    for (const auto& [name, value] : s.values) w.Field(name, value);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
 }  // namespace
 
 void WriteRunManifest(std::ostream& os, const RunMetrics& m, const cmp::CmpConfig& cfg,
@@ -252,7 +340,44 @@ void WriteRunManifest(std::ostream& os, const RunMetrics& m, const cmp::CmpConfi
   w.BeginObject();
   WriteStatsBlock(w, stats);
   w.EndObject();
+  // Observability blocks, each gated on its option so default manifests
+  // stay byte-identical to older builds.
+  if (opts.heatmap != nullptr) WriteHeatmap(w, *opts.heatmap);
+  if (opts.hier_levels != nullptr) WriteHierLevels(w, *opts.hier_levels);
+  if (opts.host_profile != nullptr) WriteHostProfile(w, *opts.host_profile);
+  if (opts.sampler != nullptr && opts.sampler->enabled()) {
+    w.Key("timeseries");
+    w.BeginObject();
+    WriteSamples(w, *opts.sampler);
+    w.EndObject();
+  }
   w.EndObject();
+}
+
+void WriteTimeseries(std::ostream& os, const trace::Sampler& sampler,
+                     const TimeseriesMeta& meta, bool pretty) {
+  json::Writer w(os, pretty);
+  w.BeginObject();
+  w.Field("schema", kTimeseriesSchema);
+  w.Field("schema_version", kTimeseriesVersion);
+  w.Field("tool", meta.tool);
+  w.Key("run");
+  w.BeginObject();
+  w.Field("workload", meta.workload);
+  w.Field("barrier", meta.barrier);
+  w.Field("cores", meta.cores);
+  w.EndObject();
+  WriteSamples(w, sampler);
+  w.EndObject();
+}
+
+bool AppendTimeseriesLine(const std::string& path, const trace::Sampler& sampler,
+                          const TimeseriesMeta& meta) {
+  std::ofstream f(path, std::ios::app);
+  if (!f) return false;
+  WriteTimeseries(f, sampler, meta, /*pretty=*/false);
+  f << '\n';
+  return f.good();
 }
 
 bool AppendRunManifestLine(const std::string& path, const RunMetrics& m,

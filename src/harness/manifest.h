@@ -5,16 +5,20 @@
 // become diffable artifacts in the repo's bench trajectory.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "cmp/cmp_system.h"
 #include "common/json.h"
+#include "common/prof.h"
 #include "fault/fault_model.h"
 #include "common/stats.h"
 #include "harness/experiment.h"
 #include "harness/spec.h"
+#include "trace/sampler.h"
 
 namespace glb::harness {
 
@@ -22,6 +26,24 @@ namespace glb::harness {
 /// on `schema` + `schema_version`).
 inline constexpr std::uint32_t kRunManifestVersion = 1;
 inline constexpr const char* kRunManifestSchema = "glb.run";
+
+/// Schema of the interval-sampler time-series artifact (one JSONL row
+/// per run; see docs/OBSERVABILITY.md).
+inline constexpr std::uint32_t kTimeseriesVersion = 1;
+inline constexpr const char* kTimeseriesSchema = "glb.timeseries";
+
+/// Cumulative spatial utilization of the mesh, collected after a run
+/// from the Mesh's per-link/per-router flit counts. Grids are row-major
+/// (rows x cols, matching the tile layout); link grids are per output
+/// direction in noc::Mesh::kLinkDirNames order (E, W, N, S).
+struct NocHeatmap {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::vector<std::uint64_t> router_flits;
+  std::array<std::vector<std::uint64_t>, 4> link_flits;
+};
+
+NocHeatmap CollectNocHeatmap(const noc::Mesh& mesh);
 
 struct ManifestOptions {
   /// Producing tool, echoed as "tool" (e.g. "glbsim", "fig5").
@@ -35,6 +57,22 @@ struct ManifestOptions {
   /// write. Omitted (and the manifest byte-identical to older builds)
   /// when null.
   const ExperimentSpec* experiment = nullptr;
+  // The observability blocks below are all gated the same way as
+  // `experiment`: borrowed pointers, emitted only when non-null, so a
+  // default-options manifest stays byte-identical to older builds.
+  /// Per-link/per-router utilization grids ("noc_heatmap" block,
+  /// rendered by tools/glb_report).
+  const NocHeatmap* heatmap = nullptr;
+  /// Per-level G-line transmitter-occupancy rollups for hierarchical
+  /// runs ("hier_levels" block; from gline::LevelSummaries()).
+  const std::vector<gline::LevelWireSummary>* hier_levels = nullptr;
+  /// Host-side wall-clock attribution ("host_profile" block). Like
+  /// host_wall_ms this is OUTSIDE the determinism contract — never
+  /// byte-diff it.
+  const prof::Snapshot* host_profile = nullptr;
+  /// Interval-sampler series, embedded as a "timeseries" block when the
+  /// sampler is enabled (disabled samplers are skipped even if set).
+  const trace::Sampler* sampler = nullptr;
 };
 
 /// Writes one complete run manifest object (no trailing newline).
@@ -60,5 +98,25 @@ void WriteStatsBlock(json::Writer& w, const StatSet& stats);
 /// alone. Straggler fields and the script array are emitted only when
 /// live, keeping pre-straggler manifests byte-identical.
 void WriteFaultPlan(json::Writer& w, const fault::FaultPlan& plan);
+
+/// Identifies the run a glb.timeseries row came from.
+struct TimeseriesMeta {
+  std::string tool = "glbsim";
+  std::string workload;
+  std::string barrier;
+  std::uint32_t cores = 0;
+};
+
+/// Writes one complete glb.timeseries document (no trailing newline):
+/// the sampler's interval plus one object per sample holding the cycle
+/// and the changed counters. Every field is deterministic for fixed
+/// flags and any --jobs value.
+void WriteTimeseries(std::ostream& os, const trace::Sampler& sampler,
+                     const TimeseriesMeta& meta, bool pretty = false);
+
+/// Appends the time series as one compact JSONL line to `path` (the
+/// BENCH_*.json convention). Returns false on I/O failure.
+bool AppendTimeseriesLine(const std::string& path, const trace::Sampler& sampler,
+                          const TimeseriesMeta& meta);
 
 }  // namespace glb::harness

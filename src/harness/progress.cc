@@ -1,0 +1,64 @@
+#include "harness/progress.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace glb::harness {
+
+Progress::Progress(sim::Engine& engine, bool enabled, Cycle max_cycles)
+    : engine_(engine), enabled_(enabled), max_cycles_(max_cycles) {}
+
+bool Progress::StderrIsTty() { return ::isatty(2) == 1; }
+
+void Progress::Start() {
+  if (!enabled_) return;
+  started_ = std::chrono::steady_clock::now();
+  last_print_ = started_;
+  engine_.ScheduleIn(kTickCycles, [this]() { Tick(); });
+}
+
+void Progress::Print() {
+  const auto now = std::chrono::steady_clock::now();
+  const std::chrono::duration<double> elapsed = now - started_;
+  const double evps =
+      elapsed.count() > 0
+          ? static_cast<double>(engine_.events_processed()) / elapsed.count()
+          : 0.0;
+  // \r + no newline: successive heartbeats overwrite in place.
+  std::fprintf(stderr, "\r[glbsim] cycle %llu  events %llu  (%.2fM ev/s",
+               static_cast<unsigned long long>(engine_.Now()),
+               static_cast<unsigned long long>(engine_.events_processed()),
+               evps / 1e6);
+  if (max_cycles_ != kCycleNever && engine_.Now() > 0) {
+    // Linear extrapolation over simulated cycles: crude but honest for
+    // runs whose event density is roughly stationary.
+    const double frac =
+        static_cast<double>(engine_.Now()) / static_cast<double>(max_cycles_);
+    if (frac > 0 && frac < 1.0) {
+      std::fprintf(stderr, ", ETA %.0fs", elapsed.count() * (1.0 - frac) / frac);
+    }
+  }
+  std::fprintf(stderr, ")  ");
+  std::fflush(stderr);
+  printed_ = true;
+  last_print_ = now;
+}
+
+void Progress::Tick() {
+  if (std::chrono::steady_clock::now() - last_print_ >= kPrintEvery) Print();
+  // pending_events() excludes this tick (the engine pops an event
+  // before running it): rescheduling only while other work is queued
+  // lets the engine go idle.
+  if (engine_.pending_events() > 0) {
+    engine_.ScheduleIn(kTickCycles, [this]() { Tick(); });
+  }
+}
+
+void Progress::Finish() {
+  if (!enabled_ || !printed_) return;
+  std::fprintf(stderr, "\r%*s\r", 70, "");
+  std::fflush(stderr);
+}
+
+}  // namespace glb::harness

@@ -1,0 +1,58 @@
+// Stderr heartbeat for long interactive runs (glbsim --progress):
+// an engine-driven tick prints simulated cycles, events dispatched,
+// host events/s, and — when the run is bounded by --max-cycles — an
+// ETA extrapolated from host wall clock.
+//
+// The heartbeat rides the normal event queue, so an enabled run
+// processes more events (host_events grows) but every simulated
+// observable is unchanged: the tick only reads engine state. It prints
+// to stderr only, never stdout, so reports and manifests stay
+// byte-identical; callers gate it on StderrIsTty() so redirected or
+// CI output stays clean (bench sweeps additionally keep it off under
+// --jobs > 1, where interleaved heartbeats would be garbage).
+#pragma once
+
+#include <chrono>
+
+#include "common/types.h"
+#include "sim/engine.h"
+
+namespace glb::harness {
+
+class Progress {
+ public:
+  /// `enabled` false makes every method a no-op (no events scheduled).
+  /// `max_cycles` bounds the run (kCycleNever = unbounded, no ETA).
+  Progress(sim::Engine& engine, bool enabled, Cycle max_cycles = kCycleNever);
+
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  /// Schedules the first tick; call right before the run.
+  void Start();
+  /// Erases the heartbeat line; call once after the run.
+  void Finish();
+
+  /// True when stderr is an interactive terminal.
+  static bool StderrIsTty();
+
+ private:
+  void Tick();
+  void Print();
+
+  /// Simulated cycles between ticks. Coarse on purpose: the wall-clock
+  /// throttle below decides what actually prints; this only bounds how
+  /// often the engine wakes us.
+  static constexpr Cycle kTickCycles = 16384;
+  /// Minimum host time between printed heartbeats.
+  static constexpr std::chrono::milliseconds kPrintEvery{500};
+
+  sim::Engine& engine_;
+  const bool enabled_;
+  const Cycle max_cycles_;
+  std::chrono::steady_clock::time_point started_;
+  std::chrono::steady_clock::time_point last_print_;
+  bool printed_ = false;
+};
+
+}  // namespace glb::harness

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "common/prof.h"
 #include "trace/trace.h"
 
 namespace glb::noc {
@@ -24,7 +25,11 @@ constexpr const char* kDirName[] = {"E", "W", "N", "S"};
 }  // namespace
 
 Mesh::Mesh(sim::Engine& engine, const MeshConfig& cfg, StatSet& stats)
-    : engine_(engine), cfg_(cfg), routers_(cfg.num_nodes()) {
+    : engine_(engine),
+      cfg_(cfg),
+      routers_(cfg.num_nodes()),
+      link_flits_(cfg.num_nodes()),
+      router_flits_(cfg.num_nodes()) {
   GLB_CHECK(cfg.rows > 0 && cfg.cols > 0) << "empty mesh";
   GLB_CHECK(cfg.link_bytes > 0) << "zero-width links";
   for (int c = 0; c < kNumTrafficClasses; ++c) {
@@ -65,6 +70,7 @@ CoreId Mesh::Neighbour(CoreId node, Dir d) const {
 }
 
 void Mesh::Send(Packet pkt) {
+  prof::Scope prof_scope(prof::Cat::kNoc);
   GLB_CHECK(pkt.src < cfg_.num_nodes() && pkt.dst < cfg_.num_nodes())
       << "packet endpoints out of range: " << pkt.src << "->" << pkt.dst;
   GLB_CHECK(pkt.deliver != nullptr) << "packet without delivery closure";
@@ -104,6 +110,8 @@ void Mesh::DeliverLocal(InFlight flight, Cycle penalty) {
 }
 
 void Mesh::RouteAt(CoreId node, InFlight flight) {
+  prof::Scope prof_scope(prof::Cat::kNoc);
+  router_flits_[node] += FlitsOf(flight.pkt.bytes);
   if (node == flight.pkt.dst) {
     latency_->Record(engine_.Now() - flight.injected_at);
     GLB_TRACE(engine_.Now(), "noc",
@@ -125,6 +133,7 @@ void Mesh::RouteAt(CoreId node, InFlight flight) {
 }
 
 void Mesh::PumpLink(CoreId node, Dir d) {
+  prof::Scope prof_scope(prof::Cat::kNoc);
   OutLink& link = routers_[node].out[d];
   if (link.transmitting) return;
 
@@ -146,6 +155,7 @@ void Mesh::PumpLink(CoreId node, Dir d) {
 
   const Cycle serialization = FlitsOf(flight.pkt.bytes);
   const CoreId next = Neighbour(node, d);
+  link_flits_[node][d] += serialization;
 
   if (trace::Active()) {
     // One span per link occupancy: start = head flit on the wire,

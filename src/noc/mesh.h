@@ -80,6 +80,25 @@ class Mesh {
     return bytes == 0 ? 1 : (bytes + cfg_.link_bytes - 1) / cfg_.link_bytes;
   }
 
+  // --- spatial utilization (heatmaps, docs/OBSERVABILITY.md) ----------
+  // Cumulative per-link and per-router flit counts, kept as plain
+  // members rather than StatSet counters so default glb.run manifests
+  // stay byte-identical (a heatmap block is emitted only on request).
+  // Invariant: the link counts sum to noc.flits_sent — every flit
+  // crosses exactly Hops(src, dst) links (asserted by noc_test.cc).
+
+  /// Directed-link output directions, indexing LinkFlits' second axis.
+  static constexpr int kNumLinkDirs = 4;  // E, W, N, S
+  static constexpr const char* kLinkDirNames[kNumLinkDirs] = {"E", "W", "N", "S"};
+
+  /// Flits transmitted on node's outgoing link in direction `dir`.
+  std::uint64_t LinkFlits(CoreId node, int dir) const {
+    return link_flits_[node][static_cast<std::size_t>(dir)];
+  }
+  /// Flits that traversed node's router pipeline (through-traffic plus
+  /// ejection; locally delivered messages never enter the mesh).
+  std::uint64_t RouterFlits(CoreId node) const { return router_flits_[node]; }
+
  private:
   // Output directions from a router.
   enum Dir : std::uint8_t { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3, kNumDirs = 4 };
@@ -123,6 +142,8 @@ class Mesh {
   MeshConfig cfg_;
   std::vector<Router> routers_;
   FaultHook fault_;
+  std::vector<std::array<std::uint64_t, kNumDirs>> link_flits_;
+  std::vector<std::uint64_t> router_flits_;
 
   // Stats (owned by the caller's StatSet; pointers are stable).
   std::array<Counter*, kNumTrafficClasses> msgs_by_class_{};

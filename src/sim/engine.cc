@@ -7,6 +7,8 @@
 #include <new>
 #include <utility>
 
+#include "common/prof.h"
+
 namespace glb::sim {
 
 Engine::Engine() {
@@ -136,6 +138,10 @@ void Engine::RunCurrentCycle() {
 }
 
 RunStatus Engine::RunUntilIdleStatus(Cycle max_cycles) {
+  // Everything the event loop does that no component re-attributes via
+  // a nested prof::Scope (queue maintenance, dispatch) lands in kEngine.
+  // One scope per run, not per event: the loop itself stays scope-free.
+  prof::Scope prof_scope(prof::Cat::kEngine);
   while (pending_ > 0) {
     const Cycle next = NextEventCycle();
     if (next > max_cycles) {

@@ -1,0 +1,202 @@
+// Perf-regression gate tests: row extraction from every understood
+// schema, the exact-match rule for deterministic metrics, the
+// thresholded rule for host-time metrics, and the --inject-regression
+// self-test hook the CI smoke relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/benchdiff.h"
+
+namespace glb::harness::benchdiff {
+namespace {
+
+const Row* FindRow(const std::vector<Row>& rows, const std::string& id) {
+  for (const Row& r : rows) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+const Metric* FindMetric(const Row& r, const std::string& key) {
+  for (const Metric& m : r.metrics) {
+    if (m.key == key) return &m;
+  }
+  return nullptr;
+}
+
+constexpr const char kRunDoc[] =
+    R"({"schema":"glb.run","tool":"glbsim","run":{"workload":"Kernel3",)"
+    R"("barrier":"GL","cores":16,"cycles":65241,"barriers_per_core":100,)"
+    R"("host_events_per_sec":1.25e6,"noc_msgs":{"total":7074}}})";
+
+TEST(BenchDiffParse, ExtractsRunRows) {
+  const std::vector<Row> rows = ParseRows(kRunDoc);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].id, "glb.run/Kernel3/GL/16c");
+  const Metric* cycles = FindMetric(rows[0], "cycles");
+  ASSERT_NE(cycles, nullptr);
+  EXPECT_TRUE(cycles->deterministic);
+  EXPECT_EQ(cycles->value, 65241);
+  const Metric* eps = FindMetric(rows[0], "host_events_per_sec");
+  ASSERT_NE(eps, nullptr);
+  EXPECT_FALSE(eps->deterministic);
+  EXPECT_TRUE(eps->higher_better);
+}
+
+TEST(BenchDiffParse, ExtractsFig5PointsAsDeterministicRows) {
+  const std::vector<Row> rows = ParseRows(
+      R"({"schema":"glb.fig5","points":[
+           {"cores":4,"gline_cycles":11,"tree_cycles":40},
+           {"cores":16,"gline_cycles":13,"tree_cycles":80}]})");
+  ASSERT_EQ(rows.size(), 2u);
+  const Row* r16 = FindRow(rows, "glb.fig5/16c");
+  ASSERT_NE(r16, nullptr);
+  for (const Metric& m : r16->metrics) EXPECT_TRUE(m.deterministic);
+  ASSERT_NE(FindMetric(*r16, "gline_cycles"), nullptr);
+  EXPECT_EQ(FindMetric(*r16, "gline_cycles")->value, 13);
+  EXPECT_EQ(FindMetric(*r16, "cores"), nullptr);  // the id, not a metric
+}
+
+TEST(BenchDiffParse, JsonlKeepsTheLastRowPerId) {
+  const std::string two_lines = std::string(kRunDoc) + "\n" +
+      R"({"schema":"glb.run","run":{"workload":"Kernel3","barrier":"GL",)" +
+      R"("cores":16,"cycles":70000,"barriers_per_core":100}})" + "\n";
+  const std::vector<Row> rows = ParseRows(two_lines);
+  ASSERT_EQ(rows.size(), 2u);
+  // Diff sees only the later one.
+  const DiffResult res = Diff(rows, rows, DiffOptions{});
+  EXPECT_TRUE(res.ok());
+}
+
+TEST(BenchDiffParse, MalformedLinesWarnAndSkip) {
+  std::vector<std::string> warnings;
+  const std::vector<Row> rows =
+      ParseRows(std::string(kRunDoc) + "\nnot json at all\n", &warnings);
+  EXPECT_EQ(rows.size(), 1u);
+  EXPECT_EQ(warnings.size(), 1u);
+}
+
+TEST(BenchDiffDiff, IdenticalInputsPass) {
+  const std::vector<Row> rows = ParseRows(kRunDoc);
+  const DiffResult res = Diff(rows, rows, DiffOptions{});
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.regressions, 0);
+  EXPECT_EQ(res.compared, 4);
+}
+
+TEST(BenchDiffDiff, DeterministicDriftIsAlwaysARegression) {
+  const std::vector<Row> base = ParseRows(kRunDoc);
+  std::vector<Row> cand = base;
+  for (Metric& m : cand[0].metrics) {
+    if (m.key == "cycles") m.value += 1;  // one cycle of drift
+  }
+  const DiffResult res = Diff(base, cand, DiffOptions{});
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.regressions, 1);
+}
+
+TEST(BenchDiffDiff, TimeMetricsTolerateTheThresholdButNotMore) {
+  const std::vector<Row> base = ParseRows(kRunDoc);
+  DiffOptions opts;
+  opts.time_threshold = 0.10;
+
+  std::vector<Row> slower = base;
+  FindRow(slower, "glb.run/Kernel3/GL/16c");
+  for (Metric& m : slower[0].metrics) {
+    if (m.key == "host_events_per_sec") m.value *= 0.95;  // -5%: within
+  }
+  EXPECT_TRUE(Diff(base, slower, opts).ok());
+
+  std::vector<Row> much_slower = base;
+  for (Metric& m : much_slower[0].metrics) {
+    if (m.key == "host_events_per_sec") m.value *= 0.80;  // -20%: out
+  }
+  EXPECT_FALSE(Diff(base, much_slower, opts).ok());
+
+  // Faster is never a regression for a higher-is-better metric.
+  std::vector<Row> faster = base;
+  for (Metric& m : faster[0].metrics) {
+    if (m.key == "host_events_per_sec") m.value *= 2.0;
+  }
+  EXPECT_TRUE(Diff(base, faster, opts).ok());
+
+  // --no-time ignores even a huge slip.
+  opts.compare_time = false;
+  EXPECT_TRUE(Diff(base, much_slower, opts).ok());
+}
+
+TEST(BenchDiffDiff, NearZeroBaselinesUseAbsoluteSlack) {
+  // allocs_per_event baselines hover at ~0.003; a relative threshold
+  // would flag 0.003 -> 0.004 (+33%) as a regression. The absolute
+  // floor keeps noise out but still catches a real leak.
+  const char* base_doc = R"({"schema":"glb.micro_engine","results":[
+      {"name":"BM_Steady","items_per_second":5.0e6,"allocs_per_event":0.003}]})";
+  const std::vector<Row> base = ParseRows(base_doc);
+  ASSERT_EQ(base.size(), 1u);
+
+  std::vector<Row> noisy = base;
+  for (Metric& m : noisy[0].metrics) {
+    if (m.key == "allocs_per_event") m.value = 0.004;
+  }
+  EXPECT_TRUE(Diff(base, noisy, DiffOptions{}).ok());
+
+  std::vector<Row> leaky = base;
+  for (Metric& m : leaky[0].metrics) {
+    if (m.key == "allocs_per_event") m.value = 0.5;  // a real leak
+  }
+  EXPECT_FALSE(Diff(base, leaky, DiffOptions{}).ok());
+}
+
+TEST(BenchDiffDiff, MissingRowsRegressNewRowsAreNotes) {
+  const std::vector<Row> base = ParseRows(
+      R"({"schema":"glb.fig5","points":[{"cores":4,"gline_cycles":11},
+                                        {"cores":16,"gline_cycles":13}]})");
+  const std::vector<Row> cand = ParseRows(
+      R"({"schema":"glb.fig5","points":[{"cores":4,"gline_cycles":11},
+                                        {"cores":64,"gline_cycles":17}]})");
+  const DiffResult res = Diff(base, cand, DiffOptions{});
+  EXPECT_FALSE(res.ok());  // the 16c baseline row vanished
+  EXPECT_EQ(res.regressions, 1);
+  bool noted_new = false;
+  for (const std::string& line : res.lines) {
+    if (line.find("glb.fig5/64c") != std::string::npos &&
+        line.find("note") != std::string::npos) {
+      noted_new = true;
+    }
+  }
+  EXPECT_TRUE(noted_new);  // new rows inform, they don't fail
+}
+
+TEST(BenchDiffDiff, InjectedRegressionTripsTheGate) {
+  // The CI smoke: self-diff passes clean, fails with injection (the
+  // injection must exceed the threshold, so 10% injected vs 5% allowed).
+  const std::vector<Row> rows = ParseRows(kRunDoc);
+  DiffOptions opts;
+  opts.time_threshold = 0.05;
+  EXPECT_TRUE(Diff(rows, rows, opts).ok());
+  opts.inject_regression_pct = 10.0;
+  const DiffResult res = Diff(rows, rows, opts);
+  EXPECT_FALSE(res.ok());
+  // Only time metrics are perturbed — deterministic ones still match.
+  for (const std::string& line : res.lines) {
+    EXPECT_EQ(line.find("cycles"), std::string::npos) << line;
+  }
+}
+
+TEST(BenchDiffParse, GoogleBenchmarkNativeFormat) {
+  const std::vector<Row> rows = ParseRows(
+      R"({"context":{"host_name":"x"},"benchmarks":[
+           {"name":"BM_Engine/1024","run_type":"iteration",
+            "real_time":123.4,"items_per_second":8.1e6},
+           {"name":"BM_Engine/1024_mean","run_type":"aggregate",
+            "items_per_second":8.0e6}]})");
+  ASSERT_EQ(rows.size(), 1u);  // aggregates are skipped
+  EXPECT_EQ(rows[0].id, "benchmark/BM_Engine/1024");
+  ASSERT_NE(FindMetric(rows[0], "items_per_second"), nullptr);
+  EXPECT_TRUE(FindMetric(rows[0], "items_per_second")->higher_better);
+}
+
+}  // namespace
+}  // namespace glb::harness::benchdiff

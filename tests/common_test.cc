@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "harness/manifest.h"
 
 namespace glb {
 namespace {
@@ -284,6 +286,51 @@ TEST(Flags, ParsesAllForms) {
   EXPECT_EQ(f.GetString("d", ""), "x");
   ASSERT_EQ(f.positional().size(), 1u);
   EXPECT_EQ(f.positional()[0], "pos");
+}
+
+// Pins the StatSet ordering contract (see the class comment): every
+// dump is in lexicographic name order, independent of registration
+// order, so stats blocks from different builds/compilers diff cleanly.
+TEST(StatSetOrdering, DumpsAreRegistrationOrderIndependent) {
+  const auto populate = [](StatSet& s, bool reversed) {
+    std::vector<std::string> counters = {"noc.flits", "core.barriers",
+                                         "gl.retries", "a.first", "z.last"};
+    std::vector<std::string> hists = {"gl.episode_span", "noc.lat", "b.hist"};
+    if (reversed) {
+      std::reverse(counters.begin(), counters.end());
+      std::reverse(hists.begin(), hists.end());
+    }
+    for (const std::string& n : counters) s.GetCounter(n)->Inc(n.size());
+    for (const std::string& n : hists) {
+      s.GetHistogram(n)->Record(7);
+      s.GetHistogram(n)->Record(n.size());
+    }
+  };
+  StatSet forward, backward;
+  populate(forward, false);
+  populate(backward, true);
+
+  const auto dump_all = [](const StatSet& s) {
+    std::ostringstream text, csv, block;
+    s.Print(text);
+    s.PrintCsv(csv);
+    json::Writer w(block);
+    w.BeginObject();
+    harness::WriteStatsBlock(w, s);
+    w.EndObject();
+    return text.str() + "\n---\n" + csv.str() + "\n---\n" + block.str();
+  };
+  EXPECT_EQ(dump_all(forward), dump_all(backward));
+
+  // And the order really is name order, not insertion order.
+  std::vector<std::string> seen;
+  backward.ForEachCounter(
+      [&](const std::string& name, const Counter&) { seen.push_back(name); });
+  std::vector<std::string> sorted = seen;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(seen, sorted);
+  EXPECT_EQ(seen.front(), "a.first");
+  EXPECT_EQ(seen.back(), "z.last");
 }
 
 TEST(Flags, DefaultsWhenAbsent) {

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/prof.h"
 #include "harness/manifest.h"
+#include "trace/sampler.h"
 #include "workloads/synthetic.h"
 
 namespace glb::harness {
@@ -162,6 +164,122 @@ TEST(Manifest, AppendFailsOnUnwritablePath) {
   Fixture fx;
   EXPECT_FALSE(AppendRunManifestLine("/nonexistent-dir/x.jsonl", fx.metrics, fx.cfg,
                                      fx.stats, {}));
+}
+
+// The byte-identity contract of the observability blocks: options left
+// at their defaults — or set to objects that are themselves disabled —
+// must produce the exact bytes of a manifest from a build that predates
+// the blocks.
+TEST(ManifestObservability, DisabledBlocksLeaveTheManifestByteIdentical) {
+  Fixture fx;
+  std::ostringstream baseline, with_disabled;
+  WriteRunManifest(baseline, fx.metrics, fx.cfg, fx.stats, {});
+
+  sim::Engine idle_engine;
+  trace::Sampler disabled_sampler(idle_engine, fx.stats, /*interval=*/0);
+  ManifestOptions opts;
+  opts.sampler = &disabled_sampler;  // set but disabled: still skipped
+  WriteRunManifest(with_disabled, fx.metrics, fx.cfg, fx.stats, opts);
+  EXPECT_EQ(baseline.str(), with_disabled.str());
+
+  const json::Value doc = ParseManifest(baseline.str());
+  EXPECT_EQ(doc.Find("noc_heatmap"), nullptr);
+  EXPECT_EQ(doc.Find("hier_levels"), nullptr);
+  EXPECT_EQ(doc.Find("host_profile"), nullptr);
+  EXPECT_EQ(doc.Find("timeseries"), nullptr);
+}
+
+TEST(ManifestObservability, HeatmapBlockCarriesTheGrids) {
+  Fixture fx;
+  NocHeatmap hm;
+  hm.rows = 2;
+  hm.cols = 2;
+  hm.router_flits = {1, 2, 3, 4};
+  for (auto& grid : hm.link_flits) grid = {0, 5, 0, 7};
+  ManifestOptions opts;
+  opts.heatmap = &hm;
+  std::ostringstream os;
+  WriteRunManifest(os, fx.metrics, fx.cfg, fx.stats, opts);
+  const json::Value doc = ParseManifest(os.str());
+
+  const json::Value* block = doc.Find("noc_heatmap");
+  ASSERT_NE(block, nullptr);
+  EXPECT_DOUBLE_EQ(block->NumberOr("rows", 0), 2.0);
+  ASSERT_NE(block->Find("router_flits"), nullptr);
+  EXPECT_EQ(block->Find("router_flits")->arr.size(), 4u);
+  EXPECT_DOUBLE_EQ(block->Find("router_flits")->arr[3].num_v, 4.0);
+  const json::Value* links = block->Find("link_flits");
+  ASSERT_NE(links, nullptr);
+  ASSERT_EQ(links->obj.size(), 4u);  // E, W, N, S
+  EXPECT_EQ(links->obj[0].first, "E");
+  EXPECT_DOUBLE_EQ(links->Find("N")->arr[1].num_v, 5.0);
+}
+
+TEST(ManifestObservability, HostProfileBlockPartitionsCategories) {
+  Fixture fx;
+  prof::Snapshot snap;
+  snap.ns[static_cast<std::size_t>(prof::Cat::kEngine)] = 3'000'000;
+  snap.ns[static_cast<std::size_t>(prof::Cat::kBarrier)] = 1'000'000;
+  ManifestOptions opts;
+  opts.host_profile = &snap;
+  std::ostringstream os;
+  WriteRunManifest(os, fx.metrics, fx.cfg, fx.stats, opts);
+  const json::Value doc = ParseManifest(os.str());
+
+  const json::Value* block = doc.Find("host_profile");
+  ASSERT_NE(block, nullptr);
+  EXPECT_DOUBLE_EQ(block->NumberOr("total_ms", 0), 4.0);
+  const json::Value* cats = block->Find("categories_ms");
+  ASSERT_NE(cats, nullptr);
+  EXPECT_EQ(cats->obj.size(), static_cast<std::size_t>(prof::kNumCats));
+  EXPECT_DOUBLE_EQ(cats->NumberOr("engine", 0), 3.0);
+  EXPECT_DOUBLE_EQ(cats->NumberOr("barrier", 0), 1.0);
+  EXPECT_DOUBLE_EQ(cats->NumberOr("noc", -1), 0.0);
+}
+
+TEST(ManifestObservability, TimeseriesDocumentRoundTrips) {
+  StatSet stats;
+  Counter* c = stats.GetCounter("series.a");
+  sim::Engine engine;
+  trace::Sampler sampler(engine, stats, /*interval=*/5);
+  sampler.Start();
+  engine.ScheduleIn(0, [&engine, c]() {
+    c->Inc(10);
+    engine.ScheduleIn(7, [c]() { c->Inc(1); });
+  });
+  engine.RunUntilIdle();
+  sampler.FinalSample();
+  ASSERT_FALSE(sampler.samples().empty());
+
+  TimeseriesMeta meta;
+  meta.tool = "manifest_test";
+  meta.workload = "Synthetic";
+  meta.barrier = "GL";
+  meta.cores = 4;
+  std::ostringstream os;
+  WriteTimeseries(os, sampler, meta);
+  const json::Value doc = ParseManifest(os.str());
+
+  EXPECT_EQ(doc.StringOr("schema", ""), kTimeseriesSchema);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("schema_version", 0),
+                   static_cast<double>(kTimeseriesVersion));
+  EXPECT_EQ(doc.Find("run")->StringOr("workload", ""), "Synthetic");
+  EXPECT_DOUBLE_EQ(doc.NumberOr("interval", 0), 5.0);
+  const json::Value* samples = doc.Find("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_EQ(samples->arr.size(), 2u);  // t=5 (value 10), final t=7 (value 11)
+  EXPECT_DOUBLE_EQ(samples->arr[0].NumberOr("t", 0), 5.0);
+  EXPECT_DOUBLE_EQ(samples->arr[0].Find("counters")->NumberOr("series.a", 0), 10.0);
+  EXPECT_DOUBLE_EQ(samples->arr[1].Find("counters")->NumberOr("series.a", 0), 11.0);
+
+  // JSONL append parses back as the same schema.
+  const std::string path = ::testing::TempDir() + "/glb_timeseries_test.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(AppendTimeseriesLine(path, sampler, meta));
+  std::ifstream f(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(f, line));
+  EXPECT_EQ(ParseManifest(line).StringOr("schema", ""), kTimeseriesSchema);
 }
 
 }  // namespace

@@ -221,5 +221,38 @@ TEST(MeshStats, LatencyHistogramPopulated) {
   EXPECT_EQ(h->min(), f.ExpectedLatency(0, 15, 16));
 }
 
+TEST(MeshHeatmap, SingleRouteChargesEachCrossedLink) {
+  Fixture f;  // 4x4
+  // 0 -> 3: three eastward hops; 100 bytes = 2 flits per link crossing.
+  f.SendAndMeasure(0, 3, 100);
+  const std::uint64_t flits = f.mesh->FlitsOf(100);
+  EXPECT_EQ(flits, 2u);
+  EXPECT_EQ(f.mesh->LinkFlits(0, 0), flits);  // 0E
+  EXPECT_EQ(f.mesh->LinkFlits(1, 0), flits);  // 1E
+  EXPECT_EQ(f.mesh->LinkFlits(2, 0), flits);  // 2E
+  EXPECT_EQ(f.mesh->LinkFlits(3, 0), 0u);     // dst ejects, no further hop
+  // Router pipeline: traversed at source, intermediates, and destination.
+  for (CoreId n = 0; n <= 3; ++n) EXPECT_EQ(f.mesh->RouterFlits(n), flits);
+  EXPECT_EQ(f.mesh->RouterFlits(4), 0u);
+}
+
+TEST(MeshHeatmap, LinkFlitsSumToFlitsSent) {
+  Fixture f(4, 4);
+  // A mixed batch: multi-hop X+Y routes, a reverse route, a multi-flit
+  // payload, and a local delivery (which must not touch the mesh).
+  f.SendAndMeasure(0, 15, 16);
+  f.SendAndMeasure(15, 0, 200);
+  f.SendAndMeasure(5, 6, 75);
+  f.SendAndMeasure(9, 9, 64);  // local
+  std::uint64_t link_sum = 0;
+  for (CoreId n = 0; n < 16; ++n) {
+    for (int d = 0; d < Mesh::kNumLinkDirs; ++d) link_sum += f.mesh->LinkFlits(n, d);
+  }
+  EXPECT_GT(link_sum, 0u);
+  // Every flit crosses exactly Hops(src, dst) links (the mesh.h
+  // invariant the heatmap block inherits).
+  EXPECT_EQ(link_sum, f.stats.CounterValue("noc.flits_sent"));
+}
+
 }  // namespace
 }  // namespace glb::noc

@@ -1,0 +1,201 @@
+// Interval-sampler contract tests. The load-bearing one is the
+// off-path assertion: a DISABLED sampler (interval 0, the default for
+// every figure bench) must never allocate and never schedule an engine
+// event — that, plus the manifest gating pinned in manifest_test.cc, is
+// what keeps `--sample-interval 0` runs byte-identical to builds that
+// predate the sampler. Global operator new is replaced in this binary
+// to count allocations (same pattern as engine_alloc_test.cc).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/engine.h"
+#include "trace/sampler.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  ++g_allocs;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al), n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace glb::trace {
+namespace {
+
+/// A tiny deterministic workload: `counter` is bumped by an event chain
+/// every cycle until `until`.
+void DriveCounter(sim::Engine& e, Counter* c, Cycle until) {
+  if (e.Now() >= until) return;
+  c->Inc(1 + e.Now() % 3);
+  e.ScheduleIn(1, [&e, c, until]() { DriveCounter(e, c, until); });
+}
+
+TEST(SamplerOffPath, DisabledSamplerNeverAllocatesNorSchedules) {
+  sim::Engine e;
+  StatSet stats;
+  Counter* c = stats.GetCounter("test.counter");
+
+  Sampler sampler(e, stats, /*interval=*/0);
+  ASSERT_FALSE(sampler.enabled());
+
+  const std::uint64_t allocs_before = g_allocs.load();
+  // Everything a driver does with a sampler, on the disabled path.
+  sampler.AddGauge("gauge.one", [&e]() { return e.Now(); });
+  sampler.Start();
+  e.ScheduleIn(0, [&e, c]() { DriveCounter(e, c, 64); });
+  e.RunUntilIdle();
+  sampler.FinalSample();
+  const std::uint64_t sampler_path_allocs = g_allocs.load() - allocs_before;
+
+  EXPECT_TRUE(sampler.samples().empty());
+  // The DriveCounter chain itself allocates nothing after the engine's
+  // free list warms up, so every allocation on this path would be the
+  // sampler's. Zero means the off path is truly free.
+  EXPECT_EQ(sampler_path_allocs, 0u)
+      << "disabled sampler allocated " << sampler_path_allocs << " times";
+
+  // And it must not have scheduled anything: a second identical engine
+  // run without a sampler processes the same number of events.
+  sim::Engine e2;
+  StatSet stats2;
+  Counter* c2 = stats2.GetCounter("test.counter");
+  e2.ScheduleIn(0, [&e2, c2]() { DriveCounter(e2, c2, 64); });
+  e2.RunUntilIdle();
+  EXPECT_EQ(e.events_processed(), e2.events_processed());
+  EXPECT_EQ(c->value(), c2->value());
+}
+
+TEST(Sampler, SamplesChangedCountersAtIntervalBoundaries) {
+  sim::Engine e;
+  StatSet stats;
+  Counter* c = stats.GetCounter("test.counter");
+
+  Sampler sampler(e, stats, /*interval=*/16);
+  sampler.Start();
+  e.ScheduleIn(0, [&e, c]() { DriveCounter(e, c, 40); });
+  e.RunUntilIdle();
+  sampler.FinalSample();
+
+  // Ticks at 16 and 32 fire while the chain runs; the chain dies at 40,
+  // so the last tick (48) captures the 33..40 tail, sees an idle engine,
+  // and stops the chain. FinalSample then has nothing new to add.
+  ASSERT_EQ(sampler.samples().size(), 3u);
+  EXPECT_EQ(sampler.samples()[0].t, 16u);
+  EXPECT_EQ(sampler.samples()[1].t, 32u);
+  EXPECT_EQ(sampler.samples()[2].t, 48u);
+  for (const Sample& s : sampler.samples()) {
+    ASSERT_EQ(s.values.size(), 1u);
+    EXPECT_EQ(s.values[0].first, "test.counter");
+  }
+  // Absolute values, strictly increasing, ending at the final total.
+  EXPECT_LT(sampler.samples()[0].values[0].second,
+            sampler.samples()[1].values[0].second);
+  EXPECT_EQ(sampler.samples()[2].values[0].second, c->value());
+}
+
+TEST(Sampler, UnchangedSeriesAreOmittedAndZeroNeverAppears) {
+  sim::Engine e;
+  StatSet stats;
+  Counter* active = stats.GetCounter("active");
+  stats.GetCounter("idle.zero");  // registered, never bumped
+  Counter* early = stats.GetCounter("early.burst");
+  early->Inc(5);  // changes before the first tick, then never again
+
+  Sampler sampler(e, stats, /*interval=*/10);
+  std::uint64_t gauge_v = 100;
+  sampler.AddGauge("gauge.step", [&gauge_v]() { return gauge_v; });
+  sampler.Start();
+  e.ScheduleIn(0, [&e, active]() { DriveCounter(e, active, 25); });
+  e.ScheduleIn(15, [&gauge_v]() { gauge_v = 200; });
+  e.RunUntilIdle();
+  sampler.FinalSample();
+
+  ASSERT_EQ(sampler.samples().size(), 3u);  // ticks at t=10, t=20, t=30
+  const auto has = [](const Sample& s, const std::string& name) {
+    for (const auto& [n, v] : s.values) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  // First tick: early.burst appears once (first nonzero), the
+  // never-nonzero counter never appears at all.
+  EXPECT_TRUE(has(sampler.samples()[0], "early.burst"));
+  EXPECT_TRUE(has(sampler.samples()[0], "gauge.step"));
+  for (const Sample& s : sampler.samples()) {
+    EXPECT_FALSE(has(s, "idle.zero"));
+  }
+  // Later samples omit series that stopped changing.
+  EXPECT_FALSE(has(sampler.samples()[1], "early.burst"));
+  EXPECT_TRUE(has(sampler.samples()[1], "gauge.step"));  // 100 -> 200
+  EXPECT_FALSE(has(sampler.samples()[2], "gauge.step"));
+  EXPECT_TRUE(has(sampler.samples()[2], "active"));
+}
+
+TEST(Sampler, SeriesAreDeterministicAcrossRuns) {
+  const auto run = []() {
+    sim::Engine e;
+    StatSet stats;
+    Counter* c = stats.GetCounter("test.counter");
+    Sampler sampler(e, stats, /*interval=*/8);
+    sampler.AddGauge("gauge.now", [&e]() { return e.Now(); });
+    sampler.Start();
+    e.ScheduleIn(0, [&e, c]() { DriveCounter(e, c, 50); });
+    e.RunUntilIdle();
+    sampler.FinalSample();
+    std::vector<std::string> flat;
+    for (const Sample& s : sampler.samples()) {
+      for (const auto& [n, v] : s.values) {
+        flat.push_back(std::to_string(s.t) + ":" + n + "=" + std::to_string(v));
+      }
+    }
+    return flat;
+  };
+  const std::vector<std::string> a = run();
+  const std::vector<std::string> b = run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sampler, TickChainEndsWhenTheEngineIdles) {
+  // The tick must not reschedule itself once it is the only pending
+  // event, or RunUntilIdle would never return. An idle engine with an
+  // enabled sampler processes exactly the scheduled ticks and stops.
+  sim::Engine e;
+  StatSet stats;
+  Sampler sampler(e, stats, /*interval=*/4);
+  sampler.Start();
+  e.ScheduleIn(10, []() {});  // lone event; ticks at 4 and 8 precede it
+  e.RunUntilIdle();
+  // Ticks: 4, 8 (sees the t=10 event pending), 12 (sees nothing, stops),
+  // so the run ends at the last tick's cycle with a drained queue.
+  EXPECT_EQ(e.Now(), 12u);
+  EXPECT_LE(e.events_processed(), 4u);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace glb::trace

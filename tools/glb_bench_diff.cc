@@ -1,0 +1,99 @@
+// glb_bench_diff — perf-regression gate over bench artifacts.
+//
+// Compares a candidate manifest/JSONL file against a baseline and exits
+// non-zero on regressions: deterministic metrics (simulated cycles,
+// message counts, wire counts) must match exactly; host-time metrics
+// (items_per_second, host_events_per_sec) compare under a relative
+// threshold. Understands glb.run, glb.fig5, glb.fig5_hier,
+// glb.micro_engine rows and google-benchmark native JSON.
+//
+//   glb_bench_diff baseline.json candidate.json
+//   glb_bench_diff --time-threshold 0.25 old.json new.json
+//   glb_bench_diff --no-time baselines/fig5_smoke.json fresh.json
+//   glb_bench_diff --inject-regression 10 bench.json bench.json  # must fail
+//
+// Exit status: 0 = no regressions, 1 = regressions found, 2 = usage or
+// unreadable/row-free input.
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/flags.h"
+#include "harness/benchdiff.h"
+
+namespace {
+
+void Usage() {
+  std::cout <<
+      "glb_bench_diff — perf-regression gate (docs/OBSERVABILITY.md)\n"
+      "  glb_bench_diff [options] BASELINE CANDIDATE\n"
+      "  --time-threshold F    allowed relative slip for host-time metrics\n"
+      "                        (default 0.10 = 10%)\n"
+      "  --no-time             skip host-time metrics entirely (compare only\n"
+      "                        deterministic simulated outputs; use when the\n"
+      "                        baseline was recorded on a different machine)\n"
+      "  --inject-regression P perturb every candidate time metric P percent in\n"
+      "                        its worse direction first (CI smoke: proves the\n"
+      "                        gate fails when it should)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace glb;
+  // Flags would swallow the positional after a bare boolean switch
+  // (`--no-time BASELINE` parses as no-time=BASELINE), and this tool is
+  // all positionals — pull the valueless switches out ourselves.
+  bool no_time = false;
+  bool help = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--no-time") {
+      no_time = true;
+    } else if (a == "--help" || a == "-h") {
+      help = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  Flags flags(static_cast<int>(args.size()), args.data());
+  if (help) {
+    Usage();
+    return 0;
+  }
+  const std::vector<std::string>& pos = flags.positional();
+  if (pos.size() != 2) {
+    Usage();
+    return 2;
+  }
+  harness::benchdiff::DiffOptions opts;
+  opts.time_threshold = flags.GetDouble("time-threshold", 0.10);
+  opts.compare_time = !no_time;
+  opts.inject_regression_pct = flags.GetDouble("inject-regression", 0.0);
+
+  std::string error;
+  auto baseline = harness::benchdiff::LoadRows(pos[0], &error);
+  if (!baseline) {
+    std::cerr << "baseline: " << error << "\n";
+    return 2;
+  }
+  auto candidate = harness::benchdiff::LoadRows(pos[1], &error);
+  if (!candidate) {
+    std::cerr << "candidate: " << error << "\n";
+    return 2;
+  }
+  if (baseline->empty()) {
+    std::cerr << "baseline " << pos[0] << " holds no comparable rows\n";
+    return 2;
+  }
+
+  const harness::benchdiff::DiffResult res =
+      harness::benchdiff::Diff(*baseline, std::move(*candidate), opts);
+  for (const std::string& line : res.lines) std::cout << line << "\n";
+  std::cout << "glb_bench_diff: " << res.compared << " metrics compared, "
+            << res.regressions << " regression"
+            << (res.regressions == 1 ? "" : "s") << "\n";
+  return res.ok() ? 0 : 1;
+}

@@ -1,0 +1,334 @@
+// glb_report — terminal pretty-printer for any glb manifest artifact.
+//
+// Reads a file of JSON documents (one pretty manifest or JSONL appends)
+// and renders each known schema for humans: glb.run as a summary with
+// its resilience/host-profile blocks, the noc_heatmap grids as ASCII
+// art, glb.timeseries as per-counter sparklines of per-interval deltas,
+// and glb.fig5/fig5_hier as aligned tables. Unknown schemas are listed
+// and skipped.
+//
+//   glbsim --cores 64 --heatmap --sample-interval 1000 --json run.json
+//   glb_report run.json
+//
+//   glb_report BENCH_glbsim.json          # walks every JSONL row
+//   glb_report --series gl.retries ts.json  # sparkline one counter only
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+
+namespace {
+
+using glb::json::Value;
+
+// Shared intensity ramp: index ~ value / max. The space keeps genuinely
+// idle cells visually empty.
+constexpr const char kRamp[] = " .:-=+*#%@";
+constexpr int kRampLevels = 9;
+
+char RampChar(double v, double max) {
+  if (max <= 0 || v <= 0) return kRamp[0];
+  int level = 1 + static_cast<int>((v / max) * (kRampLevels - 1));
+  return kRamp[std::min(level, kRampLevels)];
+}
+
+std::vector<std::uint64_t> GridOf(const Value& arr) {
+  std::vector<std::uint64_t> grid;
+  if (!arr.IsArray()) return grid;
+  grid.reserve(arr.arr.size());
+  for (const Value& v : arr.arr) grid.push_back(static_cast<std::uint64_t>(v.num_v));
+  return grid;
+}
+
+void PrintGrid(const std::string& title, const std::vector<std::uint64_t>& grid,
+               std::uint32_t rows, std::uint32_t cols) {
+  if (grid.size() != static_cast<std::size_t>(rows) * cols) return;
+  const std::uint64_t max = grid.empty() ? 0 : *std::max_element(grid.begin(), grid.end());
+  std::cout << "  " << title << " (max " << max << ")\n";
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    std::cout << "    ";
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      std::cout << RampChar(static_cast<double>(grid[r * cols + c]),
+                            static_cast<double>(max));
+    }
+    std::cout << "\n";
+  }
+}
+
+void PrintHeatmap(const Value& hm) {
+  const auto rows = static_cast<std::uint32_t>(hm.NumberOr("rows", 0));
+  const auto cols = static_cast<std::uint32_t>(hm.NumberOr("cols", 0));
+  if (rows == 0 || cols == 0) return;
+  std::cout << "  noc heatmap (" << rows << "x" << cols << ", ramp \"" << kRamp
+            << "\")\n";
+  const Value* routers = hm.Find("router_flits");
+  if (routers != nullptr) {
+    PrintGrid("router flits", GridOf(*routers), rows, cols);
+  }
+  const Value* links = hm.Find("link_flits");
+  if (links != nullptr && links->IsObject()) {
+    // Combined per-node outgoing-link load: one grid instead of four.
+    std::vector<std::uint64_t> combined(static_cast<std::size_t>(rows) * cols, 0);
+    for (const auto& [dir, arr] : links->obj) {
+      const std::vector<std::uint64_t> g = GridOf(arr);
+      for (std::size_t i = 0; i < g.size() && i < combined.size(); ++i) {
+        combined[i] += g[i];
+      }
+    }
+    PrintGrid("outgoing link flits (all dirs)", combined, rows, cols);
+    // Hottest individual links, the congestion shortlist.
+    struct Hot { std::uint64_t flits; std::size_t node; std::string dir; };
+    std::vector<Hot> hot;
+    for (const auto& [dir, arr] : links->obj) {
+      const std::vector<std::uint64_t> g = GridOf(arr);
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        if (g[i] > 0) hot.push_back(Hot{g[i], i, dir});
+      }
+    }
+    std::sort(hot.begin(), hot.end(), [](const Hot& a, const Hot& b) {
+      if (a.flits != b.flits) return a.flits > b.flits;
+      if (a.node != b.node) return a.node < b.node;
+      return a.dir < b.dir;
+    });
+    std::cout << "    hottest links:";
+    for (std::size_t i = 0; i < hot.size() && i < 5; ++i) {
+      std::cout << "  " << hot[i].node << hot[i].dir << "=" << hot[i].flits;
+    }
+    std::cout << "\n";
+  }
+}
+
+void PrintSparklines(const Value& ts, const std::string& only_series) {
+  const Value* samples = ts.Find("samples");
+  if (samples == nullptr || !samples->IsArray() || samples->arr.empty()) {
+    std::cout << "  (no samples)\n";
+    return;
+  }
+  // Rebuild dense per-series absolute curves: samples are sparse (a
+  // counter appears only when it changed), so carry values forward.
+  std::vector<std::uint64_t> cycles;
+  std::map<std::string, std::vector<std::uint64_t>> series;
+  for (const Value& s : samples->arr) {
+    cycles.push_back(static_cast<std::uint64_t>(s.NumberOr("t", 0)));
+    const Value* counters = s.Find("counters");
+    if (counters == nullptr) continue;
+    for (const auto& [name, v] : counters->obj) {
+      auto& curve = series[name];
+      curve.resize(cycles.size() - 1,
+                   curve.empty() ? 0 : curve.back());  // backfill flat history
+      curve.push_back(static_cast<std::uint64_t>(v.num_v));
+    }
+  }
+  for (auto& [name, curve] : series) {
+    curve.resize(cycles.size(), curve.empty() ? 0 : curve.back());
+  }
+  std::cout << "  " << samples->arr.size() << " samples, t=" << cycles.front()
+            << ".." << cycles.back() << " (interval "
+            << static_cast<std::uint64_t>(ts.NumberOr("interval", 0))
+            << "); per-interval deltas, ramp \"" << kRamp << "\"\n";
+  // Rank by total delta so the busiest counters lead; histograms of
+  // per-interval increments render as the sparkline.
+  struct Line { std::string name; std::vector<std::uint64_t> deltas; std::uint64_t total; };
+  std::vector<Line> lines;
+  for (const auto& [name, curve] : series) {
+    if (!only_series.empty() && name.find(only_series) == std::string::npos) continue;
+    Line l{name, {}, 0};
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+      const std::uint64_t d = curve[i] >= curve[i - 1] ? curve[i] - curve[i - 1]
+                                                       : curve[i];  // gauge reset
+      l.deltas.push_back(d);
+      l.total += d;
+    }
+    // First sample is an absolute snapshot, not a delta — include it so
+    // activity before the first tick stays visible.
+    l.deltas.insert(l.deltas.begin(), curve.front());
+    l.total += curve.front();
+    lines.push_back(std::move(l));
+  }
+  std::sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+    if (a.total != b.total) return a.total > b.total;
+    return a.name < b.name;
+  });
+  const std::size_t limit = only_series.empty() ? 24 : lines.size();
+  for (std::size_t i = 0; i < lines.size() && i < limit; ++i) {
+    const Line& l = lines[i];
+    const std::uint64_t max = *std::max_element(l.deltas.begin(), l.deltas.end());
+    std::ostringstream spark;
+    for (std::uint64_t d : l.deltas) {
+      spark << RampChar(static_cast<double>(d), static_cast<double>(max));
+    }
+    std::cout << "    " << spark.str() << "  " << l.name << " (total " << l.total
+              << ")\n";
+  }
+  if (only_series.empty() && lines.size() > limit) {
+    std::cout << "    ... " << lines.size() - limit
+              << " more series (use --series NAME)\n";
+  }
+}
+
+void PrintRun(const Value& doc, const std::string& only_series) {
+  const Value* run = doc.Find("run");
+  if (run == nullptr) return;
+  std::cout << "glb.run [" << doc.StringOr("tool", "?") << "] "
+            << run->StringOr("workload", "?") << " under "
+            << run->StringOr("barrier", "?") << " on "
+            << static_cast<std::uint64_t>(run->NumberOr("cores", 0)) << " cores\n";
+  std::cout << "  cycles " << static_cast<std::uint64_t>(run->NumberOr("cycles", 0))
+            << ", barriers/core "
+            << static_cast<std::uint64_t>(run->NumberOr("barriers_per_core", 0));
+  if (const Value* msgs = run->Find("noc_msgs")) {
+    std::cout << ", noc msgs " << static_cast<std::uint64_t>(msgs->NumberOr("total", 0));
+  }
+  const std::string validation = run->StringOr("validation", "");
+  std::cout << ", validation " << (validation.empty() ? "ok" : validation) << "\n";
+  if (const Value* fo = run->Find("fault_outcome")) {
+    const auto injected = static_cast<std::uint64_t>(fo->NumberOr("faults_injected", 0));
+    if (injected > 0) {
+      std::cout << "  faults " << injected << " (timeouts "
+                << static_cast<std::uint64_t>(fo->NumberOr("barrier_timeouts", 0))
+                << ", retries "
+                << static_cast<std::uint64_t>(fo->NumberOr("barrier_retries", 0))
+                << ", degraded episodes "
+                << static_cast<std::uint64_t>(fo->NumberOr("degraded_episodes", 0))
+                << ")\n";
+    }
+  }
+  if (const Value* res = run->Find("resilience")) {
+    std::cout << "  self-healing: probes "
+              << static_cast<std::uint64_t>(res->NumberOr("barrier_probes", 0))
+              << ", rejoins "
+              << static_cast<std::uint64_t>(res->NumberOr("barrier_rejoins", 0)) << "\n";
+  }
+  if (const Value* levels = doc.Find("hier_levels"); levels != nullptr && levels->IsArray()) {
+    std::cout << "  hier levels (level: nodes/lines span signals handoffs)\n";
+    for (const Value& l : levels->arr) {
+      std::cout << "    l" << static_cast<std::uint64_t>(l.NumberOr("level", 0)) << ": "
+                << static_cast<std::uint64_t>(l.NumberOr("nodes", 0)) << "/"
+                << static_cast<std::uint64_t>(l.NumberOr("lines", 0)) << " span "
+                << static_cast<std::uint64_t>(l.NumberOr("span_tiles", 0)) << " signals "
+                << static_cast<std::uint64_t>(l.NumberOr("signals", 0)) << " handoffs "
+                << static_cast<std::uint64_t>(l.NumberOr("handoffs", 0)) << "\n";
+    }
+  }
+  if (const Value* prof = doc.Find("host_profile")) {
+    std::cout << "  host profile (wall clock, non-deterministic): total "
+              << prof->NumberOr("total_ms", 0) << " ms\n";
+    if (const Value* cats = prof->Find("categories_ms"); cats != nullptr) {
+      const double total = prof->NumberOr("total_ms", 0);
+      std::cout << "   ";
+      for (const auto& [name, v] : cats->obj) {
+        std::cout << " " << name << " ";
+        if (total > 0) {
+          std::cout << static_cast<int>(100.0 * v.num_v / total + 0.5) << "%";
+        } else {
+          std::cout << "-";
+        }
+      }
+      std::cout << "\n";
+    }
+  }
+  if (const Value* hm = doc.Find("noc_heatmap")) PrintHeatmap(*hm);
+  if (const Value* ts = doc.Find("timeseries")) {
+    std::cout << "  timeseries\n";
+    PrintSparklines(*ts, only_series);
+  }
+}
+
+void PrintFig5(const Value& doc) {
+  const Value* points = doc.Find("points");
+  if (points == nullptr || !points->IsArray()) return;
+  std::cout << doc.StringOr("schema", "?") << " [" << doc.StringOr("tool", "?")
+            << "]\n";
+  for (const Value& p : points->arr) {
+    std::cout << "  " << static_cast<std::uint64_t>(p.NumberOr("cores", 0))
+              << " cores:";
+    for (const auto& [key, v] : p.obj) {
+      if (key != "cores" && v.IsNumber()) std::cout << " " << key << "=" << v.num_v;
+    }
+    std::cout << "\n";
+  }
+}
+
+void PrintDoc(const Value& doc, const std::string& only_series) {
+  const std::string schema = doc.StringOr("schema", "");
+  if (schema == "glb.run") {
+    PrintRun(doc, only_series);
+  } else if (schema == "glb.timeseries") {
+    const Value* run = doc.Find("run");
+    std::cout << "glb.timeseries [" << doc.StringOr("tool", "?") << "]";
+    if (run != nullptr) {
+      std::cout << " " << run->StringOr("workload", "?") << " under "
+                << run->StringOr("barrier", "?") << " on "
+                << static_cast<std::uint64_t>(run->NumberOr("cores", 0)) << " cores";
+    }
+    std::cout << "\n";
+    PrintSparklines(doc, only_series);
+  } else if (schema == "glb.fig5" || schema == "glb.fig5_hier") {
+    PrintFig5(doc);
+  } else {
+    std::cout << "(skipping schema '" << (schema.empty() ? "?" : schema) << "')\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace glb;
+  Flags flags(argc, argv);
+  if (flags.GetBool("help", false) || flags.positional().size() != 1) {
+    std::cout <<
+        "glb_report — render glb manifest artifacts for terminals\n"
+        "  glb_report [--series NAME] FILE\n"
+        "  FILE           a pretty manifest or JSONL appends (BENCH_*.json);\n"
+        "                 renders glb.run (summary, resilience, heatmap ASCII,\n"
+        "                 host profile), glb.timeseries (sparklines), glb.fig5*\n"
+        "  --series NAME  only sparkline series whose name contains NAME\n";
+    return flags.GetBool("help", false) ? 0 : 2;
+  }
+  const std::string path = flags.positional()[0];
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "cannot open " << path << "\n";
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  const std::string only_series = flags.GetString("series", "");
+
+  // One pretty document, or JSONL line-by-line.
+  if (std::optional<json::Value> doc = json::Parse(text)) {
+    PrintDoc(*doc, only_series);
+    return 0;
+  }
+  std::size_t start = 0;
+  int printed = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::size_t end = nl == std::string::npos ? text.size() : nl;
+    const std::string_view line = std::string_view(text).substr(start, end - start);
+    if (line.find_first_not_of(" \t\r") != std::string_view::npos) {
+      if (std::optional<json::Value> doc = json::Parse(line)) {
+        if (printed++ > 0) std::cout << "\n";
+        PrintDoc(*doc, only_series);
+      } else {
+        std::cerr << "unparseable line skipped\n";
+      }
+    }
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  if (printed == 0) {
+    std::cerr << "no recognizable documents in " << path << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -12,10 +12,14 @@
 #include <chrono>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/prof.h"
 #include "harness/manifest.h"
+#include "harness/progress.h"
 #include "power/energy_model.h"
+#include "trace/sampler.h"
 
 namespace {
 
@@ -41,6 +45,18 @@ void Usage() {
       "  --json [FILE]   bare: print a pretty run manifest to stdout instead of\n"
       "                  the report; with FILE: append one compact JSONL manifest\n"
       "                  line (the BENCH_*.json convention) and keep the report\n"
+      "  --sample-interval N  engine-driven interval sampler: snapshot changed\n"
+      "                  counters every N cycles into a glb.timeseries block\n"
+      "                  (bare --json) or an appended JSONL row (--json FILE);\n"
+      "                  0 = off, zero overhead\n"
+      "  --heatmap       collect per-router/per-link flit grids into the\n"
+      "                  manifest's noc_heatmap block (+ hier_levels rollups\n"
+      "                  under --barrier GLH); render with glb_report\n"
+      "  --profile       host self-profiler: wall-clock attribution across\n"
+      "                  engine/noc/coherence/barrier/workload categories\n"
+      "                  (host_profile block; non-deterministic, never diff it)\n"
+      "  --progress      stderr heartbeat (cycles, events/s, ETA); auto-silenced\n"
+      "                  when stderr is not a TTY\n"
       "  --log-level L   off|warn|info|trace (overrides GLB_LOG)\n"
       "fault injection & self-healing (see README.md):\n"
       "  --fault_watchdog N      barrier watchdog timeout in cycles (0 = off;\n"
@@ -101,17 +117,62 @@ int main(int argc, char** argv) {
 
   // Build and run manually (RunExperiment hides the StatSet, which
   // --stats and the energy estimate need).
+  const bool want_heatmap = flags.GetBool("heatmap", false);
+  const bool want_profile = flags.GetBool("profile", false);
+  prof::Enable(want_profile);
+
   cmp::CmpSystem sys(cfg);
   auto workload = harness::MakeWorkloadOrExit(spec.workload, spec.scale);
   workload->Init(sys);
   auto barrier = harness::MakeBarrier(spec.barrier, sys);
   const Cycle max_cycles = spec.max_cycles;
+
+  // Interval sampler: watchdog windows and the compute-vs-wait breakdown
+  // ride along as gauges next to every StatSet counter.
+  trace::Sampler sampler(sys.engine(), sys.stats(),
+                         static_cast<Cycle>(flags.GetInt("sample-interval", 0)));
+  if (sys.hier() != nullptr) {
+    for (std::uint32_t l = 0; l < sys.hier()->num_levels(); ++l) {
+      sampler.AddGauge("glh.l" + std::to_string(l) + ".c0.watchdog_window",
+                       [&sys, l] { return sys.hier()->node(l, 0).WatchdogWindow(0); });
+    }
+  } else {
+    for (std::uint32_t ctx = 0; ctx < sys.gline().contexts(); ++ctx) {
+      sampler.AddGauge("gl.ctx" + std::to_string(ctx) + ".watchdog_window",
+                       [&sys, ctx] { return sys.gline().WatchdogWindow(ctx); });
+    }
+  }
+  for (int c = 0; c < core::kNumTimeCats; ++c) {
+    const auto cat = static_cast<core::TimeCat>(c);
+    sampler.AddGauge(std::string("core.cycles.") + core::ToString(cat),
+                     [&sys, cat] { return sys.TotalBreakdown()[cat]; });
+  }
+  harness::Progress progress(
+      sys.engine(),
+      flags.GetBool("progress", false) && harness::Progress::StderrIsTty(),
+      max_cycles);
+
   const auto t0 = std::chrono::steady_clock::now();
+  sampler.Start();
+  progress.Start();
   const sim::RunStatus status = sys.RunProgramsStatus(
       [&](core::Core& c, CoreId id) { return workload->Body(c, id, *barrier); },
       max_cycles);
   const std::chrono::duration<double, std::milli> wall =
       std::chrono::steady_clock::now() - t0;
+  progress.Finish();
+  sampler.FinalSample();
+  const prof::Snapshot prof_snap = prof::Take();
+
+  harness::NocHeatmap heatmap;
+  std::vector<gline::LevelWireSummary> hier_levels;
+  if (want_heatmap) {
+    heatmap = harness::CollectNocHeatmap(sys.mesh());
+    if (sys.hier() != nullptr) hier_levels = sys.hier()->LevelSummaries();
+  }
+  const harness::TimeseriesMeta ts_meta{
+      "glbsim", spec.workload, harness::ToString(spec.barrier),
+      static_cast<std::uint32_t>(cfg.rows * cfg.cols)};
 
   // Manifests are emitted even for stalled runs (the stall diagnostic
   // lands in run.validation / run.stall).
@@ -121,15 +182,27 @@ int main(int argc, char** argv) {
     harness::ManifestOptions opts;
     opts.tool = "glbsim";
     opts.experiment = &spec;
+    if (want_heatmap) {
+      opts.heatmap = &heatmap;
+      if (!hier_levels.empty()) opts.hier_levels = &hier_levels;
+    }
+    if (want_profile) opts.host_profile = &prof_snap;
     const std::string jpath = flags.GetString("json", "");
     if (jpath.empty() || jpath == "true") {  // bare --json: manifest is the report
       opts.pretty = true;
+      opts.sampler = &sampler;  // timeseries embeds in the one document
       harness::WriteRunManifest(std::cout, m, cfg, sys.stats(), opts);
       std::cout << '\n';
       return m.completed && m.validation.empty() ? 0 : 1;
     }
     if (!harness::AppendRunManifestLine(jpath, m, cfg, sys.stats(), opts)) {
       std::cerr << "failed to append manifest to " << jpath << "\n";
+      return 1;
+    }
+    // Sampled series land beside the manifest as their own JSONL row.
+    if (sampler.enabled() &&
+        !harness::AppendTimeseriesLine(jpath, sampler, ts_meta)) {
+      std::cerr << "failed to append timeseries to " << jpath << "\n";
       return 1;
     }
   }
@@ -207,6 +280,19 @@ int main(int argc, char** argv) {
   std::cout << "  validation      " << (validation.empty() ? "ok" : validation)
             << '\n';
   std::cout << "  host events     " << sys.engine().events_processed() << '\n';
+  if (want_profile) {
+    std::cout << "  host profile    total "
+              << static_cast<double>(prof_snap.total_ns()) / 1e6 << " ms:";
+    for (int c = 0; c < prof::kNumCats; ++c) {
+      const auto cat = static_cast<prof::Cat>(c);
+      std::cout << ' ' << prof::ToString(cat) << '=' << prof_snap.ms(cat) << "ms";
+    }
+    std::cout << '\n';
+  }
+  if (sampler.enabled()) {
+    std::cout << "  timeseries      " << sampler.samples().size()
+              << " samples @ " << sampler.interval() << " cycles\n";
+  }
   if (sys.injector() != nullptr) {
     std::cout << "  faults injected " << sys.injector()->total_injected()
               << "  (timeouts " << barrier_timeouts
