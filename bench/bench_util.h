@@ -69,9 +69,13 @@ class Observability {
 /// Parses --jobs for sweep benches: default 1 (serial), 0 or negative
 /// means "all hardware threads". Tracing uses a process-global sink
 /// that is not safe under concurrent runs, so an active --trace session
-/// forces the sweep back to serial with a note.
+/// forces the sweep back to serial with a note. When the runs
+/// themselves are sharded (--shards N), the jobs x shards product is
+/// clamped to the host's hardware threads.
 inline int JobsFromFlags(const Flags& flags, const Observability& obs) {
-  int jobs = harness::NormalizeJobs(static_cast<int>(flags.GetInt("jobs", 1)));
+  const auto shards = static_cast<std::uint32_t>(flags.GetInt("shards", 0));
+  int jobs = harness::NormalizeJobs(static_cast<int>(flags.GetInt("jobs", 1)),
+                                    shards);
   if (obs.tracing() && jobs > 1) {
     std::cerr << "note: --trace uses a process-global sink; forcing --jobs 1\n";
     jobs = 1;
@@ -215,6 +219,10 @@ inline std::vector<std::string> WorkloadListFromFlags(
 /// per point while single-machine benches go through ConfigFromFlags.
 inline cmp::CmpConfig ConfigForCores(const Flags& flags, std::uint32_t cores) {
   auto cfg = cmp::CmpConfig::WithCores(cores);
+  // Host-parallel sharded execution and compute fast-forward (see
+  // cmp::CmpConfig for the determinism contract of both).
+  cfg.shards = static_cast<std::uint32_t>(flags.GetInt("shards", 0));
+  cfg.fast_forward = flags.GetBool("fast-forward", false);
   // Fault campaign / resilience knobs (all off by default).
   cfg.fault = fault::PlanFromFlags(flags);
   cfg.gline.watchdog_timeout =

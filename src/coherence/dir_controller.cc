@@ -24,7 +24,7 @@ std::string TxnTraceName(bool is_recall, MsgType type, Addr line_addr) {
 }  // namespace
 
 DirController::DirController(Fabric& fabric, CoreId tile, const mem::CacheGeometry& geo)
-    : fabric_(fabric), tile_(tile), array_(geo) {
+    : fabric_(fabric), engine_(fabric.engine(tile)), tile_(tile), array_(geo) {
   auto& stats = fabric_.stats();
   requests_ = stats.GetCounter("l2.requests");
   l2_misses_ = stats.GetCounter("l2.misses");
@@ -124,7 +124,7 @@ void DirController::Open(const Message& msg) {
     txn.trace_id = trace::Sink().NextId();
     trace::Sink().AsyncBegin("dir/bank " + std::to_string(tile_),
                              TxnTraceName(false, msg.type, msg.line_addr),
-                             txn.trace_id, fabric_.engine().Now(),
+                             txn.trace_id, engine_.Now(),
                              trace::Args()
                                  .Add("requester", msg.from)
                                  .Add("type", ToString(msg.type))
@@ -132,11 +132,11 @@ void DirController::Open(const Message& msg) {
   }
   txns_.emplace(msg.line_addr, std::move(txn));
   requests_->Inc();
-  GLB_TRACE(fabric_.engine().Now(), "dir",
+  GLB_TRACE(engine_.Now(), "dir",
             "bank " << tile_ << " opens " << ToString(msg.type) << " @" << msg.line_addr
                     << " from core " << msg.from);
   // Bank/tag access latency before the directory acts.
-  fabric_.engine().ScheduleIn(fabric_.config().l2_latency,
+  engine_.ScheduleIn(fabric_.config().l2_latency,
                               [this, msg]() { Process(msg); });
 }
 
@@ -257,7 +257,7 @@ void DirController::EnsureResident(Addr line_addr, std::function<void()> cont) {
   }
   l2_misses_->Inc();
   dram_fetches_->Inc();
-  fabric_.engine().ScheduleIn(
+  engine_.ScheduleIn(
       fabric_.config().dram_latency,
       [this, line_addr, cont = std::move(cont)]() mutable {
         auto data = std::make_shared<std::vector<Word>>(
@@ -274,7 +274,7 @@ void DirController::TryInstall(Addr line_addr, std::shared_ptr<std::vector<Word>
   if (victim == nullptr) {
     // Every way pinned by an open transaction; retry shortly.
     alloc_retries_->Inc();
-    fabric_.engine().ScheduleIn(
+    engine_.ScheduleIn(
         kAllocRetryCycles,
         [this, line_addr, data = std::move(data), cont = std::move(cont)]() mutable {
           TryInstall(line_addr, std::move(data), std::move(cont));
@@ -313,7 +313,7 @@ void DirController::StartRecall(Cache::Line* victim, std::function<void()> cont)
     txn.trace_id = trace::Sink().NextId();
     trace::Sink().AsyncBegin("dir/bank " + std::to_string(tile_),
                              TxnTraceName(true, MsgType::kGetS, vaddr), txn.trace_id,
-                             fabric_.engine().Now());
+                             engine_.Now());
   }
   if (victim->meta.state == DirState::kShared) {
     txn.acks_left = victim->meta.sharers.Count();
@@ -402,7 +402,7 @@ void DirController::Close(Addr line_addr) {
     trace::Sink().AsyncEnd(
         "dir/bank " + std::to_string(tile_),
         TxnTraceName(node.mapped().is_recall, node.mapped().type, line_addr),
-        node.mapped().trace_id, fabric_.engine().Now());
+        node.mapped().trace_id, engine_.Now());
   }
   std::deque<Message> queued = std::move(node.mapped().queued);
   std::function<void()> resume = std::move(node.mapped().on_recall_done);

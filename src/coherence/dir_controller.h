@@ -22,6 +22,7 @@
 #include "coherence/sharer_set.h"
 #include "mem/backing_store.h"
 #include "mem/cache_array.h"
+#include "sim/engine.h"
 
 namespace glb::coherence {
 
@@ -115,6 +116,8 @@ class DirController {
   void WriteLineToBacking(const Cache::Line* line);
 
   Fabric& fabric_;
+  /// This tile's engine (see L1Controller::engine_).
+  sim::Engine& engine_;
   const CoreId tile_;
   Cache array_;
   std::unordered_map<Addr, Txn> txns_;

@@ -7,8 +7,14 @@ namespace glb::coherence {
 
 Fabric::Fabric(sim::Engine& engine, noc::Mesh& mesh, mem::BackingStore& backing,
                const CoherenceConfig& cfg, const mem::CacheGeometry& l1_geo,
-               const mem::CacheGeometry& l2_geo, StatSet& stats)
-    : engine_(engine), mesh_(mesh), backing_(backing), cfg_(cfg), stats_(stats) {
+               const mem::CacheGeometry& l2_geo, StatSet& stats,
+               sim::ExecutionDomain* domain)
+    : engine_(engine),
+      domain_(domain),
+      mesh_(mesh),
+      backing_(backing),
+      cfg_(cfg),
+      stats_(stats) {
   GLB_CHECK(l1_geo.line_bytes == cfg.line_bytes && l2_geo.line_bytes == cfg.line_bytes)
       << "cache line sizes must agree with the protocol line size";
   GLB_CHECK(backing.line_bytes() == cfg.line_bytes)
@@ -23,10 +29,20 @@ Fabric::Fabric(sim::Engine& engine, noc::Mesh& mesh, mem::BackingStore& backing,
     l1s_.push_back(std::make_unique<L1Controller>(*this, c, l1_geo));
     dirs_.push_back(std::make_unique<DirController>(*this, c, l2_geo));
   }
+  if (domain_ != nullptr && domain_->windowed()) {
+    for (std::size_t t = 0; t < kNumMsgTypes; ++t) {
+      sent_by_type_[t] = stats.GetCounter(std::string("coh.sent.") +
+                                          ToString(static_cast<MsgType>(t)));
+    }
+  }
 }
 
 void Fabric::Send(CoreId from, CoreId to, Message msg) {
-  stats_.GetCounter(std::string("coh.sent.") + ToString(msg.type))->Inc();
+  Counter*& sent = sent_by_type_[static_cast<std::size_t>(msg.type)];
+  if (sent == nullptr) {
+    sent = stats_.GetCounter(std::string("coh.sent.") + ToString(msg.type));
+  }
+  sent->Inc();
   const bool to_home = GoesToHome(msg.type);
   noc::Packet pkt;
   pkt.src = from;

@@ -29,7 +29,7 @@ std::string HexAddr(Addr a) {
 }  // namespace
 
 L1Controller::L1Controller(Fabric& fabric, CoreId core, const mem::CacheGeometry& geo)
-    : fabric_(fabric), core_(core), cache_(geo) {
+    : fabric_(fabric), engine_(fabric.engine(core)), core_(core), cache_(geo) {
   auto& stats = fabric_.stats();
   hits_ = stats.GetCounter("l1.hits");
   misses_ = stats.GetCounter("l1.misses");
@@ -72,7 +72,7 @@ void L1Controller::Load(Addr addr, LoadCallback done) {
     hits_->Inc();
     cache_.Touch(line);
     const Word v = cache_.ReadWord(line, addr);
-    fabric_.engine().ScheduleIn(fabric_.config().l1_latency,
+    engine_.ScheduleIn(fabric_.config().l1_latency,
                                 [v, done = std::move(done)]() { done(v); });
     return;
   }
@@ -90,7 +90,7 @@ void L1Controller::Store(Addr addr, Word value, StoreCallback done) {
     line->meta.state = LineState::kM;
     cache_.Touch(line);
     cache_.WriteWord(line, addr, value);
-    fabric_.engine().ScheduleIn(fabric_.config().l1_latency,
+    engine_.ScheduleIn(fabric_.config().l1_latency,
                                 [done = std::move(done)]() { done(); });
     return;
   }
@@ -107,7 +107,7 @@ void L1Controller::Amo(Addr addr, AmoOp op, Word operand, Word operand2,
     hits_->Inc();
     cache_.Touch(line);
     const Word old = ApplyAmo(line, addr, op, operand, operand2);
-    fabric_.engine().ScheduleIn(fabric_.config().l1_latency,
+    engine_.ScheduleIn(fabric_.config().l1_latency,
                                 [old, done = std::move(done)]() { done(old); });
     return;
   }
@@ -147,7 +147,7 @@ void L1Controller::StartMiss(Mshr::Op op, Addr addr, AmoOp amo, Word operand,
   mshr_.on_done = std::move(on_done);
   mshr_.inv_after_fill = false;
   mshr_.buffered_fwd.reset();
-  mshr_.trace_start = fabric_.engine().Now();
+  mshr_.trace_start = engine_.Now();
 
   const bool wants_write = (op != Mshr::Op::kLoad);
   mshr_.wait = !wants_write ? Mshr::Wait::kIS_D
@@ -157,10 +157,10 @@ void L1Controller::StartMiss(Mshr::Op op, Addr addr, AmoOp amo, Word operand,
   Message req;
   req.type = wants_write ? MsgType::kGetX : MsgType::kGetS;
   req.line_addr = mshr_.line_addr;
-  GLB_TRACE(fabric_.engine().Now(), "l1",
+  GLB_TRACE(engine_.Now(), "l1",
             "core " << core_ << " " << ToString(req.type) << " @" << mshr_.line_addr);
   // The tag lookup that discovered the miss costs one L1 cycle.
-  fabric_.engine().ScheduleIn(fabric_.config().l1_latency,
+  engine_.ScheduleIn(fabric_.config().l1_latency,
                               [this, req]() { Send(req); });
 }
 
@@ -252,7 +252,7 @@ void L1Controller::CompleteMiss(Cache::Line* line) {
     trace::Sink().Complete(
         "core " + std::to_string(core_) + "/l1",
         std::string(kind) + " @" + HexAddr(done.line_addr), done.trace_start,
-        fabric_.engine().Now(),
+        engine_.Now(),
         trace::Args().Add("line", HexAddr(done.line_addr)).json());
   }
 
@@ -320,7 +320,7 @@ void L1Controller::OnFwd(const Message& msg) {
     reply.line_addr = msg.line_addr;
     reply.data = it->second.data;
     it->second.state = WbEntry::State::kRelinquished;
-    fabric_.engine().ScheduleIn(fabric_.config().l1_latency,
+    engine_.ScheduleIn(fabric_.config().l1_latency,
                                 [this, reply]() { Send(reply); });
     return;
   }
@@ -354,7 +354,7 @@ void L1Controller::OnFwd(const Message& msg) {
   } else {
     line->meta.state = LineState::kS;
   }
-  fabric_.engine().ScheduleIn(fabric_.config().l1_latency,
+  engine_.ScheduleIn(fabric_.config().l1_latency,
                               [this, reply]() { Send(reply); });
 }
 

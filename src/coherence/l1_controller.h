@@ -17,6 +17,7 @@
 #include "coherence/protocol.h"
 #include "mem/backing_store.h"
 #include "mem/cache_array.h"
+#include "sim/engine.h"
 
 namespace glb::coherence {
 
@@ -143,6 +144,10 @@ class L1Controller {
   void Send(Message msg);
 
   Fabric& fabric_;
+  /// This tile's engine (== the fabric's single engine in serial runs,
+  /// the tile's shard engine under a windowed domain). Cached at
+  /// construction: the L1 hot path schedules on it constantly.
+  sim::Engine& engine_;
   const CoreId core_;
   Cache cache_;
   Mshr mshr_;

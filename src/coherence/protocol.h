@@ -54,6 +54,11 @@ enum class MsgType : std::uint8_t {
   kPutAck,   // home -> evictor: write-back retired
 };
 
+/// Number of MsgType values (dense, starting at 0) — sizes per-type
+/// lookup tables such as the fabric's cached send counters.
+inline constexpr std::size_t kNumMsgTypes =
+    static_cast<std::size_t>(MsgType::kPutAck) + 1;
+
 inline const char* ToString(MsgType t) {
   switch (t) {
     case MsgType::kGetS: return "GetS";

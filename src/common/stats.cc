@@ -6,18 +6,21 @@
 namespace glb {
 
 double Histogram::PercentileApprox(double p) const {
-  if (count_ == 0) return 0.0;
+  const std::uint64_t cnt = count();
+  const std::uint64_t mn = min_.load(std::memory_order_relaxed);
+  const std::uint64_t mx = max_.load(std::memory_order_relaxed);
+  if (cnt == 0) return 0.0;
   p = std::clamp(p, 0.0, 1.0);
   // The extremes are tracked exactly, so return them exactly: p=1.0
   // used to interpolate partway into the top occupied bucket and could
   // come back below max() (and p=0.0 above min()).
-  if (p <= 0.0) return static_cast<double>(min_);
-  if (p >= 1.0) return static_cast<double>(max_);
+  if (p <= 0.0) return static_cast<double>(mn);
+  if (p >= 1.0) return static_cast<double>(mx);
   // Target rank in [0, count-1]; walk buckets until it falls inside one.
-  double target = p * static_cast<double>(count_ - 1);
+  double target = p * static_cast<double>(cnt - 1);
   std::uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
-    std::uint64_t n = buckets_[i];
+    std::uint64_t n = bucket(i);
     if (n == 0) continue;
     if (target < static_cast<double>(seen + n)) {
       double frac = (target - static_cast<double>(seen)) / static_cast<double>(n);
@@ -28,23 +31,49 @@ double Histogram::PercentileApprox(double p) const {
       // contain (top bucket reaching past max, bucket 0 reaching 2).
       double lo = i == 0 ? 0.0 : static_cast<double>(1ull << i);
       double hi = i == 0 ? 2.0 : static_cast<double>(1ull << (i + 1));
-      lo = std::max(lo, static_cast<double>(min_));
-      hi = std::min(hi, static_cast<double>(max_) + 1.0);
+      lo = std::max(lo, static_cast<double>(mn));
+      hi = std::min(hi, static_cast<double>(mx) + 1.0);
       double v = lo + frac * (hi - lo);
-      return std::clamp(v, static_cast<double>(min_), static_cast<double>(max_));
+      return std::clamp(v, static_cast<double>(mn), static_cast<double>(mx));
     }
     seen += n;
   }
-  return static_cast<double>(max_);
+  return static_cast<double>(mx);
 }
 
 void Histogram::Merge(const Histogram& other) {
-  if (other.count_ == 0) return;
-  count_ += other.count_;
-  sum_ += other.sum_;
-  min_ = std::min(min_, other.min_);
-  max_ = std::max(max_, other.max_);
-  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  const State s = other.GetState();
+  if (s.count == 0) return;
+  count_.fetch_add(s.count, std::memory_order_relaxed);
+  sum_.fetch_add(s.sum, std::memory_order_relaxed);
+  AtomicMin(min_, s.min_raw);
+  AtomicMax(max_, s.max_raw);
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)].fetch_add(s.buckets[static_cast<std::size_t>(i)],
+                                                    std::memory_order_relaxed);
+  }
+}
+
+Histogram::State Histogram::GetState() const {
+  State s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min_raw = min_.load(std::memory_order_relaxed);
+  s.max_raw = max_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(kBuckets); ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::SetState(const State& s) {
+  count_.store(s.count, std::memory_order_relaxed);
+  sum_.store(s.sum, std::memory_order_relaxed);
+  min_.store(s.min_raw, std::memory_order_relaxed);
+  max_.store(s.max_raw, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(kBuckets); ++i) {
+    buckets_[i].store(s.buckets[i], std::memory_order_relaxed);
+  }
 }
 
 Counter* StatSet::GetCounter(std::string_view name) {
@@ -113,7 +142,7 @@ void StatSet::PrintCsv(std::ostream& os) const {
 
 void StatSet::Reset() {
   for (auto& [name, c] : counters_) c->Set(0);
-  for (auto& h : histogram_storage_) h = Histogram{};
+  for (auto& h : histogram_storage_) h.SetState(Histogram::State{});
 }
 
 }  // namespace glb

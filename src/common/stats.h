@@ -7,6 +7,8 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
@@ -18,42 +20,76 @@
 
 namespace glb {
 
-/// Monotonic event counter.
+/// Monotonic event counter. Increments are relaxed atomics so shard
+/// threads of one windowed run (src/sim/sharded_domain.h) may bump
+/// shared counters concurrently; sums are commutative, so final values
+/// stay deterministic for any shard count.
 class Counter {
  public:
-  void Inc(std::uint64_t n = 1) { value_ += n; }
-  void Set(std::uint64_t v) { value_ = v; }
-  std::uint64_t value() const { return value_; }
+  void Inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Scalar sample aggregator: count / sum / min / max / mean plus
 /// power-of-two bucket counts (bucket i holds samples in [2^i, 2^{i+1})).
+/// Thread-safe for concurrent Record (relaxed adds + CAS min/max), with
+/// the same determinism argument as Counter: every aggregate is a
+/// commutative fold over a deterministic sample multiset.
 class Histogram {
  public:
   static constexpr int kBuckets = 40;
 
-  void Record(std::uint64_t sample) {
-    ++count_;
-    sum_ += sample;
-    min_ = std::min(min_, sample);
-    max_ = std::max(max_, sample);
-    ++buckets_[BucketOf(sample)];
+  Histogram() = default;
+  /// Value-snapshot copy through GetState/SetState (atomics delete the
+  /// defaults). Only meaningful while the source is quiescent — bench
+  /// aggregation code copies post-run histograms, never live ones.
+  Histogram(const Histogram& o) { SetState(o.GetState()); }
+  Histogram& operator=(const Histogram& o) {
+    if (this != &o) SetState(o.GetState());
+    return *this;
   }
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
-  std::uint64_t min() const { return count_ ? min_ : 0; }
-  std::uint64_t max() const { return count_ ? max_ : 0; }
+  void Record(std::uint64_t sample) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    AtomicMin(min_, sample);
+    AtomicMax(max_, sample);
+    buckets_[static_cast<std::size_t>(BucketOf(sample))].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const {
+    return count() ? min_.load(std::memory_order_relaxed) : 0;
+  }
+  std::uint64_t max() const {
+    return count() ? max_.load(std::memory_order_relaxed) : 0;
+  }
   double mean() const {
-    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+    const std::uint64_t c = count();
+    return c ? static_cast<double>(sum()) / static_cast<double>(c) : 0.0;
   }
   std::uint64_t bucket(int i) const {
     GLB_CHECK(i >= 0 && i < kBuckets) << "bucket index " << i;
-    return buckets_[i];
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
   }
+
+  /// Raw value snapshot (fast-forward replay bookkeeping; min_raw/
+  /// max_raw keep the "empty" sentinels so a restore round-trips).
+  struct State {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min_raw = ~0ull;
+    std::uint64_t max_raw = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+  };
+  State GetState() const;
+  void SetState(const State& s);
 
   /// Approximate p-quantile (p in [0,1]) from the power-of-two buckets:
   /// linear rank interpolation inside the bucket that holds the target
@@ -74,11 +110,24 @@ class Histogram {
   }
 
  private:
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = ~0ull;
-  std::uint64_t max_ = 0;
-  std::uint64_t buckets_[kBuckets]{};
+  static void AtomicMin(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMax(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
 };
 
 /// Named registry. Stable addresses: objects live in deques and are never

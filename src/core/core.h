@@ -29,6 +29,7 @@
 #include "core/barrier_device.h"
 #include "core/task.h"
 #include "core/timebreak.h"
+#include "sim/domain.h"
 #include "sim/engine.h"
 #include "trace/trace.h"
 
@@ -55,6 +56,13 @@ class Core {
   /// Wires the hardware barrier (may be null if the program never uses
   /// GlBarrier()).
   void SetBarrierDevice(BarrierDevice* dev) { barrier_dev_ = dev; }
+
+  /// Attaches the execution domain. Under a windowed (sharded) domain
+  /// the barrier device lives on the hub engine, so GlBarrier() routes
+  /// its arrival through the domain's tile->hub channel; without one
+  /// (or under SingleDomain) the legacy direct call path is used
+  /// unchanged.
+  void SetDomain(sim::ExecutionDomain* d) { domain_ = d; }
 
   /// Straggler hook: maps the nominal duration of a compute phase to
   /// the one actually charged (DVFS slowdown, skewed partitions — see
@@ -180,6 +188,30 @@ class Core {
           << "GlBarrier() without a barrier device on core " << core.id_;
       core.BeginOp(TimeCat::kBarrier);
       core.NoteBarrier();
+      if (core.domain_ != nullptr && core.domain_->windowed()) {
+        // Sharded run: the barrier device is a hub-engine component.
+        // The arrival crosses the tile->hub channel at its own cycle
+        // (committed in canonical order, so the device sees arrivals in
+        // a layout-independent order); the release runs on the hub and
+        // schedules the resume straight onto this tile's engine — the
+        // hub pass is serial, so direct cross-engine inserts there are
+        // deterministic.
+        core.engine_.ScheduleIn(core.cfg_.gl_notify_overhead, [this, h]() {
+          core.domain_->PostToHub(core.id_, core.engine_.Now(), [this, h]() {
+            core.barrier_dev_->Arrive(core.id_, [this, h]() {
+              core.engine_.ScheduleAt(
+                  core.domain_->Hub().Now() + core.cfg_.gl_resume_overhead,
+                  [this, h]() {
+                    core.EndOp();
+                    // Post-release coroutine body is workload code.
+                    prof::Scope prof_scope(prof::Cat::kWorkload);
+                    h.resume();
+                  });
+            });
+          });
+        });
+        return;
+      }
       // `mov 1, bar_reg` reaches the controllers after the notify
       // overhead; the release is observed after the resume overhead.
       core.engine_.ScheduleIn(core.cfg_.gl_notify_overhead, [this, h]() {
@@ -191,6 +223,26 @@ class Core {
             h.resume();
           });
         });
+      });
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Compute fast-forward replay: one engine event stands in for a
+  /// whole measured compute phase. The memoized time-category delta is
+  /// folded into the core's breakdown directly (no BeginOp/EndOp — the
+  /// replayed phase's category mix comes from the measurement, not from
+  /// a single live op). See cmp::FastForwardController.
+  struct FastForwardAwaiter {
+    Core& core;
+    Cycle cycles;
+    const TimeBreakdown* delta;  // may be null (pure wait)
+    bool await_ready() const noexcept { return cycles == 0 && delta == nullptr; }
+    void await_suspend(std::coroutine_handle<> h) {
+      core.engine_.ScheduleIn(cycles, [this, h]() {
+        if (delta != nullptr) core.breakdown_ += *delta;
+        prof::Scope prof_scope(prof::Cat::kWorkload);
+        h.resume();
       });
     }
     void await_resume() const noexcept {}
@@ -236,6 +288,10 @@ class Core {
     return ComputeAwaiter{*this, cycles};
   }
   [[nodiscard]] GlBarrierAwaiter GlBarrier() { return GlBarrierAwaiter{*this}; }
+  [[nodiscard]] FastForwardAwaiter FastForward(Cycle cycles,
+                                               const TimeBreakdown* delta) {
+    return FastForwardAwaiter{*this, cycles, delta};
+  }
 
  private:
   friend struct LoadAwaiter;
@@ -264,6 +320,7 @@ class Core {
   const CoreId id_;
   CoreConfig cfg_;
   BarrierDevice* barrier_dev_ = nullptr;
+  sim::ExecutionDomain* domain_ = nullptr;
   ComputeFaultHook compute_fault_hook_;
 
   std::optional<Task> program_;

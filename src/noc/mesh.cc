@@ -75,7 +75,8 @@ void Mesh::Send(Packet pkt) {
       << "packet endpoints out of range: " << pkt.src << "->" << pkt.dst;
   GLB_CHECK(pkt.deliver != nullptr) << "packet without delivery closure";
   const Cycle penalty = fault_ != nullptr ? fault_(pkt) : 0;
-  InFlight flight{std::move(pkt), engine_.Now()};
+  sim::Engine& eng = EngineAt(pkt.src);
+  InFlight flight{std::move(pkt), eng.Now()};
   if (flight.pkt.src == flight.pkt.dst) {
     local_msgs_->Inc();
     DeliverLocal(std::move(flight), penalty);
@@ -90,7 +91,7 @@ void Mesh::Send(Packet pkt) {
   if (trace::Active()) {
     flight.trace_id = trace::Sink().NextId();
     trace::Sink().AsyncBegin(
-        "noc/packets", PacketTraceName(flight.pkt), flight.trace_id, engine_.Now(),
+        "noc/packets", PacketTraceName(flight.pkt), flight.trace_id, eng.Now(),
         trace::Args()
             .Add("bytes", flight.pkt.bytes)
             .Add("hops", Hops(flight.pkt.src, flight.pkt.dst))
@@ -98,42 +99,45 @@ void Mesh::Send(Packet pkt) {
             .json());
   }
   const CoreId src = flight.pkt.src;
-  engine_.ScheduleIn(cfg_.router_latency + penalty,
-                     [this, src, f = std::move(flight)]() mutable {
-                       RouteAt(src, std::move(f));
-                     });
+  eng.ScheduleIn(cfg_.router_latency + penalty,
+                 [this, src, f = std::move(flight)]() mutable {
+                   RouteAt(src, std::move(f));
+                 });
 }
 
 void Mesh::DeliverLocal(InFlight flight, Cycle penalty) {
-  engine_.ScheduleIn(cfg_.local_latency + penalty,
-                     [f = std::move(flight)]() mutable { f.pkt.deliver(); });
+  const CoreId node = flight.pkt.src;
+  EngineAt(node).ScheduleIn(cfg_.local_latency + penalty,
+                            [f = std::move(flight)]() mutable { f.pkt.deliver(); });
 }
 
 void Mesh::RouteAt(CoreId node, InFlight flight) {
   prof::Scope prof_scope(prof::Cat::kNoc);
+  sim::Engine& eng = EngineAt(node);
   router_flits_[node] += FlitsOf(flight.pkt.bytes);
   if (node == flight.pkt.dst) {
-    latency_->Record(engine_.Now() - flight.injected_at);
-    GLB_TRACE(engine_.Now(), "noc",
+    latency_->Record(eng.Now() - flight.injected_at);
+    GLB_TRACE(eng.Now(), "noc",
               "deliver " << flight.pkt.src << "->" << flight.pkt.dst << " ("
                          << ToString(flight.pkt.traffic) << ", " << flight.pkt.bytes
                          << "B)");
     if (trace::Active() && flight.trace_id != 0) {
       trace::Sink().AsyncEnd("noc/packets", PacketTraceName(flight.pkt),
-                             flight.trace_id, engine_.Now());
+                             flight.trace_id, eng.Now());
     }
     flight.pkt.deliver();
     return;
   }
   const Dir d = NextDir(node, flight.pkt.dst);
   OutLink& link = routers_[node].out[d];
-  flight.enqueued_at = engine_.Now();
+  flight.enqueued_at = eng.Now();
   link.queues[static_cast<std::size_t>(flight.pkt.vnet)].push_back(std::move(flight));
   PumpLink(node, d);
 }
 
 void Mesh::PumpLink(CoreId node, Dir d) {
   prof::Scope prof_scope(prof::Cat::kNoc);
+  sim::Engine& eng = EngineAt(node);
   OutLink& link = routers_[node].out[d];
   if (link.transmitting) return;
 
@@ -162,24 +166,33 @@ void Mesh::PumpLink(CoreId node, Dir d) {
     // dur = serialization; `queued` shows arbitration/backpressure wait.
     trace::Sink().Complete(
         "noc/link " + std::to_string(node) + kDirName[d], PacketTraceName(flight.pkt),
-        engine_.Now(), engine_.Now() + serialization,
+        eng.Now(), eng.Now() + serialization,
         trace::Args()
-            .Add("queued", engine_.Now() - flight.enqueued_at)
+            .Add("queued", eng.Now() - flight.enqueued_at)
             .Add("bytes", flight.pkt.bytes)
             .json());
   }
 
   // Link becomes free once the tail flit has left this router.
-  engine_.ScheduleIn(serialization, [this, node, d]() {
+  eng.ScheduleIn(serialization, [this, node, d]() {
     routers_[node].out[d].transmitting = false;
     PumpLink(node, d);
   });
   // Packet appears at the neighbour's routing stage after serialization,
-  // wire propagation, and that router's pipeline.
-  engine_.ScheduleIn(serialization + cfg_.link_latency + cfg_.router_latency,
-                     [this, next, f = std::move(flight)]() mutable {
-                       RouteAt(next, std::move(f));
-                     });
+  // wire propagation, and that router's pipeline. This is the one
+  // cross-tile hop in the NoC, so it is the one that must cross the
+  // domain's tile->tile channel; its latency (>= 1+1+2 cycles with any
+  // config the harness accepts) is the lookahead that sizes the
+  // conservative window.
+  const Cycle at = eng.Now() + serialization + cfg_.link_latency + cfg_.router_latency;
+  auto hop = [this, next, f = std::move(flight)]() mutable {
+    RouteAt(next, std::move(f));
+  };
+  if (domain_ != nullptr) {
+    domain_->PostToTile(node, next, at, std::move(hop));
+  } else {
+    eng.ScheduleAt(at, std::move(hop));
+  }
 }
 
 }  // namespace glb::noc

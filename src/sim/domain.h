@@ -1,0 +1,80 @@
+// Execution domains: where a tile's events run.
+//
+// The legacy simulator drives every component from one Engine. The
+// sharded conservative-window mode (docs/PERFORMANCE.md) instead gives
+// each group of tiles its own Engine advanced by a host thread, plus a
+// serial "hub" engine for chip-global components (G-line networks,
+// fault injector, interval sampler). ExecutionDomain is the seam: tiled
+// components (mesh routers, cache controllers, cores) ask it which
+// engine a tile lives on and route every cross-tile or tile<->hub
+// event transfer through Post* so the sharded domain can defer them to
+// window boundaries in a canonical order.
+//
+// SingleDomain is the degenerate implementation over one engine. Its
+// Post* methods are exactly the direct calls the legacy code made, so
+// a system built on SingleDomain is byte-identical to pre-domain
+// builds (the fig5 baseline gate relies on this).
+#pragma once
+
+#include "common/check.h"
+#include "common/types.h"
+#include "sim/engine.h"
+
+namespace glb::sim {
+
+class ExecutionDomain {
+ public:
+  virtual ~ExecutionDomain() = default;
+
+  /// Engine that runs tile-local events for `tile`.
+  virtual Engine& EngineFor(std::uint32_t tile) = 0;
+
+  /// Engine for chip-global (non-tiled) components. In the single
+  /// domain this is the one engine; in the sharded domain a dedicated
+  /// serial engine advanced between shard passes.
+  virtual Engine& Hub() = 0;
+
+  /// True when cross-tile transfers are deferred to window boundaries
+  /// (the sharded conservative-window mode).
+  virtual bool windowed() const = 0;
+
+  /// Transfers an event to `dst_tile`'s engine at absolute cycle `at`.
+  /// Must be called from `src_tile`'s engine context with
+  /// at >= EngineFor(src_tile).Now(). The sharded domain commits these
+  /// at window starts in canonical (cycle, src_tile, per-source-seq)
+  /// order; the single domain schedules directly (same order the
+  /// legacy code produced).
+  virtual void PostToTile(std::uint32_t src_tile, std::uint32_t dst_tile, Cycle at,
+                          Task fn) = 0;
+
+  /// Transfers an event from a tile to the hub at the caller's current
+  /// cycle `at`. The single domain runs `fn` inline (the legacy direct
+  /// call); the sharded domain enqueues it for the hub pass of the
+  /// current window, in the same canonical order as PostToTile.
+  virtual void PostToHub(std::uint32_t src_tile, Cycle at, Task fn) = 0;
+};
+
+/// One engine, direct dispatch. Byte-identical to the pre-domain code.
+class SingleDomain final : public ExecutionDomain {
+ public:
+  explicit SingleDomain(Engine& engine) : engine_(engine) {}
+
+  Engine& EngineFor(std::uint32_t) override { return engine_; }
+  Engine& Hub() override { return engine_; }
+  bool windowed() const override { return false; }
+
+  void PostToTile(std::uint32_t, std::uint32_t, Cycle at, Task fn) override {
+    engine_.ScheduleAt(at, std::move(fn));
+  }
+
+  void PostToHub(std::uint32_t, Cycle at, Task fn) override {
+    GLB_DCHECK(at == engine_.Now()) << "inline hub post not at Now()";
+    (void)at;
+    fn();
+  }
+
+ private:
+  Engine& engine_;
+};
+
+}  // namespace glb::sim

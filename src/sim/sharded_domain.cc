@@ -1,0 +1,235 @@
+#include "sim/sharded_domain.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace glb::sim {
+
+namespace {
+
+/// Spins (briefly) then yields until the generation counter moves past
+/// `last`. The pass cadence is one rendezvous per simulated window, so
+/// this is the whole synchronization cost of sharding.
+std::uint64_t AwaitGeneration(const std::atomic<std::uint64_t>& gen,
+                              std::uint64_t last) {
+  int spins = 0;
+  for (;;) {
+    const std::uint64_t g = gen.load(std::memory_order_acquire);
+    if (g != last) return g;
+    if (++spins > 4096) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+}  // namespace
+
+ShardedDomain::ShardedDomain(Engine& hub, const ShardedDomainConfig& cfg)
+    : hub_(hub), cfg_(cfg) {
+  GLB_CHECK(cfg.num_tiles > 0) << "sharded domain with no tiles";
+  GLB_CHECK(cfg.num_shards > 0) << "sharded domain with no shards";
+  GLB_CHECK(cfg.window > 0) << "zero-length conservative window";
+  cfg_.num_shards = std::min(cfg_.num_shards, cfg_.num_tiles);
+  engines_.reserve(cfg_.num_shards);
+  for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+    engines_.push_back(std::make_unique<Engine>());
+  }
+  // Contiguous tile blocks: tiles are row-major mesh nodes, so blocks
+  // are row bands and most mesh traffic (dimension-order routed, mostly
+  // short) stays shard-local.
+  shard_of_.resize(cfg_.num_tiles);
+  const std::uint32_t base = cfg_.num_tiles / cfg_.num_shards;
+  const std::uint32_t extra = cfg_.num_tiles % cfg_.num_shards;
+  std::uint32_t tile = 0;
+  for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+    const std::uint32_t len = base + (s < extra ? 1 : 0);
+    for (std::uint32_t i = 0; i < len; ++i) shard_of_[tile++] = s;
+  }
+  seq_.assign(cfg_.num_tiles, 0);
+  outbox_.resize(cfg_.num_shards);
+  use_threads_ =
+      cfg_.threading == ShardedDomainConfig::Threading::kThreads ||
+      (cfg_.threading == ShardedDomainConfig::Threading::kAuto &&
+       cfg_.num_shards > 1 && std::thread::hardware_concurrency() > 1);
+}
+
+ShardedDomain::~ShardedDomain() {
+  if (workers_started_) {
+    stop_.store(true, std::memory_order_release);
+    gen_.fetch_add(1, std::memory_order_acq_rel);
+    for (auto& w : workers_) w.join();
+  }
+}
+
+void ShardedDomain::PostToTile(std::uint32_t src_tile, std::uint32_t dst_tile,
+                               Cycle at, Task fn) {
+  GLB_DCHECK(at >= pass_t1_) << "cross-tile handoff inside the conservative "
+                                "window: at="
+                             << at << " window end=" << pass_t1_;
+  const std::uint32_t src_shard = shard_of_[src_tile];
+  outbox_[src_shard].tile.push_back(Handoff{
+      at, src_tile, seq_[src_tile]++, shard_of_[dst_tile], std::move(fn)});
+}
+
+void ShardedDomain::PostToHub(std::uint32_t src_tile, Cycle at, Task fn) {
+  const std::uint32_t src_shard = shard_of_[src_tile];
+  outbox_[src_shard].hub.push_back(
+      Handoff{at, src_tile, seq_[src_tile]++, 0, std::move(fn)});
+}
+
+Cycle ShardedDomain::GlobalNextCycle() const {
+  Cycle best = hub_.NextEventCycle();
+  for (const auto& e : engines_) best = std::min(best, e->NextEventCycle());
+  for (const Handoff& h : pending_tile_) best = std::min(best, h.at);
+  for (const Handoff& h : pending_hub_) best = std::min(best, h.at);
+  return best;
+}
+
+void ShardedDomain::CollectOutboxes() {
+  for (Outbox& ob : outbox_) {
+    for (Handoff& h : ob.tile) pending_tile_.push_back(std::move(h));
+    for (Handoff& h : ob.hub) pending_hub_.push_back(std::move(h));
+    ob.tile.clear();
+    ob.hub.clear();
+  }
+}
+
+void ShardedDomain::CommitTileDue(Cycle limit) {
+  if (pending_tile_.empty()) return;
+  std::sort(pending_tile_.begin(), pending_tile_.end(), Before);
+  std::size_t i = 0;
+  for (; i < pending_tile_.size() && pending_tile_[i].at < limit; ++i) {
+    Handoff& h = pending_tile_[i];
+    engines_[h.dst_shard]->ScheduleAt(h.at, std::move(h.fn));
+  }
+  pending_tile_.erase(pending_tile_.begin(),
+                      pending_tile_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+void ShardedDomain::CommitHubDue(Cycle limit) {
+  if (pending_hub_.empty()) return;
+  std::sort(pending_hub_.begin(), pending_hub_.end(), Before);
+  std::size_t i = 0;
+  for (; i < pending_hub_.size() && pending_hub_[i].at < limit; ++i) {
+    Handoff& h = pending_hub_[i];
+    hub_.ScheduleAt(h.at, std::move(h.fn));
+  }
+  pending_hub_.erase(pending_hub_.begin(),
+                     pending_hub_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+void ShardedDomain::StartWorkers() {
+  if (workers_started_ || cfg_.num_shards == 1) return;
+  workers_started_ = true;
+  workers_.reserve(cfg_.num_shards);
+  for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+}
+
+void ShardedDomain::WorkerLoop(std::uint32_t shard) {
+  std::uint64_t last = 0;
+  for (;;) {
+    last = AwaitGeneration(gen_, last);
+    if (stop_.load(std::memory_order_acquire)) return;
+    Engine& e = *engines_[shard];
+    e.BeginWindow(pass_t0_);
+    e.RunWindow(pass_t1_);
+    done_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ShardedDomain::RunShardsParallel(Cycle t0, Cycle t1) {
+  // Count shards with work this pass; a single busy shard (common
+  // during barrier episodes and drain phases) runs inline to skip the
+  // rendezvous.
+  int active = -1;
+  int n_active = 0;
+  for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+    if (engines_[s]->NextEventCycle() < t1) {
+      active = static_cast<int>(s);
+      ++n_active;
+    }
+  }
+  if (n_active == 0) return;
+  if (n_active == 1 || cfg_.num_shards == 1) {
+    Engine& e = *engines_[static_cast<std::size_t>(active)];
+    e.BeginWindow(t0);
+    e.RunWindow(t1);
+    return;
+  }
+  if (!use_threads_) {
+    // Serial pass: same per-engine work in shard order, no rendezvous.
+    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+      Engine& e = *engines_[s];
+      if (e.NextEventCycle() >= t1) continue;
+      e.BeginWindow(t0);
+      e.RunWindow(t1);
+    }
+    return;
+  }
+  StartWorkers();
+  pass_t0_ = t0;
+  pass_t1_ = t1;
+  done_.store(0, std::memory_order_release);
+  gen_.fetch_add(1, std::memory_order_acq_rel);
+  while (done_.load(std::memory_order_acquire) < cfg_.num_shards) {
+    std::this_thread::yield();
+  }
+}
+
+RunStatus ShardedDomain::RunUntilIdleStatus(Cycle max_cycles) {
+  Cycle last_window_end = hub_.Now();
+  for (;;) {
+    const Cycle t0 = GlobalNextCycle();
+    if (t0 == kCycleNever) {
+      return RunStatus{.idle = true,
+                       .now = last_window_end,
+                       .pending_events = 0,
+                       .next_event_at = kCycleNever};
+    }
+    if (t0 > max_cycles) {
+      std::size_t pending = hub_.pending_events() + pending_tile_.size() +
+                            pending_hub_.size();
+      for (const auto& e : engines_) pending += e->pending_events();
+      return RunStatus{.idle = false,
+                       .now = last_window_end,
+                       .pending_events = pending,
+                       .next_event_at = t0};
+    }
+    const Cycle t1 = t0 + cfg_.window;
+    // Handoffs due this window all predate it (cross-tile lookahead >=
+    // window), so one tile commit up front suffices; hub posts arrive
+    // mid-window from shard passes, so the hub commit repeats per pass.
+    pass_t1_ = t1;  // lets PostToTile assert the lookahead contract
+    CommitTileDue(t1);
+    for (;;) {
+      RunShardsParallel(t0, t1);
+      CollectOutboxes();
+      CommitHubDue(t1);
+      if (hub_.NextEventCycle() < t1) {
+        hub_.BeginWindow(t0);
+        hub_.RunWindow(t1);
+        // The hub may have scheduled into shard engines below t1
+        // (barrier releases): run another pass over the same window.
+        continue;
+      }
+      bool more = false;
+      for (const auto& e : engines_) more |= e->NextEventCycle() < t1;
+      for (const Handoff& h : pending_hub_) more |= h.at < t1;
+      if (!more) break;
+    }
+    last_window_end = t1;
+  }
+}
+
+std::uint64_t ShardedDomain::ShardEventsProcessed() const {
+  std::uint64_t total = 0;
+  for (const auto& e : engines_) total += e->events_processed();
+  return total;
+}
+
+}  // namespace glb::sim

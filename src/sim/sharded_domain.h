@@ -1,0 +1,148 @@
+// Sharded conservative-window execution domain.
+//
+// Partitions `num_tiles` tiles into `num_shards` groups, each with its
+// own Engine advanced by a persistent worker thread (or serially on
+// the calling thread when the host has a single hardware thread — see
+// ShardedDomainConfig::Threading), plus a serial hub
+// engine (owned by the caller) for chip-global components. Time
+// advances in conservative windows of `window` simulated cycles: every
+// cross-tile handoff has latency >= window (the mesh's minimum
+// router+link+serialization path), so a shard can run a whole window
+// without observing another shard's in-window activity. Handoffs are
+// exchanged at window boundaries and committed in a canonical
+// (cycle, src_tile, per-source-sequence) order, which makes the merged
+// event order — and therefore every simulated outcome — independent of
+// the shard count and of host thread timing. `--shards 1` and
+// `--shards 16` produce byte-identical manifests; docs/PERFORMANCE.md
+// has the full determinism argument.
+//
+// Within a window, passes alternate: all shards in parallel, then the
+// hub serially (barrier arrivals post tile->hub at their own cycle and
+// releases post hub->tile within the same window), repeated until no
+// event below the window limit remains anywhere.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/domain.h"
+#include "sim/engine.h"
+
+namespace glb::sim {
+
+struct ShardedDomainConfig {
+  std::uint32_t num_tiles = 1;
+  std::uint32_t num_shards = 1;
+  /// Conservative window length: must be <= the minimum latency of any
+  /// cross-tile PostToTile handoff (asserted per post in debug builds).
+  Cycle window = 4;
+  /// Host threading policy. The choice is unobservable in simulated
+  /// output — shard passes within a window are independent, so running
+  /// them on worker threads or sequentially on the calling thread
+  /// yields identical engine states. kAuto therefore spawns workers
+  /// only when the host can actually run them concurrently
+  /// (hardware_concurrency > 1); on a 1-CPU host the per-window
+  /// rendezvous would otherwise cost more than the whole pass (spinning
+  /// workers time-slicing one core). kThreads forces workers so tests
+  /// can pin the cross-thread path on any host.
+  enum class Threading { kAuto, kSerial, kThreads };
+  Threading threading = Threading::kAuto;
+};
+
+class ShardedDomain final : public ExecutionDomain {
+ public:
+  /// `hub` is the caller-owned engine for chip-global components; it is
+  /// advanced only by this domain's run loop (serially, between shard
+  /// passes).
+  ShardedDomain(Engine& hub, const ShardedDomainConfig& cfg);
+  ~ShardedDomain() override;
+
+  ShardedDomain(const ShardedDomain&) = delete;
+  ShardedDomain& operator=(const ShardedDomain&) = delete;
+
+  Engine& EngineFor(std::uint32_t tile) override {
+    return *engines_[shard_of_[tile]];
+  }
+  Engine& Hub() override { return hub_; }
+  bool windowed() const override { return true; }
+
+  void PostToTile(std::uint32_t src_tile, std::uint32_t dst_tile, Cycle at,
+                  Task fn) override;
+  void PostToHub(std::uint32_t src_tile, Cycle at, Task fn) override;
+
+  /// Drives shards and hub to global idle (or `max_cycles`). The
+  /// windowed analogue of Engine::RunUntilIdleStatus.
+  RunStatus RunUntilIdleStatus(Cycle max_cycles = kCycleNever);
+
+  /// Events processed across all shard engines (the hub engine is
+  /// caller-owned and counts its own).
+  std::uint64_t ShardEventsProcessed() const;
+
+  std::uint32_t num_shards() const { return cfg_.num_shards; }
+  std::uint32_t shard_of(std::uint32_t tile) const { return shard_of_[tile]; }
+  Cycle window() const { return cfg_.window; }
+
+ private:
+  struct Handoff {
+    Cycle at;
+    std::uint32_t src_tile;
+    std::uint64_t seq;  // per-source-tile, assigned in source order
+    std::uint32_t dst_shard;
+    Task fn;
+  };
+  /// Canonical merge order. (src_tile, seq) is unique, so this is a
+  /// total order that no host-side scheduling can perturb.
+  static bool Before(const Handoff& a, const Handoff& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.src_tile != b.src_tile) return a.src_tile < b.src_tile;
+    return a.seq < b.seq;
+  }
+
+  /// Earliest pending cycle across shard engines, hub, and
+  /// uncommitted handoffs.
+  Cycle GlobalNextCycle() const;
+  /// Moves worker outboxes into the pending lists (main thread only,
+  /// workers idle).
+  void CollectOutboxes();
+  /// Commit pending handoffs with cycle < limit into their target
+  /// engines, in canonical order.
+  void CommitTileDue(Cycle limit);
+  void CommitHubDue(Cycle limit);
+  void RunShardsParallel(Cycle t0, Cycle t1);
+  void WorkerLoop(std::uint32_t shard);
+
+  Engine& hub_;
+  ShardedDomainConfig cfg_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::uint32_t> shard_of_;
+  std::vector<std::uint64_t> seq_;  // per src tile; owned by its shard's thread
+
+  /// Per-source-shard outboxes, written only by the owning worker
+  /// during a pass and drained by the main thread between passes.
+  struct Outbox {
+    std::vector<Handoff> tile;
+    std::vector<Handoff> hub;
+  };
+  std::vector<Outbox> outbox_;
+  std::vector<Handoff> pending_tile_;
+  std::vector<Handoff> pending_hub_;
+
+  // Worker rendezvous: workers spin (with yield) on the generation
+  // counter; pass parameters are plain fields ordered by the
+  // release-store/acquire-load pair on gen_ and done_.
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<std::uint32_t> done_{0};
+  std::atomic<bool> stop_{false};
+  Cycle pass_t0_ = 0;
+  Cycle pass_t1_ = 0;
+  bool use_threads_ = false;
+  bool workers_started_ = false;
+  void StartWorkers();
+};
+
+}  // namespace glb::sim

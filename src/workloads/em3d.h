@@ -61,6 +61,11 @@ class Em3d final : public Workload {
 
   Config cfg_;
   std::uint32_t num_cores_ = 0;
+  /// Fast-forward controller, or nullptr when --fast-forward is off.
+  /// EM3D's iteration is exactly periodic (2 phases per timestep after
+  /// the initial barrier), so it reports phase measurements and replays
+  /// once the controller engages.
+  cmp::FastForwardController* ff_ = nullptr;
   Graph e_graph_;  // how E-nodes read H-nodes
   Graph h_graph_;  // how H-nodes read E-nodes
   Addr e_vals_ = 0;

@@ -40,6 +40,18 @@ void Usage() {
       "  --max-cycles N  abort (with a stall diagnostic) after N cycles\n"
       "  --stats         dump the raw statistics registry\n"
       "  --csv           emit machine-readable key,value lines\n"
+      "host execution (simulated results are identical for every setting;\n"
+      "see docs/PERFORMANCE.md):\n"
+      "  --shards N      run the simulation across N host threads with the\n"
+      "                  conservative-window engine; any N >= 1 is\n"
+      "                  byte-identical to --shards 1 (0 = legacy\n"
+      "                  single-threaded engine, the default). Incompatible\n"
+      "                  with --trace, resilient-G-line mode and all fault\n"
+      "                  knobs except --fault_slow/--fault_skew\n"
+      "  --fast-forward  replay exactly periodic steady-state compute phases\n"
+      "                  as single events once detected (barrier traffic and\n"
+      "                  all stats stay exact; auto-refused for runs with\n"
+      "                  --fault_script)\n"
       "observability (docs/OBSERVABILITY.md):\n"
       "  --trace FILE    write a Perfetto/Chrome trace-event JSON of the run\n"
       "  --json [FILE]   bare: print a pretty run manifest to stdout instead of\n"
@@ -279,7 +291,7 @@ int main(int argc, char** argv) {
   power::Print(std::cout, energy);
   std::cout << "  validation      " << (validation.empty() ? "ok" : validation)
             << '\n';
-  std::cout << "  host events     " << sys.engine().events_processed() << '\n';
+  std::cout << "  host events     " << sys.HostEvents() << '\n';
   if (want_profile) {
     std::cout << "  host profile    total "
               << static_cast<double>(prof_snap.total_ns()) / 1e6 << " ms:";
