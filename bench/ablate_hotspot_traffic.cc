@@ -14,6 +14,11 @@ int main(int argc, char** argv) {
   const bench::Observability obs(flags);
   const auto iters = static_cast<std::uint32_t>(flags.GetInt("iters", 100));
   const int jobs = bench::JobsFromFlags(flags, obs);
+  // --barrier swaps in any software comparison set (unknown names exit
+  // 2, like glbsim); GL always runs first as the zero-traffic reference.
+  const auto sw_kinds = bench::BarrierListFromFlags(
+      flags, "barrier",
+      {harness::BarrierKind::kCSW, harness::BarrierKind::kDSW});
 
   std::cout << "Ablation C: data-network messages per barrier episode\n\n";
   const std::vector<std::uint32_t> core_counts = {4, 8, 16, 32};
@@ -24,8 +29,9 @@ int main(int argc, char** argv) {
   std::vector<harness::ExperimentSpec> specs;
   for (std::uint32_t cores : core_counts) {
     const auto cfg = cmp::CmpConfig::WithCores(cores);
-    for (auto kind : {harness::BarrierKind::kGL, harness::BarrierKind::kCSW,
-                      harness::BarrierKind::kDSW}) {
+    specs.push_back(
+        harness::FactoryExperiment(factory, harness::BarrierKind::kGL, cfg));
+    for (auto kind : sw_kinds) {
       specs.push_back(harness::FactoryExperiment(factory, kind, cfg));
     }
   }
@@ -37,7 +43,7 @@ int main(int argc, char** argv) {
   std::size_t next = 0;
   for (std::uint32_t cores : core_counts) {
     const harness::RunMetrics& gl = results[next++];
-    for (int k = 0; k < 2; ++k) {
+    for (std::size_t k = 0; k < sw_kinds.size(); ++k) {
       const auto& m = results[next++];
       const double per = static_cast<double>(m.total_msgs()) /
                          static_cast<double>(m.barriers);

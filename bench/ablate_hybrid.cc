@@ -14,6 +14,13 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const bench::Observability obs(flags);
   const auto iters = static_cast<std::uint32_t>(flags.GetInt("iters", 100));
+  // --barrier swaps in any comparison set (unknown names exit 2, like
+  // glbsim); the default keeps the ablation's historical five-way.
+  const auto kinds = bench::BarrierListFromFlags(
+      flags, "barrier",
+      {harness::BarrierKind::kGL, harness::BarrierKind::kHYB,
+       harness::BarrierKind::kDIS, harness::BarrierKind::kDSW,
+       harness::BarrierKind::kCSW});
 
   std::cout << "Ablation D: GL vs HYB vs DIS vs DSW vs CSW (synthetic, " << iters
             << " iterations x 4 barriers)\n\n";
@@ -23,9 +30,7 @@ int main(int argc, char** argv) {
   for (std::uint32_t cores : {4u, 8u, 16u, 32u}) {
     const auto cfg = cmp::CmpConfig::WithCores(cores);
     auto factory = [iters]() { return std::make_unique<workloads::Synthetic>(iters); };
-    for (auto kind : {harness::BarrierKind::kGL, harness::BarrierKind::kHYB,
-                      harness::BarrierKind::kDIS, harness::BarrierKind::kDSW,
-                      harness::BarrierKind::kCSW}) {
+    for (auto kind : kinds) {
       const auto m = harness::RunExperiment(factory, kind, cfg);
       if (!m.completed || !m.validation.empty()) {
         std::cerr << "run failed: " << m.barrier << '\n';

@@ -19,9 +19,18 @@
 // manifest are only emitted under --hier, so the default output stays
 // byte-identical.
 //
+// With --scale the figure becomes a free-form latency sweep over any
+// --cores list and any --barrier list — including the software-barrier
+// zoo (rdbl, bruck, tournament, ring, galois-fast) and the tuned
+// meta-barrier, whose decision is echoed per point. --json appends one
+// glb.fig5_scale JSONL row. The default and --hier outputs are
+// untouched by this mode.
+//
 //   ./bench/fig5_barrier_latency --jobs 4
 //   ./bench/fig5_barrier_latency --max-cores 8 --json fig5.json
 //   ./bench/fig5_barrier_latency --hier --jobs 4 --json fig5.json
+//   ./bench/fig5_barrier_latency --scale --cores 64,256 --jobs 8
+//       --barrier rdbl,galois-fast,tuned,gl-hier
 #include <fstream>
 #include <iostream>
 #include <vector>
@@ -100,6 +109,94 @@ void WriteHierManifest(std::ostream& os, bool pretty, std::uint32_t iters,
   w.EndObject();
 }
 
+/// One glb.fig5_scale object: average cycles per barrier for every
+/// (cores, barrier) pair of the free-form sweep, with the tuned
+/// decision echoed where it fired. Deterministic like glb.fig5.
+void WriteScaleManifest(std::ostream& os, bool pretty, std::uint32_t iters,
+                        const std::vector<harness::RunMetrics>& runs) {
+  json::Writer w(os, pretty);
+  w.BeginObject();
+  w.Field("schema", "glb.fig5_scale");
+  w.Field("schema_version", static_cast<std::uint32_t>(1));
+  w.Field("tool", "fig5_barrier_latency");
+  w.Field("synthetic_iters", iters);
+  w.Key("points");
+  w.BeginArray();
+  for (const auto& m : runs) {
+    w.BeginObject();
+    w.Field("cores", m.cores);
+    w.Field("barrier", m.barrier);
+    w.Field("avg_cycles",
+            static_cast<double>(m.cycles) / static_cast<double>(m.barriers));
+    if (!m.tuned_choice.empty()) w.Field("tuned_choice", m.tuned_choice);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+int RunScaleSweep(const Flags& flags, int jobs) {
+  const auto cores_list = bench::CoreListFromFlags(flags, "cores", {64, 256});
+  const auto kinds = bench::BarrierListFromFlags(
+      flags, "barrier",
+      {harness::BarrierKind::kDSW, harness::BarrierKind::kDIS,
+       harness::BarrierKind::kRDBL, harness::BarrierKind::kTOURN,
+       harness::BarrierKind::kGALOIS, harness::BarrierKind::kTUNED,
+       harness::BarrierKind::kGLH});
+
+  std::cout << "Figure 5 (scale sweep): average cycles per barrier\n\n";
+  bench::SweepClock clock(flags, "fig5_barrier_latency", jobs);
+  std::vector<harness::ExperimentSpec> specs;
+  std::uint32_t iters = 0;
+  for (std::uint32_t cores : cores_list) {
+    bench::Scale scale = harness::Scale::FromFlags(flags, cores);
+    if (!flags.Has("synthetic-iters") && !flags.Has("paper-scale")) {
+      scale.synthetic_iters = 50;  // stationary well before this
+    }
+    iters = scale.synthetic_iters;
+    for (auto kind : kinds) {
+      specs.push_back(harness::NamedExperiment(
+          "Synthetic", scale, kind, bench::ConfigForCores(flags, cores)));
+    }
+  }
+  const auto runs = harness::RunExperimentsParallel(specs, jobs);
+  clock.Report(runs.size());
+
+  bool ok = true;
+  harness::Table t({"Cores", "Barrier", "Avg cycles/barrier", "Tuned choice"});
+  for (const auto& m : runs) {
+    if (!m.completed || !m.validation.empty()) {
+      std::cerr << "run failed: " << m.workload << "/" << m.barrier << " at "
+                << m.cores << " cores: "
+                << (m.completed ? m.validation : m.stall) << '\n';
+      ok = false;
+      continue;
+    }
+    t.AddRow({std::to_string(m.cores), m.barrier,
+              harness::Table::Num(static_cast<double>(m.cycles) /
+                                  static_cast<double>(m.barriers)),
+              m.tuned_choice.empty() ? "-" : m.tuned_choice});
+  }
+  t.Print(std::cout);
+
+  if (flags.Has("json")) {
+    const std::string jpath = flags.GetString("json", "");
+    if (jpath.empty() || jpath == "true") {
+      WriteScaleManifest(std::cout, /*pretty=*/true, iters, runs);
+      std::cout << '\n';
+    } else {
+      std::ofstream f(jpath, std::ios::app);
+      if (!f) {
+        std::cerr << "failed to append manifest to " << jpath << "\n";
+        return 1;
+      }
+      WriteScaleManifest(f, /*pretty=*/false, iters, runs);
+      f << '\n';
+    }
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,6 +207,7 @@ int main(int argc, char** argv) {
     scale.synthetic_iters = 200;  // stationary well before this
   }
   const int jobs = bench::JobsFromFlags(flags, obs);
+  if (flags.GetBool("scale", false)) return RunScaleSweep(flags, jobs);
   const auto max_cores =
       static_cast<std::uint32_t>(flags.GetInt("max-cores", 32));
   const bool hier = flags.GetBool("hier", false);

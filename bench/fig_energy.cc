@@ -175,11 +175,21 @@ int main(int argc, char** argv) {
   // local system per configuration.
   harness::Table t({"Benchmark", "Barrier", "Total nJ", "NoC nJ", "NoC share",
                     "G-line nJ", "Energy saved"});
+  // --barrier swaps in any software reference set (unknown names exit
+  // 2, like glbsim); GL always runs last, and the "Energy saved" column
+  // compares every row against the first barrier in the list.
+  const auto sw_kinds = bench::BarrierListFromFlags(
+      flags, "barrier", {harness::BarrierKind::kDSW});
+  std::vector<harness::BarrierKind> kinds = sw_kinds;
+  kinds.push_back(harness::BarrierKind::kGL);
+
   for (const char* name : {"Kernel2", "Kernel3", "Kernel6", "UNSTRUCTURED",
                            "OCEAN", "EM3D"}) {
     std::vector<Row> rows;
-    for (auto kind : {harness::BarrierKind::kDSW, harness::BarrierKind::kGL}) {
-      cmp::CmpSystem sys(cfg);
+    for (auto kind : kinds) {
+      cmp::CmpConfig run_cfg = cfg;
+      if (kind == harness::BarrierKind::kGLH) run_cfg.hier.enabled = true;
+      cmp::CmpSystem sys(run_cfg);
       auto workload = harness::MakeWorkloadOrExit(name, scale);
       workload->Init(sys);
       auto barrier = harness::MakeBarrier(kind, sys);
@@ -193,15 +203,16 @@ int main(int argc, char** argv) {
       rows.push_back(Row{{}, power::Estimate(sys.stats())});
       rows.back().metrics.barrier = harness::ToString(kind);
     }
-    const double saved = 1.0 - rows[1].energy.total_pj() / rows[0].energy.total_pj();
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
+      const double saved =
+          1.0 - r.energy.total_pj() / rows[0].energy.total_pj();
       t.AddRow({name, r.metrics.barrier,
                 harness::Table::Num(r.energy.total_pj() / 1000.0, 1),
                 harness::Table::Num(r.energy.noc_pj / 1000.0, 1),
                 harness::Table::Pct(r.energy.noc_fraction()),
                 harness::Table::Num(r.energy.gline_pj / 1000.0, 2),
-                i == 1 ? harness::Table::Pct(saved) : std::string("-")});
+                i == 0 ? std::string("-") : harness::Table::Pct(saved)});
     }
   }
   t.Print(std::cout);

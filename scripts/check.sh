@@ -120,6 +120,33 @@ if ./build/tools/glb_bench_diff --time-threshold 0.05 --inject-regression 10 \
   exit 1
 fi
 
+# Barrier-zoo smoke: every zoo barrier completes and validates through
+# glbsim at a non-power-of-two core count; a tuned run must echo the
+# decision-table choice for its measured period into the manifest
+# (64-core tight Synthetic measures a DSW warmup period < 2500 cycles,
+# so the table says RDBL); and a bounded crossover cell plus a fig5
+# --scale sweep over the whole zoo are gated byte-exactly against the
+# checked-in glb.zoo/glb.fig5_scale baseline. CI publishes the manifest.
+echo "=== barrier-zoo smoke ==="
+for b in rdbl bruck tournament ring galois-fast; do
+  ./build/tools/glbsim --workload Synthetic --barrier "$b" --cores 48 \
+    --synthetic-iters 20 > /dev/null
+done
+rm -f BENCH_tuned_smoke.json
+./build/tools/glbsim --workload Synthetic --barrier tuned --cores 64 \
+  --synthetic-iters 30 --json BENCH_tuned_smoke.json > /dev/null
+grep -q '"choice":"RDBL"' BENCH_tuned_smoke.json || {
+  echo "FAIL: tuned manifest does not echo the expected RDBL choice" >&2
+  exit 1; }
+rm -f BENCH_zoo_smoke.json
+./build/bench/ablate_barrier_zoo --cores 16 --periods 0 --episodes 10 \
+  --jobs "$(nproc)" --json BENCH_zoo_smoke.json > /dev/null
+./build/bench/fig5_barrier_latency --scale --cores 16 \
+  --barrier rdbl,bruck,tournament,ring,galois-fast,tuned \
+  --jobs "$(nproc)" --json BENCH_zoo_smoke.json > /dev/null
+./build/tools/glb_bench_diff --no-time \
+  bench/baselines/zoo_smoke.json BENCH_zoo_smoke.json
+
 rm -f BENCH_straggler_obs.json
 ./build/tools/glbsim --workload Synthetic --barrier GLH --cores 64 \
   --synthetic-iters 80 --fault_watchdog 40 --fault_watchdog_mult 8 \

@@ -56,6 +56,50 @@ void ExtractFig5(const json::Value& doc, std::vector<Row>& rows, bool hier) {
   }
 }
 
+/// glb.fig5_scale: one row per (cores, barrier) point; avg_cycles is
+/// simulated output, exact match required.
+void ExtractFig5Scale(const json::Value& doc, std::vector<Row>& rows) {
+  const json::Value* points = doc.Find("points");
+  if (points == nullptr || !points->IsArray()) return;
+  for (const json::Value& p : points->arr) {
+    Row r;
+    r.id = "glb.fig5_scale/" +
+           std::to_string(static_cast<std::uint64_t>(p.NumberOr("cores", 0))) +
+           "c/" + p.StringOr("barrier", "?");
+    r.metrics.push_back(Det("avg_cycles", p.NumberOr("avg_cycles", 0)));
+    rows.push_back(std::move(r));
+  }
+}
+
+/// glb.zoo (ablate_barrier_zoo): one row per (cores, busy_period,
+/// barrier) cell entry plus a winner row per cell. All simulated.
+void ExtractZoo(const json::Value& doc, std::vector<Row>& rows) {
+  const json::Value* cells = doc.Find("cells");
+  if (cells == nullptr || !cells->IsArray()) return;
+  for (const json::Value& c : cells->arr) {
+    const std::string cell_id =
+        std::to_string(static_cast<std::uint64_t>(c.NumberOr("cores", 0))) +
+        "c/p" +
+        std::to_string(static_cast<std::uint64_t>(c.NumberOr("busy_period", 0)));
+    if (const json::Value* barriers = c.Find("barriers");
+        barriers != nullptr && barriers->IsArray()) {
+      for (const json::Value& b : barriers->arr) {
+        Row r;
+        r.id = "glb.zoo/" + cell_id + "/" + b.StringOr("barrier", "?");
+        r.metrics.push_back(Det("avg_cycles", b.NumberOr("avg_cycles", 0)));
+        rows.push_back(std::move(r));
+      }
+    }
+    Row winner;
+    winner.id = "glb.zoo/" + cell_id + "/winner:" + c.StringOr("best_sw", "?");
+    winner.metrics.push_back(
+        Det("best_sw_avg_cycles", c.NumberOr("best_sw_avg_cycles", 0)));
+    AddIfPresent(winner.metrics, c, "gl_margin", true, false);
+    AddIfPresent(winner.metrics, c, "glh_margin", true, false);
+    rows.push_back(std::move(winner));
+  }
+}
+
 void ExtractMicroEngine(const json::Value& doc, std::vector<Row>& rows) {
   const json::Value* results = doc.Find("results");
   if (results == nullptr || !results->IsArray()) return;
@@ -92,6 +136,10 @@ void ExtractDoc(const json::Value& doc, std::vector<Row>& rows) {
     ExtractFig5(doc, rows, /*hier=*/false);
   } else if (schema == "glb.fig5_hier") {
     ExtractFig5(doc, rows, /*hier=*/true);
+  } else if (schema == "glb.fig5_scale") {
+    ExtractFig5Scale(doc, rows);
+  } else if (schema == "glb.zoo") {
+    ExtractZoo(doc, rows);
   } else if (schema == "glb.micro_engine") {
     ExtractMicroEngine(doc, rows);
   } else if (schema.empty() && doc.Find("benchmarks") != nullptr) {

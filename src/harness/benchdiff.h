@@ -1,6 +1,7 @@
 // Perf-regression diff gate: loads two bench artifacts (pretty
 // manifests or JSONL appends — glb.run, glb.fig5, glb.fig5_hier,
-// glb.micro_engine, or google-benchmark native output), matches rows by
+// glb.fig5_scale, glb.zoo, glb.micro_engine, or google-benchmark
+// native output), matches rows by
 // identity, and compares metrics under per-metric rules:
 //
 //   deterministic metrics (simulated cycles, message counts, wire

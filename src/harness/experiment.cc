@@ -2,10 +2,14 @@
 
 #include <chrono>
 
+#include <string_view>
+
 #include "common/check.h"
 #include "sync/dissemination_barrier.h"
 #include "sync/hybrid_barrier.h"
 #include "sync/sw_barrier.h"
+#include "sync/tuned_barrier.h"
+#include "sync/zoo_barrier.h"
 
 namespace glb::harness {
 
@@ -24,6 +28,25 @@ std::unique_ptr<sync::Barrier> MakeBarrier(BarrierKind kind, cmp::CmpSystem& sys
     case BarrierKind::kDIS:
       return std::make_unique<sync::DisseminationBarrier>(sys.allocator(),
                                                           sys.num_cores());
+    case BarrierKind::kRDBL:
+      return std::make_unique<sync::RecursiveDoublingBarrier>(sys.allocator(),
+                                                              sys.num_cores());
+    case BarrierKind::kBRUCK:
+      return std::make_unique<sync::BruckBarrier>(sys.allocator(), sys.num_cores());
+    case BarrierKind::kTOURN:
+      return std::make_unique<sync::TournamentBarrier>(sys.allocator(),
+                                                       sys.num_cores());
+    case BarrierKind::kRING:
+      return std::make_unique<sync::DoubleRingBarrier>(sys.allocator(),
+                                                       sys.num_cores());
+    case BarrierKind::kGALOIS:
+      // One counting cluster per mesh row keeps each cluster's counter
+      // line within the row that hammers it.
+      return std::make_unique<sync::GaloisFastBarrier>(
+          sys.allocator(), sys.num_cores(), sys.config().cols);
+    case BarrierKind::kTUNED:
+      return std::make_unique<sync::TunedBarrier>(
+          sys.allocator(), sys.num_cores(), sys.config().cols, sys.stats());
     case BarrierKind::kHYB: {
       // Unit at the central tile, minimizing worst-case hop distance.
       const auto& cfg = sys.config();
@@ -94,6 +117,16 @@ RunMetrics CollectMetrics(cmp::CmpSystem& sys, const sim::RunStatus& status,
     m.barrier_probes += sys.hier()->AggregateCounter("probes");
     m.barrier_rejoins += sys.hier()->AggregateCounter("rejoins");
   }
+  // TUNED echo: the decision lands in the stats as
+  // sync.tuned.choice.<NAME> (exactly one, bumped once by core 0).
+  sys.stats().ForEachCounter([&m](const std::string& name, const Counter& c) {
+    constexpr std::string_view kPrefix = "sync.tuned.choice.";
+    if (c.value() > 0 && std::string_view(name).substr(0, kPrefix.size()) == kPrefix) {
+      m.tuned_choice = name.substr(kPrefix.size());
+    }
+  });
+  m.tuned_measured_period = sys.stats().CounterValue("sync.tuned.measured_period");
+  m.tuned_warmup_episodes = sys.stats().CounterValue("sync.tuned.warmup_episodes");
   m.validation = m.completed ? workload.Validate(sys) : m.stall;
   return m;
 }

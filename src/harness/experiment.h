@@ -22,6 +22,14 @@ enum class BarrierKind {
   kDSW,  // binary combining-tree software barrier
   kHYB,  // memory-mapped central hardware unit (Sartori/Kumar-style)
   kDIS,  // dissemination barrier (extension baseline, MCS-style)
+  // The software-barrier zoo (sync/zoo_barrier.h): the OpenMPI
+  // coll_tuned family plus the Galois two-phase design.
+  kRDBL,    // recursive doubling (XOR exchange, extras via proxies)
+  kBRUCK,   // Bruck-style mirrored dissemination
+  kTOURN,   // MCS tournament (static pairing, no atomics)
+  kRING,    // OpenMPI basic-linear double ring
+  kGALOIS,  // Galois two-phase in/out, per-mesh-row cluster counting
+  kTUNED,   // coll_tuned-style meta-barrier (sync/tuned_barrier.h)
 };
 
 inline const char* ToString(BarrierKind k) {
@@ -32,6 +40,12 @@ inline const char* ToString(BarrierKind k) {
     case BarrierKind::kDSW: return "DSW";
     case BarrierKind::kHYB: return "HYB";
     case BarrierKind::kDIS: return "DIS";
+    case BarrierKind::kRDBL: return "RDBL";
+    case BarrierKind::kBRUCK: return "BRUCK";
+    case BarrierKind::kTOURN: return "TOURN";
+    case BarrierKind::kRING: return "RING";
+    case BarrierKind::kGALOIS: return "GALOIS";
+    case BarrierKind::kTUNED: return "TUNED";
   }
   return "?";
 }
@@ -78,6 +92,12 @@ struct RunMetrics {
   /// Self-healing v2 outcome (all 0 unless rejoin is enabled).
   std::uint64_t barrier_probes = 0;
   std::uint64_t barrier_rejoins = 0;
+  /// TUNED meta-barrier outcome: the algorithm the decision table
+  /// picked ("" unless the run used --barrier tuned and got past its
+  /// warmup), the measured period it keyed on, and the warmup length.
+  std::string tuned_choice;
+  std::uint64_t tuned_measured_period = 0;
+  std::uint64_t tuned_warmup_episodes = 0;
 
   std::uint64_t total_msgs() const {
     return msgs_request + msgs_reply + msgs_coherence;

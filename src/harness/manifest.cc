@@ -257,6 +257,17 @@ void WriteRun(json::Writer& w, const RunMetrics& m, const cmp::CmpConfig& cfg) {
     w.Field("barrier_rejoins", m.barrier_rejoins);
     w.EndObject();
   }
+  if (!m.tuned_choice.empty()) {
+    // TUNED meta-barrier echo; emitted only when the decision table
+    // actually fired, so every other barrier's manifest stays
+    // byte-identical.
+    w.Key("tuned");
+    w.BeginObject();
+    w.Field("choice", m.tuned_choice);
+    w.Field("measured_period", m.tuned_measured_period);
+    w.Field("warmup_episodes", m.tuned_warmup_episodes);
+    w.EndObject();
+  }
   w.EndObject();
 }
 

@@ -1,0 +1,345 @@
+#include "sync/zoo_barrier.h"
+
+#include <algorithm>
+
+#include "coherence/protocol.h"
+#include "common/check.h"
+#include "core/timebreak.h"
+
+namespace glb::sync {
+
+using coherence::AmoOp;
+using core::CategoryScope;
+using core::Core;
+using core::Task;
+using core::TimeCat;
+
+namespace {
+
+std::uint32_t CeilLog2(std::uint32_t n) {
+  std::uint32_t r = 0;
+  while ((1u << r) < n) ++r;
+  return r;
+}
+
+std::uint32_t FloorLog2(std::uint32_t n) {
+  std::uint32_t r = 0;
+  while ((2u << r) <= n) ++r;
+  return r;
+}
+
+/// Flag stride shared by every zoo member: one line per flag in a
+/// [2 parities][slots][cores] block, using the allocator's actual line
+/// size (a fixed 64 would false-share whenever lines are larger).
+Addr AllocFlagBlock(mem::AddrAllocator& alloc, std::uint32_t slots,
+                    std::uint32_t num_cores) {
+  const std::uint64_t count = std::uint64_t{2} * std::max(slots, 1u) * num_cores;
+  return alloc.AllocLines(count * alloc.line_bytes());
+}
+
+Addr FlagIndex(Addr base, std::uint32_t slots, std::uint32_t num_cores,
+               std::uint32_t line_bytes, std::uint32_t parity,
+               std::uint32_t slot, CoreId core) {
+  const std::uint64_t idx =
+      (static_cast<std::uint64_t>(parity) * std::max(slots, 1u) + slot) *
+          num_cores +
+      core;
+  return base + idx * line_bytes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RDBL
+// ---------------------------------------------------------------------------
+
+RecursiveDoublingBarrier::RecursiveDoublingBarrier(mem::AddrAllocator& alloc,
+                                                   std::uint32_t num_cores)
+    : num_cores_(num_cores),
+      rounds_(FloorLog2(std::max(num_cores, 1u))),
+      pow_(1u << FloorLog2(std::max(num_cores, 1u))),
+      line_bytes_(alloc.line_bytes()),
+      parity_(num_cores, 0),
+      sense_(num_cores, 1) {
+  GLB_CHECK(num_cores > 0) << "barrier without participants";
+  flags_ = AllocFlagBlock(alloc, rounds_ + 2, num_cores_);
+}
+
+Addr RecursiveDoublingBarrier::FlagAddr(std::uint32_t parity, std::uint32_t slot,
+                                        CoreId core) const {
+  return FlagIndex(flags_, rounds_ + 2, num_cores_, line_bytes_, parity, slot,
+                   core);
+}
+
+Task RecursiveDoublingBarrier::Wait(Core& core) {
+  CategoryScope scope(core, TimeCat::kBarrier);
+  core.NoteBarrier();
+  const CoreId me = core.id();
+  const std::uint32_t parity = parity_[me];
+  const Word sense = sense_[me];
+  if (parity == 1) sense_[me] = sense ^ 1;
+  parity_[me] ^= 1;
+
+  const std::uint32_t arrival_slot = rounds_;
+  const std::uint32_t release_slot = rounds_ + 1;
+  if (me >= pow_) {
+    // Extra core: report to the proxy, wait to be released.
+    const CoreId proxy = me - pow_;
+    co_await core.Store(FlagAddr(parity, arrival_slot, proxy), sense);
+    while (true) {
+      const Word f = co_await core.Load(FlagAddr(parity, release_slot, me));
+      if (f == sense) break;
+    }
+    co_return;
+  }
+
+  const bool has_extra = me + pow_ < num_cores_;
+  if (has_extra) {
+    // Proxy: absorb the extra's arrival before entering the exchange.
+    while (true) {
+      const Word f = co_await core.Load(FlagAddr(parity, arrival_slot, me));
+      if (f == sense) break;
+    }
+  }
+  for (std::uint32_t k = 0; k < rounds_; ++k) {
+    const CoreId partner = me ^ (1u << k);
+    co_await core.Store(FlagAddr(parity, k, partner), sense);
+    while (true) {
+      const Word f = co_await core.Load(FlagAddr(parity, k, me));
+      if (f == sense) break;
+    }
+  }
+  if (has_extra) {
+    co_await core.Store(FlagAddr(parity, release_slot, me + pow_), sense);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BRUCK
+// ---------------------------------------------------------------------------
+
+BruckBarrier::BruckBarrier(mem::AddrAllocator& alloc, std::uint32_t num_cores)
+    : num_cores_(num_cores),
+      rounds_(CeilLog2(num_cores)),
+      line_bytes_(alloc.line_bytes()),
+      parity_(num_cores, 0),
+      sense_(num_cores, 1) {
+  GLB_CHECK(num_cores > 0) << "barrier without participants";
+  flags_ = AllocFlagBlock(alloc, rounds_, num_cores_);
+}
+
+Addr BruckBarrier::FlagAddr(std::uint32_t parity, std::uint32_t round,
+                            CoreId core) const {
+  return FlagIndex(flags_, rounds_, num_cores_, line_bytes_, parity, round, core);
+}
+
+Task BruckBarrier::Wait(Core& core) {
+  CategoryScope scope(core, TimeCat::kBarrier);
+  core.NoteBarrier();
+  const CoreId me = core.id();
+  const std::uint32_t parity = parity_[me];
+  const Word sense = sense_[me];
+  if (parity == 1) sense_[me] = sense ^ 1;
+  parity_[me] ^= 1;
+
+  for (std::uint32_t k = 0; k < rounds_; ++k) {
+    // Mirror of DIS: signal me - 2^k, so my own flag comes from me + 2^k.
+    const std::uint32_t dist = (1u << k) % num_cores_;
+    const CoreId partner =
+        static_cast<CoreId>((me + num_cores_ - dist) % num_cores_);
+    co_await core.Store(FlagAddr(parity, k, partner), sense);
+    while (true) {
+      const Word f = co_await core.Load(FlagAddr(parity, k, me));
+      if (f == sense) break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TOURN
+// ---------------------------------------------------------------------------
+
+TournamentBarrier::TournamentBarrier(mem::AddrAllocator& alloc,
+                                     std::uint32_t num_cores)
+    : num_cores_(num_cores),
+      rounds_(CeilLog2(num_cores)),
+      line_bytes_(alloc.line_bytes()),
+      parity_(num_cores, 0),
+      sense_(num_cores, 1) {
+  GLB_CHECK(num_cores > 0) << "barrier without participants";
+  flags_ = AllocFlagBlock(alloc, rounds_ + 1, num_cores_);
+}
+
+Addr TournamentBarrier::FlagAddr(std::uint32_t parity, std::uint32_t slot,
+                                 CoreId core) const {
+  return FlagIndex(flags_, rounds_ + 1, num_cores_, line_bytes_, parity, slot,
+                   core);
+}
+
+Task TournamentBarrier::Wait(Core& core) {
+  CategoryScope scope(core, TimeCat::kBarrier);
+  core.NoteBarrier();
+  const CoreId me = core.id();
+  const std::uint32_t parity = parity_[me];
+  const Word sense = sense_[me];
+  if (parity == 1) sense_[me] = sense ^ 1;
+  parity_[me] ^= 1;
+
+  // The round where `me` loses is ctz(me); core 0 never loses.
+  std::uint32_t lost_round = rounds_;
+  if (me != 0) {
+    lost_round = 0;
+    while (((me >> lost_round) & 1u) == 0) ++lost_round;
+  }
+
+  // Winning rounds: collect the loser's signal (a bye when the would-be
+  // loser id falls past the last core).
+  for (std::uint32_t k = 0; k < lost_round; ++k) {
+    const CoreId loser = me + (1u << k);
+    if (loser >= num_cores_) continue;
+    while (true) {
+      const Word f = co_await core.Load(FlagAddr(parity, k, me));
+      if (f == sense) break;
+    }
+  }
+  const std::uint32_t wakeup_slot = rounds_;
+  if (me != 0) {
+    // Losing round: signal the winner, then sleep until the wakeup wave.
+    const CoreId winner = me - (1u << lost_round);
+    co_await core.Store(FlagAddr(parity, lost_round, winner), sense);
+    while (true) {
+      const Word f = co_await core.Load(FlagAddr(parity, wakeup_slot, me));
+      if (f == sense) break;
+    }
+  }
+  // Wakeup wave: retrace the bracket in reverse round order.
+  for (std::uint32_t k = lost_round; k-- > 0;) {
+    const CoreId loser = me + (1u << k);
+    if (loser >= num_cores_) continue;
+    co_await core.Store(FlagAddr(parity, wakeup_slot, loser), sense);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RING
+// ---------------------------------------------------------------------------
+
+DoubleRingBarrier::DoubleRingBarrier(mem::AddrAllocator& alloc,
+                                     std::uint32_t num_cores)
+    : num_cores_(num_cores),
+      line_bytes_(alloc.line_bytes()),
+      parity_(num_cores, 0),
+      sense_(num_cores, 1) {
+  GLB_CHECK(num_cores > 0) << "barrier without participants";
+  flags_ = AllocFlagBlock(alloc, 2, num_cores_);
+}
+
+Addr DoubleRingBarrier::FlagAddr(std::uint32_t parity, std::uint32_t slot,
+                                 CoreId core) const {
+  return FlagIndex(flags_, 2, num_cores_, line_bytes_, parity, slot, core);
+}
+
+Task DoubleRingBarrier::Wait(Core& core) {
+  CategoryScope scope(core, TimeCat::kBarrier);
+  core.NoteBarrier();
+  const CoreId me = core.id();
+  const std::uint32_t parity = parity_[me];
+  const Word sense = sense_[me];
+  if (parity == 1) sense_[me] = sense ^ 1;
+  parity_[me] ^= 1;
+  if (num_cores_ == 1) co_return;
+
+  const CoreId next = (me + 1) % num_cores_;
+  if (me == 0) {
+    // Start the arrival pass; its return means everyone has arrived.
+    co_await core.Store(FlagAddr(parity, 0, next), sense);
+    while (true) {
+      const Word f = co_await core.Load(FlagAddr(parity, 0, 0));
+      if (f == sense) break;
+    }
+    // Start the release pass and exit — core 0 owes nobody a wakeup.
+    co_await core.Store(FlagAddr(parity, 1, next), sense);
+    co_return;
+  }
+  // Forward the arrival token once we have arrived ourselves.
+  while (true) {
+    const Word f = co_await core.Load(FlagAddr(parity, 0, me));
+    if (f == sense) break;
+  }
+  co_await core.Store(FlagAddr(parity, 0, next), sense);
+  // Wait for the release token; the last core does not send it back.
+  while (true) {
+    const Word f = co_await core.Load(FlagAddr(parity, 1, me));
+    if (f == sense) break;
+  }
+  if (next != 0) co_await core.Store(FlagAddr(parity, 1, next), sense);
+}
+
+// ---------------------------------------------------------------------------
+// GALOIS
+// ---------------------------------------------------------------------------
+
+GaloisFastBarrier::GaloisFastBarrier(mem::AddrAllocator& alloc,
+                                     std::uint32_t num_cores,
+                                     std::uint32_t cluster_size)
+    : num_cores_(num_cores),
+      cluster_size_(std::max(1u, std::min(cluster_size, num_cores))),
+      num_clusters_((num_cores + cluster_size_ - 1) / cluster_size_),
+      line_bytes_(alloc.line_bytes()),
+      parity_(num_cores, 0),
+      sense_(num_cores, 1) {
+  GLB_CHECK(num_cores > 0) << "barrier without participants";
+  cluster_counters_ =
+      alloc.AllocLines(std::uint64_t{num_clusters_} * line_bytes_);
+  global_counter_ = alloc.AllocVar();
+  release_flags_ = AllocFlagBlock(alloc, 1, num_cores_);
+}
+
+Addr GaloisFastBarrier::ReleaseAddr(std::uint32_t parity, CoreId core) const {
+  return FlagIndex(release_flags_, 1, num_cores_, line_bytes_, parity, 0, core);
+}
+
+Task GaloisFastBarrier::Wait(Core& core) {
+  CategoryScope scope(core, TimeCat::kBarrier);
+  core.NoteBarrier();
+  const CoreId me = core.id();
+  const std::uint32_t parity = parity_[me];
+  const Word sense = sense_[me];
+  if (parity == 1) sense_[me] = sense ^ 1;
+  parity_[me] ^= 1;
+
+  // "In" phase: count into the cluster, cluster winners into the global.
+  const std::uint32_t cluster = me / cluster_size_;
+  const std::uint32_t members =
+      std::min(cluster_size_, num_cores_ - cluster * cluster_size_);
+  const Addr cluster_counter =
+      cluster_counters_ + std::uint64_t{cluster} * line_bytes_;
+  const Word prior = co_await core.Amo(cluster_counter, AmoOp::kFetchAdd, 1);
+  if (prior + 1 == members) {
+    // Cluster-last: reset before the global add, so the counter is
+    // clean before any release (and thus any re-arrival) can happen.
+    co_await core.Store(cluster_counter, 0);
+    const Word gprior = co_await core.Amo(global_counter_, AmoOp::kFetchAdd, 1);
+    if (gprior + 1 == num_clusters_) {
+      co_await core.Store(global_counter_, 0);
+      // "Out" phase: seed the release cascade at core 0. If we *are*
+      // core 0, the spin below completes on its first load.
+      co_await core.Store(ReleaseAddr(parity, 0), sense);
+    }
+  }
+  while (true) {
+    const Word f = co_await core.Load(ReleaseAddr(parity, me));
+    if (f == sense) break;
+  }
+  // Cascade: wake both children in the id-order binary tree.
+  const std::uint64_t left = std::uint64_t{me} * 2 + 1;
+  if (left < num_cores_) {
+    co_await core.Store(ReleaseAddr(parity, static_cast<CoreId>(left)), sense);
+  }
+  if (left + 1 < num_cores_) {
+    co_await core.Store(ReleaseAddr(parity, static_cast<CoreId>(left + 1)),
+                        sense);
+  }
+}
+
+}  // namespace glb::sync

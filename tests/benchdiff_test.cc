@@ -185,6 +185,42 @@ TEST(BenchDiffDiff, InjectedRegressionTripsTheGate) {
   }
 }
 
+TEST(BenchDiffParse, ExtractsFig5ScalePointsAsDeterministicRows) {
+  const std::vector<Row> rows = ParseRows(
+      R"({"schema":"glb.fig5_scale","points":[
+           {"cores":64,"barrier":"RDBL","avg_cycles":509},
+           {"cores":64,"barrier":"TUNED","avg_cycles":612,
+            "tuned_choice":"RDBL"},
+           {"cores":256,"barrier":"GALOIS","avg_cycles":5375}]})");
+  ASSERT_EQ(rows.size(), 3u);
+  const Row* r = FindRow(rows, "glb.fig5_scale/64c/TUNED");
+  ASSERT_NE(r, nullptr);
+  const Metric* avg = FindMetric(*r, "avg_cycles");
+  ASSERT_NE(avg, nullptr);
+  EXPECT_TRUE(avg->deterministic);
+  EXPECT_EQ(avg->value, 612);
+  ASSERT_NE(FindRow(rows, "glb.fig5_scale/256c/GALOIS"), nullptr);
+}
+
+TEST(BenchDiffParse, ExtractsZooCellsAndWinnerRows) {
+  const std::vector<Row> rows = ParseRows(
+      R"({"schema":"glb.zoo","cells":[
+           {"cores":64,"busy_period":2000,
+            "barriers":[{"barrier":"RDBL","avg_cycles":509},
+                        {"barrier":"GALOIS","avg_cycles":2006}],
+            "best_sw":"RDBL","best_sw_avg_cycles":509,
+            "gl_margin":12.5,"glh_margin":10.1}]})");
+  ASSERT_EQ(rows.size(), 3u);
+  const Row* rdbl = FindRow(rows, "glb.zoo/64c/p2000/RDBL");
+  ASSERT_NE(rdbl, nullptr);
+  EXPECT_TRUE(FindMetric(*rdbl, "avg_cycles")->deterministic);
+  const Row* winner = FindRow(rows, "glb.zoo/64c/p2000/winner:RDBL");
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(FindMetric(*winner, "best_sw_avg_cycles")->value, 509);
+  ASSERT_NE(FindMetric(*winner, "glh_margin"), nullptr);
+  EXPECT_TRUE(FindMetric(*winner, "glh_margin")->deterministic);
+}
+
 TEST(BenchDiffParse, GoogleBenchmarkNativeFormat) {
   const std::vector<Row> rows = ParseRows(
       R"({"context":{"host_name":"x"},"benchmarks":[

@@ -17,6 +17,8 @@
 #include "gline/barrier_network.h"
 #include "harness/experiment.h"
 #include "harness/manifest.h"
+#include "harness/parallel.h"
+#include "harness/spec.h"
 #include "sim/engine.h"
 #include "workloads/em3d.h"
 #include "workloads/synthetic.h"
@@ -217,6 +219,83 @@ TEST(Determinism, Em3d1024StragglerManifestIsShardInvariant) {
   EXPECT_NE(base, Em3dShardedManifest(1, false, 0.0));  // the knob really bites
   EXPECT_EQ(base, Em3dShardedManifest(4, false, 0.25));
   EXPECT_EQ(base, Em3dShardedManifest(2, true, 0.25));
+}
+
+/// One 256-core Synthetic run of a zoo barrier, serialized as the full
+/// JSON run manifest, host-timing fields zeroed. shards=0 is the
+/// single-domain engine; >=1 the sharded conservative-window engine.
+std::string ZooManifest256(harness::BarrierKind kind, std::uint32_t shards) {
+  std::ostringstream os;
+  cmp::CmpConfig cfg = cmp::CmpConfig::WithCores(256);
+  cfg.shards = shards;
+  cmp::CmpSystem sys(cfg);
+  workloads::Synthetic wl(10);
+  wl.Init(sys);
+  auto barrier = harness::MakeBarrier(kind, sys);
+  const sim::RunStatus status = sys.RunProgramsStatus(
+      [&](core::Core& core, CoreId id) { return wl.Body(core, id, *barrier); });
+  harness::RunMetrics m =
+      harness::CollectMetrics(sys, status, wl, harness::ToString(kind));
+  EXPECT_TRUE(m.completed) << harness::ToString(kind);
+  EXPECT_TRUE(m.validation.empty()) << m.validation;
+  m.wall_ms = 0.0;
+  m.events_per_sec = 0.0;
+  m.host_events = 0;
+  harness::ManifestOptions opts;
+  opts.tool = "determinism_test";
+  harness::WriteRunManifest(os, m, cfg, sys.stats(), opts);
+  return os.str();
+}
+
+/// Every zoo barrier (and the tuned meta-barrier, whose negotiation
+/// round-trips through simulated memory) must produce byte-identical
+/// manifests across shard counts on the sharded engine — the spin/flag
+/// protocols may not depend on host scheduling. (Like the EM3D shard
+/// contract above, this compares shards 1 vs 2, not legacy vs sharded:
+/// the window engine registers extra coherence counters and commits in
+/// canonical order, so its manifests differ from shards=0 by design.)
+TEST(Determinism, ZooBarriers256ManifestsAreShardInvariant) {
+  for (const auto kind :
+       {harness::BarrierKind::kRDBL, harness::BarrierKind::kBRUCK,
+        harness::BarrierKind::kTOURN, harness::BarrierKind::kRING,
+        harness::BarrierKind::kGALOIS, harness::BarrierKind::kTUNED}) {
+    const std::string base = ZooManifest256(kind, 1);
+    ASSERT_FALSE(base.empty());
+    EXPECT_EQ(base, ZooManifest256(kind, 2)) << harness::ToString(kind);
+  }
+}
+
+/// The parallel-experiment harness (--jobs 2: two runs in flight on
+/// separate host threads) must reproduce the serial simulated results
+/// exactly, including the tuned barrier's negotiated choice.
+TEST(Determinism, ZooBarriers256MetricsAreJobsInvariant) {
+  std::vector<harness::ExperimentSpec> specs;
+  for (const auto kind :
+       {harness::BarrierKind::kRDBL, harness::BarrierKind::kBRUCK,
+        harness::BarrierKind::kTOURN, harness::BarrierKind::kRING,
+        harness::BarrierKind::kGALOIS, harness::BarrierKind::kTUNED}) {
+    harness::ExperimentSpec spec;
+    spec.workload = "Synthetic";
+    spec.scale.synthetic_iters = 10;
+    spec.barrier = kind;
+    spec.cfg = cmp::CmpConfig::WithCores(256);
+    specs.push_back(std::move(spec));
+  }
+  const auto serial = harness::RunExperimentsParallel(specs, 1);
+  const auto parallel = harness::RunExperimentsParallel(specs, 2);
+  ASSERT_EQ(serial.size(), specs.size());
+  ASSERT_EQ(parallel.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_TRUE(serial[i].completed) << serial[i].barrier;
+    EXPECT_EQ(serial[i].cycles, parallel[i].cycles) << serial[i].barrier;
+    EXPECT_EQ(serial[i].barriers, parallel[i].barriers) << serial[i].barrier;
+    EXPECT_EQ(serial[i].total_msgs(), parallel[i].total_msgs())
+        << serial[i].barrier;
+    EXPECT_EQ(serial[i].tuned_choice, parallel[i].tuned_choice)
+        << serial[i].barrier;
+    EXPECT_EQ(serial[i].tuned_measured_period, parallel[i].tuned_measured_period)
+        << serial[i].barrier;
+  }
 }
 
 TEST(Determinism, ZeroDelayInterleavingsAreStableAndOrdered) {

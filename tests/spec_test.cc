@@ -13,13 +13,14 @@
 #include "harness/manifest.h"
 #include "harness/spec.h"
 #include "power/energy_model.h"
+#include "sync/tuned_barrier.h"
 #include "workloads/synthetic.h"
 
 namespace glb::harness {
 namespace {
 
 TEST(BarrierNames, RoundTripEveryKind) {
-  ASSERT_EQ(AllBarrierKinds().size(), 6u);
+  ASSERT_EQ(AllBarrierKinds().size(), 12u);
   for (BarrierKind k : AllBarrierKinds()) {
     const std::string canon = ToString(k);
     ASSERT_TRUE(BarrierKindFromName(canon).has_value()) << canon;
@@ -37,6 +38,20 @@ TEST(BarrierNames, HierAliasAndUnknowns) {
   EXPECT_FALSE(BarrierKindFromName("").has_value());
   EXPECT_FALSE(BarrierKindFromName("GLX").has_value());
   EXPECT_FALSE(BarrierKindFromName("Gl").has_value());  // canon or lower only
+}
+
+TEST(BarrierNames, ZooKindsResolveWithAliases) {
+  EXPECT_EQ(BarrierKindFromName("RDBL"), BarrierKind::kRDBL);
+  EXPECT_EQ(BarrierKindFromName("bruck"), BarrierKind::kBRUCK);
+  EXPECT_EQ(BarrierKindFromName("TOURN"), BarrierKind::kTOURN);
+  EXPECT_EQ(BarrierKindFromName("tournament"), BarrierKind::kTOURN);
+  EXPECT_EQ(BarrierKindFromName("RING"), BarrierKind::kRING);
+  EXPECT_EQ(BarrierKindFromName("GALOIS"), BarrierKind::kGALOIS);
+  EXPECT_EQ(BarrierKindFromName("galois-fast"), BarrierKind::kGALOIS);
+  EXPECT_EQ(BarrierKindFromName("tuned"), BarrierKind::kTUNED);
+  // Aliases are exact, not prefixes.
+  EXPECT_FALSE(BarrierKindFromName("galois-fas").has_value());
+  EXPECT_FALSE(BarrierKindFromName("tournamen").has_value());
 }
 
 TEST(BarrierNamesDeathTest, UnknownNameExitsWithStatus2) {
@@ -209,6 +224,56 @@ TEST(ExperimentSpecTest, ManifestEchoesTheSpec) {
   const auto doc2 = json::Parse(plain.str(), &err);
   ASSERT_TRUE(doc2.has_value()) << err;
   EXPECT_EQ(doc2->Find("experiment"), nullptr);
+}
+
+// The tuned meta-barrier's decision is echoed through RunMetrics into
+// the glb.run manifest, and the echoed name matches the table entry for
+// the measured period (TunedChoiceName is the same function the barrier
+// consults).
+TEST(ExperimentSpecTest, TunedRunEchoesChoiceIntoManifest) {
+  ExperimentSpec spec;
+  spec.workload = "Synthetic";
+  spec.scale.synthetic_iters = 20;
+  spec.barrier = BarrierKind::kTUNED;
+  spec.cfg = cmp::CmpConfig::WithCores(16);
+  const RunMetrics m = RunExperiment(spec);
+  EXPECT_TRUE(m.completed);
+  EXPECT_TRUE(m.validation.empty()) << m.validation;
+  EXPECT_EQ(m.barrier, "TUNED");
+  // Synthetic runs a loop of four consecutive barriers per iteration.
+  EXPECT_EQ(m.barriers, 80u) << "delegation must not double-count episodes";
+  ASSERT_FALSE(m.tuned_choice.empty());
+  EXPECT_EQ(m.tuned_warmup_episodes, 4u);
+  EXPECT_GT(m.tuned_measured_period, 0u);
+  EXPECT_EQ(m.tuned_choice,
+            sync::TunedChoiceName(
+                16, static_cast<double>(m.tuned_measured_period)));
+
+  StatSet stats;
+  std::ostringstream os;
+  ManifestOptions opts;
+  opts.tool = "spec_test";
+  WriteRunManifest(os, m, spec.cfg, stats, opts);
+  std::string err;
+  const auto doc = json::Parse(os.str(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const json::Value* run = doc->Find("run");
+  ASSERT_NE(run, nullptr);
+  const json::Value* tuned = run->Find("tuned");
+  ASSERT_NE(tuned, nullptr);
+  EXPECT_EQ(tuned->Find("choice")->str_v, m.tuned_choice);
+  EXPECT_EQ(tuned->NumberOr("warmup_episodes", 0.0), 4.0);
+  EXPECT_GT(tuned->NumberOr("measured_period", 0.0), 0.0);
+
+  // Non-tuned runs must not grow the block (pre-existing manifests stay
+  // byte-identical).
+  RunMetrics plain;
+  std::ostringstream os2;
+  WriteRunManifest(os2, plain, spec.cfg, stats, opts);
+  const auto doc2 = json::Parse(os2.str(), &err);
+  ASSERT_TRUE(doc2.has_value()) << err;
+  ASSERT_NE(doc2->Find("run"), nullptr);
+  EXPECT_EQ(doc2->Find("run")->Find("tuned"), nullptr);
 }
 
 TEST(HierEnergy, PerLevelTermsSumAndDominateFlatEquivalent) {

@@ -11,6 +11,8 @@
 #include "sync/dissemination_barrier.h"
 #include "sync/spinlock.h"
 #include "sync/sw_barrier.h"
+#include "sync/tuned_barrier.h"
+#include "sync/zoo_barrier.h"
 
 namespace glb::sync {
 namespace {
@@ -27,6 +29,27 @@ std::unique_ptr<Barrier> MakeBarrier(const std::string& kind, CmpSystem& sys) {
     return std::make_unique<CentralBarrier>(sys.allocator(), sys.num_cores());
   if (kind == "DIS")
     return std::make_unique<DisseminationBarrier>(sys.allocator(), sys.num_cores());
+  if (kind == "RDBL")
+    return std::make_unique<RecursiveDoublingBarrier>(sys.allocator(),
+                                                      sys.num_cores());
+  if (kind == "BRUCK")
+    return std::make_unique<BruckBarrier>(sys.allocator(), sys.num_cores());
+  if (kind == "TOURN")
+    return std::make_unique<TournamentBarrier>(sys.allocator(), sys.num_cores());
+  if (kind == "RING")
+    return std::make_unique<DoubleRingBarrier>(sys.allocator(), sys.num_cores());
+  if (kind == "GALOIS")
+    return std::make_unique<GaloisFastBarrier>(sys.allocator(), sys.num_cores(),
+                                               sys.config().cols);
+  if (kind == "TUNED")
+    return std::make_unique<TunedBarrier>(sys.allocator(), sys.num_cores(),
+                                          sys.config().cols, sys.stats());
+  // DSW with an explicit fan-in ("DSW3", "DSW4"): the TreeBarrier's
+  // non-binary chunking at awkward core counts is a known hazard zone.
+  if (kind == "DSW3")
+    return std::make_unique<TreeBarrier>(sys.allocator(), sys.num_cores(), 3);
+  if (kind == "DSW4")
+    return std::make_unique<TreeBarrier>(sys.allocator(), sys.num_cores(), 4);
   return std::make_unique<TreeBarrier>(sys.allocator(), sys.num_cores());
 }
 
@@ -92,12 +115,63 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(p.cols);
     });
 
+// The zoo barriers under the same no-early-release property, including
+// the sizes where their round structures differ most: power-of-two
+// (where RDBL/BRUCK have no proxy phase) and the 4x8=32 mesh, plus a
+// tuned run long enough to cross warmup + negotiation + steady state.
+INSTANTIATE_TEST_SUITE_P(
+    ZooKinds, BarrierProperty,
+    ::testing::Values(
+        BarrierParam{"RDBL", 2, 2, 10}, BarrierParam{"RDBL", 4, 4, 8},
+        BarrierParam{"RDBL", 4, 8, 5}, BarrierParam{"BRUCK", 2, 2, 10},
+        BarrierParam{"BRUCK", 4, 4, 8}, BarrierParam{"BRUCK", 4, 8, 5},
+        BarrierParam{"TOURN", 2, 2, 10}, BarrierParam{"TOURN", 4, 4, 8},
+        BarrierParam{"TOURN", 4, 8, 5}, BarrierParam{"RING", 2, 2, 10},
+        BarrierParam{"RING", 4, 4, 8}, BarrierParam{"RING", 4, 8, 5},
+        BarrierParam{"GALOIS", 2, 2, 10}, BarrierParam{"GALOIS", 4, 4, 8},
+        BarrierParam{"GALOIS", 4, 8, 5}, BarrierParam{"TUNED", 4, 4, 12}),
+    [](const ::testing::TestParamInfo<BarrierParam>& pinfo) {
+      const auto& p = pinfo.param;
+      return std::string(p.kind) + "_" + std::to_string(p.rows) + "x" +
+             std::to_string(p.cols);
+    });
+
+// The correctness sweep at the awkward core counts: 48 (non-power-of-
+// two, extras phase in RDBL/BRUCK), 96 and 192 (non-square meshes whose
+// tree chunking and ctz-round structures exercise every branch),
+// including TreeBarrier at fan-in 3 and 4 where leaf chunks straddle
+// the last partial node.
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardCoreCounts, BarrierProperty,
+    ::testing::Values(
+        BarrierParam{"CSW", 6, 8, 4}, BarrierParam{"DSW", 6, 8, 4},
+        BarrierParam{"DIS", 6, 8, 4}, BarrierParam{"RDBL", 6, 8, 4},
+        BarrierParam{"BRUCK", 6, 8, 4}, BarrierParam{"TOURN", 6, 8, 4},
+        BarrierParam{"RING", 6, 8, 4}, BarrierParam{"GALOIS", 6, 8, 4},
+        BarrierParam{"DSW3", 6, 8, 4}, BarrierParam{"DSW4", 6, 8, 4},
+        BarrierParam{"CSW", 8, 12, 3}, BarrierParam{"DSW", 8, 12, 3},
+        BarrierParam{"DIS", 8, 12, 3}, BarrierParam{"RDBL", 8, 12, 3},
+        BarrierParam{"BRUCK", 8, 12, 3}, BarrierParam{"TOURN", 8, 12, 3},
+        BarrierParam{"RING", 8, 12, 3}, BarrierParam{"GALOIS", 8, 12, 3},
+        BarrierParam{"DSW3", 8, 12, 3}, BarrierParam{"DSW4", 8, 12, 3},
+        BarrierParam{"CSW", 12, 16, 2}, BarrierParam{"DSW", 12, 16, 2},
+        BarrierParam{"DIS", 12, 16, 2}, BarrierParam{"RDBL", 12, 16, 2},
+        BarrierParam{"BRUCK", 12, 16, 2}, BarrierParam{"TOURN", 12, 16, 2},
+        BarrierParam{"RING", 12, 16, 2}, BarrierParam{"GALOIS", 12, 16, 2},
+        BarrierParam{"DSW3", 12, 16, 2}, BarrierParam{"DSW4", 12, 16, 2}),
+    [](const ::testing::TestParamInfo<BarrierParam>& pinfo) {
+      const auto& p = pinfo.param;
+      return std::string(p.kind) + "_" + std::to_string(p.rows) + "x" +
+             std::to_string(p.cols);
+    });
+
 TEST(SwBarrier, SingleCoreBarrierIsTrivial) {
   CmpConfig cfg;
   cfg.rows = 1;
   cfg.cols = 1;
   CmpSystem sys(cfg);
-  for (const char* kind : {"GL", "CSW", "DSW", "DIS"}) {
+  for (const char* kind : {"GL", "CSW", "DSW", "DIS", "RDBL", "BRUCK", "TOURN",
+                           "RING", "GALOIS", "TUNED"}) {
     auto barrier = MakeBarrier(kind, sys);
     bool done = false;
     auto body = [](Core& c, Barrier* b, bool* out) -> Task {
@@ -108,6 +182,59 @@ TEST(SwBarrier, SingleCoreBarrierIsTrivial) {
     ASSERT_TRUE(sys.engine().RunUntilIdle(10'000'000)) << kind;
     EXPECT_TRUE(done) << kind;
   }
+}
+
+TEST(ZooBarrier, NamesMatchTheRegistry) {
+  CmpConfig cfg;
+  cfg.rows = 2;
+  cfg.cols = 2;
+  CmpSystem sys(cfg);
+  EXPECT_STREQ(RecursiveDoublingBarrier(sys.allocator(), 4).name(), "RDBL");
+  EXPECT_STREQ(BruckBarrier(sys.allocator(), 4).name(), "BRUCK");
+  EXPECT_STREQ(TournamentBarrier(sys.allocator(), 4).name(), "TOURN");
+  EXPECT_STREQ(DoubleRingBarrier(sys.allocator(), 4).name(), "RING");
+  EXPECT_STREQ(GaloisFastBarrier(sys.allocator(), 4, 2).name(), "GALOIS");
+  EXPECT_STREQ(TunedBarrier(sys.allocator(), 4, 2, sys.stats()).name(), "TUNED");
+}
+
+// The coll_tuned-style decision table, pinned at its calibrated
+// boundaries (DESIGN.md records the crossover study behind them).
+TEST(TunedBarrier, DecisionTableBoundaries) {
+  EXPECT_STREQ(TunedChoiceName(16, 1499.0), "RDBL");
+  EXPECT_STREQ(TunedChoiceName(16, 1500.0), "CSW");
+  EXPECT_STREQ(TunedChoiceName(64, 2499.0), "RDBL");
+  EXPECT_STREQ(TunedChoiceName(64, 2500.0), "GALOIS");
+  EXPECT_STREQ(TunedChoiceName(256, 6999.0), "RDBL");
+  EXPECT_STREQ(TunedChoiceName(256, 7000.0), "GALOIS");
+  EXPECT_STREQ(TunedChoiceName(1024, 19999.0), "RDBL");
+  EXPECT_STREQ(TunedChoiceName(1024, 20000.0), "GALOIS");
+}
+
+// The tuned negotiation publishes one choice through simulated memory:
+// every core must delegate to the same candidate, and the stat counters
+// must record exactly one decision.
+TEST(TunedBarrier, AllCoresAgreeOnOneChoice) {
+  CmpConfig cfg;
+  cfg.rows = 4;
+  cfg.cols = 4;
+  CmpSystem sys(cfg);
+  TunedBarrier barrier(sys.allocator(), sys.num_cores(), cfg.cols, sys.stats());
+  auto body = [](Core& c, Barrier* b) -> Task {
+    for (int i = 0; i < 10; ++i) {
+      co_await c.Compute(1 + c.id() % 7);
+      co_await b->Wait(c);
+    }
+  };
+  ASSERT_TRUE(sys.RunPrograms([&](Core& c, CoreId) { return body(c, &barrier); }));
+  std::uint64_t decisions = 0;
+  sys.stats().ForEachCounter([&](const std::string& name, const Counter& c) {
+    if (name.rfind("sync.tuned.choice.", 0) == 0) decisions += c.value();
+  });
+  EXPECT_EQ(decisions, 1u) << "exactly one table lookup, by core 0";
+  EXPECT_EQ(sys.stats().CounterValue("sync.tuned.warmup_episodes"), 4u);
+  EXPECT_GT(sys.stats().CounterValue("sync.tuned.measured_period"), 0u);
+  EXPECT_EQ(sys.stats().CounterValue("core.barriers"), 10u * 16u)
+      << "delegation must not double-count";
 }
 
 TEST(SwBarrier, BarrierTimeIsAttributedToBarrierCategory) {

@@ -28,8 +28,11 @@ void Usage() {
       "glbsim — G-line barrier CMP simulator driver\n"
       "  --workload W    Synthetic|Kernel2|Kernel3|Kernel6|EM3D|OCEAN|UNSTRUCTURED\n"
       "                  (any name registered via harness::RegisterWorkload)\n"
-      "  --barrier B     GL|GLH|CSW|DSW|HYB|DIS (default GL; GLH aka gl-hier is\n"
-      "                  the hierarchical multi-level G-line network)\n"
+      "  --barrier B     GL|GLH|CSW|DSW|HYB|DIS|RDBL|BRUCK|TOURN|RING|GALOIS|\n"
+      "                  TUNED (default GL; GLH aka gl-hier is the hierarchical\n"
+      "                  multi-level G-line network; TOURN aka tournament, GALOIS\n"
+      "                  aka galois-fast; TUNED picks a software barrier from a\n"
+      "                  coll_tuned-style table after a short measured warmup)\n"
       "  --cores N       core count, mesh auto-factored (default 32)\n"
       "  --paper-scale   exact Table-2 inputs (slow)\n"
       "  --scale-cores N weak-scale the problem sizes for N cores\n"
