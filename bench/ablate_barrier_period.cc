@@ -43,10 +43,10 @@ class PeriodicBarriers final : public glb::workloads::Workload {
 int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
-  const bench::Observability obs(flags);
-  const auto cfg = bench::ConfigFromFlags(flags);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
+  const auto cfg = common.Config();
   const auto barriers = static_cast<std::uint32_t>(flags.GetInt("barriers", 100));
-  const int jobs = bench::JobsFromFlags(flags, obs);
+  const int jobs = common.jobs();
 
   std::cout << "Ablation B: GL benefit vs barrier period (" << cfg.num_cores()
             << " cores, " << barriers << " barriers)\n\n";

@@ -113,8 +113,8 @@ void WriteZooManifest(std::ostream& os, bool pretty, std::uint32_t episodes,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  const bench::Observability obs(flags);
-  const int jobs = bench::JobsFromFlags(flags, obs);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
+  const int jobs = common.jobs();
   const auto cores_list =
       bench::CoreListFromFlags(flags, "cores", {64, 256, 1024});
   const auto episodes =
@@ -160,7 +160,7 @@ int main(int argc, char** argv) {
       };
       for (auto kind : kinds) {
         specs.push_back(harness::FactoryExperiment(
-            factory, kind, bench::ConfigForCores(flags, cores)));
+            factory, kind, common.ConfigForCores(cores)));
       }
     }
   }
@@ -228,9 +228,9 @@ int main(int argc, char** argv) {
                " wins the cell (the margin column), which is the paper's"
                " claim.\n";
 
-  if (flags.Has("json")) {
-    const std::string jpath = flags.GetString("json", "");
-    if (jpath.empty() || jpath == "true") {
+  if (common.json()) {
+    const std::string& jpath = common.json_path();
+    if (common.json_bare()) {
       WriteZooManifest(std::cout, /*pretty=*/true, episodes, cells);
       std::cout << '\n';
     } else {

@@ -75,8 +75,8 @@ Result RunHierarchical(std::uint32_t rows, std::uint32_t cols) {
 int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
-  const bench::Observability obs(flags);
-  const int jobs = bench::JobsFromFlags(flags, obs);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
+  const int jobs = common.jobs();
   std::cout << "Ablation A: G-line barrier latency vs mesh size"
                " (simultaneous arrival -> release)\n\n";
   harness::Table t({"Mesh", "Cores", "G-lines", "First release", "Last release",

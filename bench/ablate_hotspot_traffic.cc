@@ -11,9 +11,9 @@
 int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
-  const bench::Observability obs(flags);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
   const auto iters = static_cast<std::uint32_t>(flags.GetInt("iters", 100));
-  const int jobs = bench::JobsFromFlags(flags, obs);
+  const int jobs = common.jobs();
   // --barrier swaps in any software comparison set (unknown names exit
   // 2, like glbsim); GL always runs first as the zero-traffic reference.
   const auto sw_kinds = bench::BarrierListFromFlags(

@@ -12,7 +12,7 @@
 int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
-  const bench::Observability obs(flags);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
   const auto iters = static_cast<std::uint32_t>(flags.GetInt("iters", 100));
   // --barrier swaps in any comparison set (unknown names exit 2, like
   // glbsim); the default keeps the ablation's historical five-way.

@@ -110,8 +110,8 @@ struct Point {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  const bench::Observability obs(flags);
-  const int jobs = bench::JobsFromFlags(flags, obs);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
+  const int jobs = common.jobs();
   const auto iters = static_cast<std::uint32_t>(flags.GetInt("iters", 40));
   const auto compute = static_cast<Cycle>(flags.GetInt("compute", 256));
   const auto watchdog = static_cast<Cycle>(flags.GetInt("watchdog", 1000));
@@ -221,11 +221,11 @@ int main(int argc, char** argv) {
                " counts degraded\ncontexts that shadow-probed the healthy"
                " hardware path and returned to it.\n";
 
-  if (flags.Has("json")) {
-    const std::string jpath = flags.GetString("json", "");
+  if (common.json()) {
+    const std::string& jpath = common.json_path();
     std::ofstream file;
     std::ostream* os = &std::cout;
-    if (!(jpath.empty() || jpath == "true")) {
+    if (!common.json_bare()) {
       file.open(jpath, std::ios::app);
       if (!file) {
         std::cerr << "failed to append manifest to " << jpath << "\n";

@@ -1,0 +1,281 @@
+// Ablation G — multi-tenant isolation curves.
+//
+// Splits the chip into a foreground tenant (left half, the partition
+// under study) and a hotspot background tenant (right half) whose
+// members hammer one shared word with fetch-adds between barriers — a
+// coherence hot-spot that floods the shared data fabric. Sweeping the
+// background intensity (AMO ops per iteration, 0 = no background
+// tenant at all) draws the isolation curve: the foreground's
+// per-barrier wait latency (p50/p95/p99) as a function of background
+// load. A tenant on its private G-line partition holds a flat curve —
+// barrier signaling never touches the shared NoC — while a software
+// barrier in the same rect pays orders of magnitude more latency in
+// its own fabric traffic, and the background's flits demonstrably
+// cross both rects (directory homes hash chip-wide). Barrier isolation
+// is structural; fabric isolation is not — the space-sharing claim of
+// the partition redesign.
+//
+// The (fg barrier, intensity) runs are independent and fan out over
+// --jobs threads; the table and the glb.tenants manifest come from
+// submission-order results and are byte-identical for any jobs value.
+//
+//   ./bench/ablate_tenants --jobs 4
+//   ./bench/ablate_tenants --barrier gl,rdbl,tourn --iters 60 --json
+//   ./bench/ablate_tenants --ops 0,8,64 --json BENCH_tenants.json
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "coherence/protocol.h"
+#include "harness/tenants.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace glb;
+
+/// Background load: every member does `ops` fetch-adds on one shared
+/// word between barriers. All traffic converges on a single cache line,
+/// so the shared coherence fabric sees a hot-spot proportional to ops.
+class HotspotLoad final : public workloads::Workload {
+ public:
+  HotspotLoad(std::uint32_t iters, std::uint32_t ops)
+      : iters_(iters), ops_(ops) {}
+  const char* name() const override { return "Hotspot"; }
+  std::string input_desc() const override {
+    return std::to_string(iters_) + " iterations x " + std::to_string(ops_) +
+           " fetch-adds";
+  }
+  void Init(cmp::CmpSystem& sys) override {
+    hot_ = sys.allocator().AllocVar();
+    members_ = Participants(sys);
+  }
+  core::Task Body(core::Core& core, CoreId, sync::Barrier& barrier) override {
+    for (std::uint32_t it = 0; it < iters_; ++it) {
+      for (std::uint32_t k = 0; k < ops_; ++k) {
+        co_await core.Amo(hot_, coherence::AmoOp::kFetchAdd, 1);
+      }
+      co_await barrier.Wait(core);
+    }
+  }
+  std::string Validate(cmp::CmpSystem& sys) override {
+    const Word want =
+        static_cast<Word>(iters_) * ops_ * members_;
+    const Word got = sys.memory().ReadWord(hot_);
+    if (got != want) {
+      return "hotspot count " + std::to_string(got) + ", expected " +
+             std::to_string(want);
+    }
+    return "";
+  }
+
+ private:
+  std::uint32_t iters_;
+  std::uint32_t ops_;
+  std::uint32_t members_ = 0;
+  Addr hot_ = 0;
+};
+
+/// One isolation-curve cell: the foreground tenant's wait-latency
+/// distribution under one background intensity.
+struct Cell {
+  std::string fg_barrier;
+  std::uint32_t bg_ops = 0;
+  harness::TenantMetrics fg;
+  harness::TenantMetrics bg;  // cores == 0 when no background tenant ran
+  Cycle cycles = 0;
+  bool ok = false;
+};
+
+/// One glb.tenants object: the foreground isolation curves over the
+/// background-intensity grid. Deterministic for fixed flags and any
+/// --jobs / --shards value.
+void WriteTenantsManifest(std::ostream& os, bool pretty, std::uint32_t iters,
+                          const std::vector<Cell>& cells) {
+  json::Writer w(os, pretty);
+  w.BeginObject();
+  w.Field("schema", "glb.tenants");
+  w.Field("schema_version", static_cast<std::uint32_t>(1));
+  w.Field("tool", "ablate_tenants");
+  w.Field("iters", iters);
+  w.Key("cells");
+  w.BeginArray();
+  for (const Cell& c : cells) {
+    w.BeginObject();
+    w.Field("fg_barrier", c.fg_barrier);
+    w.Field("bg_ops", c.bg_ops);
+    w.Field("cycles", c.cycles);
+    w.Field("valid", c.ok);
+    w.Key("fg");
+    w.BeginObject();
+    w.Field("rect", c.fg.rect.ToString());
+    w.Field("cores", c.fg.cores);
+    w.Field("barriers", c.fg.barriers);
+    w.Field("wait_p50", c.fg.wait_cycles.PercentileApprox(0.50));
+    w.Field("wait_p95", c.fg.wait_cycles.PercentileApprox(0.95));
+    w.Field("wait_p99", c.fg.wait_cycles.PercentileApprox(0.99));
+    w.Field("router_flits", c.fg.router_flits);
+    w.Field("gline_signals", c.fg.gline_signals);
+    w.EndObject();
+    if (c.bg.cores > 0) {
+      w.Key("bg");
+      w.BeginObject();
+      w.Field("rect", c.bg.rect.ToString());
+      w.Field("cores", c.bg.cores);
+      w.Field("barriers", c.bg.barriers);
+      w.Field("router_flits", c.bg.router_flits);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
+  const int jobs = common.jobs();
+  const auto iters = static_cast<std::uint32_t>(flags.GetInt("iters", 40));
+  // Background intensity grid (fetch-adds per member per iteration);
+  // 0 runs the foreground alone — the true baseline of the curve.
+  std::vector<std::uint32_t> ops_grid = {0, 4, 16, 64};
+  if (flags.Has("ops")) {
+    ops_grid.clear();
+    for (const std::string& item :
+         bench::SplitList(flags.GetString("ops", ""))) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(item.c_str(), &end, 10);
+      if (end == item.c_str() || *end != '\0' || v > 1u << 16) {
+        std::cerr << "bad --ops element '" << item << "'\n";
+        return 2;
+      }
+      ops_grid.push_back(static_cast<std::uint32_t>(v));
+    }
+    if (ops_grid.empty()) {
+      std::cerr << "--ops needs at least one fetch-add count\n";
+      return 2;
+    }
+  }
+  // Split the chip down the middle: foreground left, background right.
+  const cmp::CmpConfig cfg = common.Config();
+  if (cfg.cols < 2) {
+    std::cerr << "--cores must give a mesh of at least 2 columns\n";
+    return 2;
+  }
+  const cmp::Rect fg_rect{0, 0, cfg.rows, cfg.cols / 2};
+  const cmp::Rect bg_rect{0, cfg.cols / 2, cfg.rows,
+                          cfg.cols - cfg.cols / 2};
+
+  // Default foreground pair: the G-line partition (hierarchical once
+  // the rect outgrows the flat 6-transmitter budget) vs the best
+  // tight-period software barrier. An explicit --barrier list is taken
+  // verbatim — an over-budget flat GL then exits 2 with the admission
+  // diagnostic.
+  const bool fg_fits_flat = fg_rect.rows <= 7 && fg_rect.cols <= 7;
+  const auto kinds = bench::BarrierListFromFlags(
+      flags, "barrier",
+      {fg_fits_flat ? harness::BarrierKind::kGL : harness::BarrierKind::kGLH,
+       harness::BarrierKind::kRDBL});
+
+  std::cout << "Ablation G: tenant isolation — foreground "
+            << fg_rect.ToString() << " partition vs hotspot background "
+            << bg_rect.ToString() << " (" << iters << " iterations)\n\n";
+
+  harness::Scale fg_scale;
+  fg_scale.synthetic_iters = iters;
+  bench::SweepClock clock(flags, "ablate_tenants", jobs);
+  std::vector<harness::RunSpec> specs;
+  for (const auto kind : kinds) {
+    for (const std::uint32_t ops : ops_grid) {
+      harness::RunSpec spec;
+      spec.cfg = common.ConfigForCores(cfg.num_cores());
+      spec.tenants.push_back(harness::NamedTenant("fg", fg_rect, "Synthetic",
+                                                  fg_scale, kind));
+      if (ops > 0) {
+        harness::TenantSpec bg;
+        bg.name = "bg";
+        bg.rect = bg_rect;
+        bg.workload = "Hotspot";
+        bg.barrier = harness::BarrierKind::kCSW;
+        bg.factory = [iters, ops]() {
+          return std::make_unique<HotspotLoad>(iters, ops);
+        };
+        spec.tenants.push_back(std::move(bg));
+      }
+      const std::string admit = harness::ValidateRunSpec(spec);
+      if (!admit.empty()) {
+        std::cerr << "bad tenant configuration: " << admit << "\n";
+        return 2;
+      }
+      specs.push_back(std::move(spec));
+    }
+  }
+  const auto results = harness::RunTenantsParallel(specs, jobs);
+  clock.Report(results.size());
+
+  bool all_ok = true;
+  std::vector<Cell> cells;
+  harness::Table t({"FG barrier", "BG ops/iter", "FG wait p50", "FG wait p95",
+                    "FG wait p99", "FG flits", "BG flits", "Valid"});
+  std::size_t i = 0;
+  for (const auto kind : kinds) {
+    for (const std::uint32_t ops : ops_grid) {
+      const harness::MultiRunMetrics& mm = results[i++];
+      Cell c;
+      c.fg_barrier = harness::ToString(kind);
+      c.bg_ops = ops;
+      c.fg = mm.tenants.at(0);
+      if (mm.tenants.size() > 1) c.bg = mm.tenants[1];
+      c.cycles = mm.run.cycles;
+      c.ok = mm.run.completed && mm.run.validation.empty();
+      if (!c.ok) {
+        std::cerr << "run failed: fg=" << c.fg_barrier << " ops=" << ops
+                  << ": " << (mm.run.completed ? mm.run.validation : mm.run.stall)
+                  << '\n';
+        all_ok = false;
+      }
+      t.AddRow({c.fg_barrier, std::to_string(ops),
+                harness::Table::Num(c.fg.wait_cycles.PercentileApprox(0.50)),
+                harness::Table::Num(c.fg.wait_cycles.PercentileApprox(0.95)),
+                harness::Table::Num(c.fg.wait_cycles.PercentileApprox(0.99)),
+                std::to_string(c.fg.router_flits),
+                std::to_string(c.bg.router_flits),
+                c.ok ? "ok" : "FAIL"});
+      cells.push_back(std::move(c));
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\nShape: the G-line tenant's wait percentiles stay flat at"
+               " every background\nintensity and its rect carries zero"
+               " fabric flits at ops=0 — barrier signaling\nnever touches"
+               " the shared NoC. The software foreground pays its latency"
+               " in\nits own exchange traffic, and both rects show the"
+               " background's hotspot\ntraffic crossing their routers"
+               " (directory homes hash chip-wide): traffic\nisolation"
+               " does not exist on the shared fabric, barrier isolation"
+               " does.\n";
+
+  if (common.json()) {
+    const std::string& jpath = common.json_path();
+    if (common.json_bare()) {
+      std::cout << '\n';
+      WriteTenantsManifest(std::cout, /*pretty=*/true, iters, cells);
+      std::cout << '\n';
+    } else {
+      std::ofstream f(jpath, std::ios::app);
+      if (!f) {
+        std::cerr << "failed to append manifest to " << jpath << "\n";
+        return 1;
+      }
+      WriteTenantsManifest(f, /*pretty=*/false, iters, cells);
+      f << '\n';
+    }
+  }
+  return all_ok ? 0 : 1;
+}

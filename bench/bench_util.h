@@ -261,4 +261,66 @@ inline cmp::CmpConfig ConfigFromFlags(const Flags& flags) {
       flags, static_cast<std::uint32_t>(flags.GetInt("cores", 32)));
 }
 
+class CommonFlags;
+CommonFlags ParseCommonFlags(const Flags& flags);
+
+/// One parse of the flag families every bench binary repeats:
+/// observability (--trace / --log-level), host parallelism (--jobs x
+/// --shards), the --json manifest destination, and the machine
+/// configuration (--cores / --fast-forward / the --fault_* family).
+/// Construct via ParseCommonFlags right after Flags and keep it alive
+/// for the whole run — it owns the Observability (and therefore the
+/// --trace file session). Borrows the Flags, which must outlive it.
+/// Exits with status 2 on malformed values, with the same diagnostics
+/// as the free helpers it wraps.
+class CommonFlags {
+ public:
+  const Observability& obs() const { return obs_; }
+  bool tracing() const { return obs_.tracing(); }
+
+  /// Normalized --jobs x --shards (see JobsFromFlags; 1 when absent,
+  /// serial-forced under --trace).
+  int jobs() const { return jobs_; }
+
+  /// --json was passed at all (bare or with a path).
+  bool json() const { return json_; }
+  /// Bare --json: the pretty manifest to stdout replaces the report.
+  bool json_bare() const { return json_ && json_path_.empty(); }
+  /// The JSONL append destination; empty for bare --json (or none).
+  const std::string& json_path() const { return json_path_; }
+
+  /// Machine configuration at an explicit core count (sweeps call this
+  /// per point) / at --cores (default 32). Both re-read the --fault_*
+  /// family so the per-call "injection without watchdog" note keeps
+  /// firing exactly as before.
+  cmp::CmpConfig ConfigForCores(std::uint32_t cores) const {
+    return bench::ConfigForCores(*flags_, cores);
+  }
+  cmp::CmpConfig Config() const { return ConfigFromFlags(*flags_); }
+
+ private:
+  friend CommonFlags ParseCommonFlags(const Flags& flags);
+
+  explicit CommonFlags(const Flags& flags)
+      : flags_(&flags),
+        obs_(flags),
+        jobs_(JobsFromFlags(flags, obs_)),
+        json_(flags.Has("json")) {
+    const std::string raw = flags.GetString("json", "");
+    if (raw != "true") json_path_ = raw;  // bare --json parses as "true"
+  }
+
+  const Flags* flags_;
+  Observability obs_;
+  int jobs_;
+  bool json_;
+  std::string json_path_;
+};
+
+/// Factory (CommonFlags owns a trace session and is not movable; C++17
+/// guaranteed elision makes the by-value return legal anyway).
+inline CommonFlags ParseCommonFlags(const Flags& flags) {
+  return CommonFlags(flags);
+}
+
 }  // namespace glb::bench

@@ -268,12 +268,12 @@ void WriteCampaignManifest(std::ostream& os, bool pretty, bool hier, int seeds,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  const bench::Observability obs(flags);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
   const int seeds = static_cast<int>(flags.GetInt("seeds", 25));
   const int episodes = static_cast<int>(flags.GetInt("episodes", 40));
   const auto watchdog = static_cast<Cycle>(flags.GetInt("watchdog", 3000));
   const auto retries = static_cast<std::uint32_t>(flags.GetInt("retries", 2));
-  const int jobs = bench::JobsFromFlags(flags, obs);
+  const int jobs = common.jobs();
   const harness::BarrierKind kind =
       harness::BarrierKindFromNameOrExit(flags.GetString("barrier", "gl"));
   if (kind != harness::BarrierKind::kGL && kind != harness::BarrierKind::kGLH) {
@@ -349,9 +349,9 @@ int main(int argc, char** argv) {
   }
   t.Print(std::cout);
 
-  if (flags.Has("json")) {
-    const std::string jpath = flags.GetString("json", "");
-    if (jpath.empty() || jpath == "true") {  // bare --json: pretty to stdout
+  if (common.json()) {
+    const std::string& jpath = common.json_path();
+    if (common.json_bare()) {  // bare --json: pretty to stdout
       std::cout << '\n';
       WriteCampaignManifest(std::cout, /*pretty=*/true, hier, seeds, episodes,
                             watchdog, retries, all_ok, sweep);

@@ -15,7 +15,7 @@
 int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
-  const bench::Observability obs(flags);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
   const auto rows = static_cast<std::uint32_t>(flags.GetInt("rows", 2));
   const auto cols = static_cast<std::uint32_t>(flags.GetInt("cols", 2));
 

@@ -135,7 +135,8 @@ void WriteScaleManifest(std::ostream& os, bool pretty, std::uint32_t iters,
   w.EndObject();
 }
 
-int RunScaleSweep(const Flags& flags, int jobs) {
+int RunScaleSweep(const Flags& flags, const bench::CommonFlags& common) {
+  const int jobs = common.jobs();
   const auto cores_list = bench::CoreListFromFlags(flags, "cores", {64, 256});
   const auto kinds = bench::BarrierListFromFlags(
       flags, "barrier",
@@ -156,7 +157,7 @@ int RunScaleSweep(const Flags& flags, int jobs) {
     iters = scale.synthetic_iters;
     for (auto kind : kinds) {
       specs.push_back(harness::NamedExperiment(
-          "Synthetic", scale, kind, bench::ConfigForCores(flags, cores)));
+          "Synthetic", scale, kind, common.ConfigForCores(cores)));
     }
   }
   const auto runs = harness::RunExperimentsParallel(specs, jobs);
@@ -179,9 +180,9 @@ int RunScaleSweep(const Flags& flags, int jobs) {
   }
   t.Print(std::cout);
 
-  if (flags.Has("json")) {
-    const std::string jpath = flags.GetString("json", "");
-    if (jpath.empty() || jpath == "true") {
+  if (common.json()) {
+    const std::string& jpath = common.json_path();
+    if (common.json_bare()) {
       WriteScaleManifest(std::cout, /*pretty=*/true, iters, runs);
       std::cout << '\n';
     } else {
@@ -201,13 +202,13 @@ int RunScaleSweep(const Flags& flags, int jobs) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  const bench::Observability obs(flags);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
   bench::Scale scale = bench::Scale::FromFlags(flags);
   if (!flags.Has("synthetic-iters") && !flags.Has("paper-scale")) {
     scale.synthetic_iters = 200;  // stationary well before this
   }
-  const int jobs = bench::JobsFromFlags(flags, obs);
-  if (flags.GetBool("scale", false)) return RunScaleSweep(flags, jobs);
+  const int jobs = common.jobs();
+  if (flags.GetBool("scale", false)) return RunScaleSweep(flags, common);
   const auto max_cores =
       static_cast<std::uint32_t>(flags.GetInt("max-cores", 32));
   const bool hier = flags.GetBool("hier", false);
@@ -321,9 +322,9 @@ int main(int argc, char** argv) {
                  " overloaded (relaxed) lines past 7x7.\n";
   }
 
-  if (flags.Has("json")) {
-    const std::string jpath = flags.GetString("json", "");
-    if (jpath.empty() || jpath == "true") {  // bare --json: pretty to stdout
+  if (common.json()) {
+    const std::string& jpath = common.json_path();
+    if (common.json_bare()) {  // bare --json: pretty to stdout
       WriteFig5Manifest(std::cout, /*pretty=*/true, scale.synthetic_iters, points);
       std::cout << '\n';
       if (hier) {

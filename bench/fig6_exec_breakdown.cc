@@ -65,7 +65,8 @@ void WriteScaleManifest(std::ostream& os, bool pretty,
   w.EndObject();
 }
 
-int RunScaleSweep(const Flags& flags, int jobs) {
+int RunScaleSweep(const Flags& flags, const bench::CommonFlags& common) {
+  const int jobs = common.jobs();
   const auto cores_list =
       bench::CoreListFromFlags(flags, "cores", {64, 256, 1024});
   const auto kinds = bench::BarrierListFromFlags(
@@ -92,7 +93,7 @@ int RunScaleSweep(const Flags& flags, int jobs) {
     for (const std::string& name : names) {
       for (auto kind : kinds) {
         specs.push_back(harness::NamedExperiment(
-            name, scale, kind, bench::ConfigForCores(flags, cores)));
+            name, scale, kind, common.ConfigForCores(cores)));
       }
     }
   }
@@ -119,9 +120,9 @@ int RunScaleSweep(const Flags& flags, int jobs) {
     harness::PrintBreakdownTable(std::cout, slice, base);
   }
 
-  if (flags.Has("json")) {
-    const std::string jpath = flags.GetString("json", "");
-    if (jpath.empty() || jpath == "true") {
+  if (common.json()) {
+    const std::string& jpath = common.json_path();
+    if (common.json_bare()) {
       WriteScaleManifest(std::cout, /*pretty=*/true, specs, runs);
       std::cout << '\n';
     } else {
@@ -141,12 +142,12 @@ int RunScaleSweep(const Flags& flags, int jobs) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  const bench::Observability obs(flags);
-  const int jobs = bench::JobsFromFlags(flags, obs);
-  if (flags.GetBool("scale", false)) return RunScaleSweep(flags, jobs);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
+  const int jobs = common.jobs();
+  if (flags.GetBool("scale", false)) return RunScaleSweep(flags, common);
 
   const bench::Scale scale = bench::Scale::FromFlags(flags);
-  const auto cfg = bench::ConfigFromFlags(flags);
+  const auto cfg = common.Config();
 
   std::cout << "Figure 6: normalized execution time breakdown, DSW vs GL ("
             << cfg.num_cores() << " cores)\n\n";

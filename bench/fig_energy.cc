@@ -77,7 +77,7 @@ void WriteHierManifest(std::ostream& os, bool pretty,
   w.EndObject();
 }
 
-int RunHierStudy(const Flags& flags) {
+int RunHierStudy(const Flags& flags, const bench::CommonFlags& common) {
   const auto cores_list =
       bench::CoreListFromFlags(flags, "cores", {64, 256, 1024});
   const auto names = bench::WorkloadListFromFlags(flags, "workloads",
@@ -90,7 +90,7 @@ int RunHierStudy(const Flags& flags) {
   for (std::uint32_t cores : cores_list) {
     const harness::Scale scale = harness::Scale::FromFlags(flags, cores);
     for (const std::string& name : names) {
-      auto cfg = bench::ConfigForCores(flags, cores);
+      auto cfg = common.ConfigForCores(cores);
       cfg.hier.enabled = true;
       cmp::CmpSystem sys(cfg);
       auto workload = harness::MakeWorkloadOrExit(name, scale);
@@ -140,9 +140,9 @@ int RunHierStudy(const Flags& flags) {
               << " nJ\n";
   }
 
-  if (flags.Has("json")) {
-    const std::string jpath = flags.GetString("json", "");
-    if (jpath.empty() || jpath == "true") {
+  if (common.json()) {
+    const std::string& jpath = common.json_path();
+    if (common.json_bare()) {
       WriteHierManifest(std::cout, /*pretty=*/true, rows);
       std::cout << '\n';
     } else {
@@ -162,11 +162,11 @@ int RunHierStudy(const Flags& flags) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  const bench::Observability obs(flags);
-  if (flags.GetBool("hier", false)) return RunHierStudy(flags);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
+  if (flags.GetBool("hier", false)) return RunHierStudy(flags, common);
 
   const bench::Scale scale = bench::Scale::FromFlags(flags);
-  const auto cfg = bench::ConfigFromFlags(flags);
+  const auto cfg = common.Config();
 
   std::cout << "Energy (extension): estimated dynamic energy, DSW vs GL ("
             << cfg.num_cores() << " cores)\n\n";

@@ -8,9 +8,9 @@
 
 int main(int argc, char** argv) {
   glb::Flags flags(argc, argv);
-  const glb::bench::Observability obs(flags);
+  const glb::bench::CommonFlags common = glb::bench::ParseCommonFlags(flags);
   auto cfg = glb::cmp::CmpConfig::Table1();
-  if (flags.Has("cores")) cfg = glb::bench::ConfigFromFlags(flags);
+  if (flags.Has("cores")) cfg = common.Config();
 
   glb::harness::Table t({"Parameter", "Value"});
   t.AddRow({"Number of cores", std::to_string(cfg.num_cores())});

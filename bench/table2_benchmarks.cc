@@ -15,10 +15,10 @@
 int main(int argc, char** argv) {
   using namespace glb;
   Flags flags(argc, argv);
-  const bench::Observability obs(flags);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
   const bench::Scale scale = bench::Scale::FromFlags(flags);
-  const auto cfg = bench::ConfigFromFlags(flags);
-  const int jobs = bench::JobsFromFlags(flags, obs);
+  const auto cfg = common.Config();
+  const int jobs = common.jobs();
 
   std::cout << "Table 2: benchmark configuration (measured on " << cfg.num_cores()
             << " cores, GL barrier)\n";

@@ -147,6 +147,29 @@ rm -f BENCH_zoo_smoke.json
 ./build/tools/glb_bench_diff --no-time \
   bench/baselines/zoo_smoke.json BENCH_zoo_smoke.json
 
+# Multi-tenant smoke (DESIGN.md §9): a two-tenant space-shared glbsim
+# run must complete, validate, and render through glb_report (tenants[]
+# blocks included); a bounded isolation ablation is gated byte-exactly
+# against the checked-in glb.tenants baseline — every cell metric is
+# simulated output, so any drift in tenant admission, rect-local
+# network construction, or the shared-fabric model is a hard failure.
+# CI publishes the manifest.
+echo "=== multi-tenant smoke ==="
+rm -f BENCH_tenants_glbsim.json
+./build/tools/glbsim --cores 64 --synthetic-iters 20 \
+  --tenant fg:8x4:Synthetic:GLH --tenant bg:8x4@0,4:Synthetic:RDBL \
+  --json BENCH_tenants_glbsim.json > /dev/null
+grep -q '"tenants":' BENCH_tenants_glbsim.json || {
+  echo "FAIL: multi-tenant manifest carries no tenants[] block" >&2
+  exit 1; }
+./build/tools/glb_report BENCH_tenants_glbsim.json > /dev/null
+rm -f BENCH_tenants_smoke.json
+./build/bench/ablate_tenants --cores 16 --iters 10 --ops 0,16 \
+  --jobs "$(nproc)" --json BENCH_tenants_smoke.json > /dev/null
+./build/tools/glb_report BENCH_tenants_smoke.json > /dev/null
+./build/tools/glb_bench_diff --no-time \
+  bench/baselines/tenants_smoke.json BENCH_tenants_smoke.json
+
 rm -f BENCH_straggler_obs.json
 ./build/tools/glbsim --workload Synthetic --barrier GLH --cores 64 \
   --synthetic-iters 80 --fault_watchdog 40 --fault_watchdog_mult 8 \

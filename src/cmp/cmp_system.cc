@@ -78,6 +78,7 @@ CmpSystem::CmpSystem(const CmpConfig& cfg)
   core::BarrierDevice* dev =
       hier_ != nullptr ? hier_->Device(0) : gline_.Device(0);
   if (ff_ != nullptr) dev = ff_->Wrap(dev);
+  chip_dev_ = dev;
   cores_.reserve(cfg.num_cores());
   for (CoreId c = 0; c < cfg.num_cores(); ++c) {
     cores_.push_back(std::make_unique<core::Core>(domain_->EngineFor(c),

@@ -87,6 +87,11 @@ class CmpSystem {
   gline::BarrierNetwork& gline() { return gline_; }
   /// The hierarchical network, or nullptr unless cfg.hier.enabled.
   gline::HierarchicalBarrierNetwork* hier() { return hier_.get(); }
+  /// The chip-default barrier device every core is wired to at
+  /// construction (hier if enabled, else flat G-line context 0, behind
+  /// the fast-forward wrapper when that is on). PartitionManager swaps
+  /// member cores onto tenant devices and restores this on teardown.
+  core::BarrierDevice* chip_barrier_device() { return chip_dev_; }
   core::Core& core(CoreId c) { return *cores_[c]; }
   std::uint32_t num_cores() const { return cfg_.num_cores(); }
   const CmpConfig& config() const { return cfg_; }
@@ -145,6 +150,7 @@ class CmpSystem {
   gline::BarrierNetwork gline_;
   std::unique_ptr<gline::HierarchicalBarrierNetwork> hier_;
   std::vector<std::unique_ptr<core::Core>> cores_;
+  core::BarrierDevice* chip_dev_ = nullptr;
   /// Degraded-mode software fallback: one hybrid barrier unit per G-line
   /// context, over the data NoC (built only in resilient mode).
   std::vector<std::unique_ptr<sync::HybridBarrierUnit>> fallback_units_;

@@ -14,14 +14,29 @@ Flags::Flags(int argc, char** argv) {
     }
     arg.remove_prefix(2);
     auto eq = arg.find('=');
+    std::string name;
+    std::string value;
     if (eq != std::string_view::npos) {
-      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
     } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[std::string(arg)] = argv[++i];
+      name = std::string(arg);
+      value = argv[++i];
     } else {
-      values_[std::string(arg)] = "true";
+      name = std::string(arg);
+      value = "true";
     }
+    values_[name] = value;
+    ordered_.emplace_back(std::move(name), std::move(value));
   }
+}
+
+std::vector<std::string> Flags::GetStrings(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& [n, v] : ordered_) {
+    if (n == name) out.push_back(v);
+  }
+  return out;
 }
 
 std::string Flags::GetString(const std::string& name, std::string def) const {

@@ -1,13 +1,17 @@
 // Tiny command-line flag parser for benches and examples.
 //
 // Accepts "--name=value", "--name value" and bare "--name" (boolean
-// true). Unknown flags are collected so a caller can reject them.
+// true). A repeated flag keeps its last value for the scalar getters
+// (historical behavior) and every value, in order, for GetStrings
+// (repeatable flags like glbsim's --tenant). Unknown flags are
+// collected so a caller can reject them.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace glb {
@@ -23,11 +27,17 @@ class Flags {
   double GetDouble(const std::string& name, double def) const;
   bool GetBool(const std::string& name, bool def) const;
 
+  /// Every occurrence of a repeatable flag, in command-line order
+  /// (empty when the flag was never passed).
+  std::vector<std::string> GetStrings(const std::string& name) const;
+
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:
   std::map<std::string, std::string> values_;
+  /// Every (name, value) occurrence in command-line order.
+  std::vector<std::pair<std::string, std::string>> ordered_;
   std::vector<std::string> positional_;
 };
 

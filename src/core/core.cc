@@ -4,7 +4,7 @@ namespace glb::core {
 
 Core::Core(sim::Engine& engine, coherence::L1Controller& l1, CoreId id,
            const CoreConfig& cfg, StatSet& stats)
-    : engine_(engine), l1_(l1), id_(id), cfg_(cfg),
+    : engine_(engine), l1_(l1), id_(id), rank_(id), cfg_(cfg),
       trace_track_("core " + std::to_string(id) + "/timeline") {
   loads_ = stats.GetCounter("core.loads");
   stores_ = stats.GetCounter("core.stores");

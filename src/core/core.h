@@ -80,6 +80,14 @@ class Core {
   Cycle started_at() const { return started_at_; }
   Cycle finished_at() const { return finished_at_; }
   CoreId id() const { return id_; }
+
+  /// Dense participant index used by the software barriers: rank ==
+  /// id() on a whole-chip run, but a space-shared partition renumbers
+  /// its member cores 0..P-1 so tenant-local barrier state (flag
+  /// arrays, tree slots) stays compact. The hardware paths (G-line
+  /// devices, the HYB unit) keep addressing by global id.
+  CoreId rank() const { return rank_; }
+  void SetRank(CoreId rank) { rank_ = rank; }
   const TimeBreakdown& breakdown() const { return breakdown_; }
   coherence::L1Controller& l1() { return l1_; }
   sim::Engine& engine() { return engine_; }
@@ -318,6 +326,7 @@ class Core {
   sim::Engine& engine_;
   coherence::L1Controller& l1_;
   const CoreId id_;
+  CoreId rank_;  // == id_ until a partition renumbers this core
   CoreConfig cfg_;
   BarrierDevice* barrier_dev_ = nullptr;
   sim::ExecutionDomain* domain_ = nullptr;

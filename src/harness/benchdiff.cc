@@ -100,6 +100,33 @@ void ExtractZoo(const json::Value& doc, std::vector<Row>& rows) {
   }
 }
 
+/// glb.tenants (ablate_tenants): one row per isolation-curve cell,
+/// keyed by (fg barrier, background intensity). Everything is
+/// simulated output — exact match required — so a drift in tenant
+/// admission, rect-local network construction, or the shared-fabric
+/// model fails the gate.
+void ExtractTenants(const json::Value& doc, std::vector<Row>& rows) {
+  const json::Value* cells = doc.Find("cells");
+  if (cells == nullptr || !cells->IsArray()) return;
+  for (const json::Value& c : cells->arr) {
+    Row r;
+    r.id = "glb.tenants/" + c.StringOr("fg_barrier", "?") + "/ops" +
+           std::to_string(static_cast<std::uint64_t>(c.NumberOr("bg_ops", 0)));
+    r.metrics.push_back(Det("cycles", c.NumberOr("cycles", 0)));
+    if (const json::Value* fg = c.Find("fg")) {
+      r.metrics.push_back(Det("fg.wait_p50", fg->NumberOr("wait_p50", 0)));
+      r.metrics.push_back(Det("fg.wait_p99", fg->NumberOr("wait_p99", 0)));
+      r.metrics.push_back(Det("fg.router_flits", fg->NumberOr("router_flits", 0)));
+      r.metrics.push_back(
+          Det("fg.gline_signals", fg->NumberOr("gline_signals", 0)));
+    }
+    if (const json::Value* bg = c.Find("bg")) {
+      r.metrics.push_back(Det("bg.router_flits", bg->NumberOr("router_flits", 0)));
+    }
+    rows.push_back(std::move(r));
+  }
+}
+
 void ExtractMicroEngine(const json::Value& doc, std::vector<Row>& rows) {
   const json::Value* results = doc.Find("results");
   if (results == nullptr || !results->IsArray()) return;
@@ -140,6 +167,8 @@ void ExtractDoc(const json::Value& doc, std::vector<Row>& rows) {
     ExtractFig5Scale(doc, rows);
   } else if (schema == "glb.zoo") {
     ExtractZoo(doc, rows);
+  } else if (schema == "glb.tenants") {
+    ExtractTenants(doc, rows);
   } else if (schema == "glb.micro_engine") {
     ExtractMicroEngine(doc, rows);
   } else if (schema.empty() && doc.Find("benchmarks") != nullptr) {

@@ -5,57 +5,27 @@
 #include <string_view>
 
 #include "common/check.h"
-#include "sync/dissemination_barrier.h"
-#include "sync/hybrid_barrier.h"
-#include "sync/sw_barrier.h"
-#include "sync/tuned_barrier.h"
-#include "sync/zoo_barrier.h"
+#include "sync/registry.h"
 
 namespace glb::harness {
 
 std::unique_ptr<sync::Barrier> MakeBarrier(BarrierKind kind, cmp::CmpSystem& sys) {
-  switch (kind) {
-    case BarrierKind::kGL:
-      return std::make_unique<sync::GlBarrier>();
-    case BarrierKind::kGLH:
-      GLB_CHECK(sys.hier() != nullptr)
-          << "GLH barrier requested but cfg.hier.enabled was false";
-      return std::make_unique<sync::GlBarrier>("GLH");
-    case BarrierKind::kCSW:
-      return std::make_unique<sync::CentralBarrier>(sys.allocator(), sys.num_cores());
-    case BarrierKind::kDSW:
-      return std::make_unique<sync::TreeBarrier>(sys.allocator(), sys.num_cores());
-    case BarrierKind::kDIS:
-      return std::make_unique<sync::DisseminationBarrier>(sys.allocator(),
-                                                          sys.num_cores());
-    case BarrierKind::kRDBL:
-      return std::make_unique<sync::RecursiveDoublingBarrier>(sys.allocator(),
-                                                              sys.num_cores());
-    case BarrierKind::kBRUCK:
-      return std::make_unique<sync::BruckBarrier>(sys.allocator(), sys.num_cores());
-    case BarrierKind::kTOURN:
-      return std::make_unique<sync::TournamentBarrier>(sys.allocator(),
-                                                       sys.num_cores());
-    case BarrierKind::kRING:
-      return std::make_unique<sync::DoubleRingBarrier>(sys.allocator(),
-                                                       sys.num_cores());
-    case BarrierKind::kGALOIS:
-      // One counting cluster per mesh row keeps each cluster's counter
-      // line within the row that hammers it.
-      return std::make_unique<sync::GaloisFastBarrier>(
-          sys.allocator(), sys.num_cores(), sys.config().cols);
-    case BarrierKind::kTUNED:
-      return std::make_unique<sync::TunedBarrier>(
-          sys.allocator(), sys.num_cores(), sys.config().cols, sys.stats());
-    case BarrierKind::kHYB: {
-      // Unit at the central tile, minimizing worst-case hop distance.
-      const auto& cfg = sys.config();
-      const CoreId home = (cfg.rows / 2) * cfg.cols + cfg.cols / 2;
-      return std::make_unique<sync::HybridBarrier>(sys.mesh(), home,
-                                                   sys.num_cores(), sys.stats());
-    }
+  if (kind == BarrierKind::kGLH) {
+    GLB_CHECK(sys.hier() != nullptr)
+        << "GLH barrier requested but cfg.hier.enabled was false";
   }
-  GLB_UNREACHABLE("bad barrier kind");
+  sync::BarrierEnv env;
+  env.alloc = &sys.allocator();
+  env.mesh = &sys.mesh();
+  env.stats = &sys.stats();
+  env.participants = sys.num_cores();
+  // One counting cluster per mesh row keeps each cluster's counter
+  // line within the row that hammers it (kGALOIS/kTUNED).
+  env.cluster_cols = sys.config().cols;
+  // kHYB's unit at the central tile, minimizing worst-case hop distance.
+  env.hyb_home = (sys.config().rows / 2) * sys.config().cols +
+                 sys.config().cols / 2;
+  return sync::MakeBarrier(kind, env);
 }
 
 RunMetrics RunExperiment(const WorkloadFactory& make_workload, BarrierKind kind,
@@ -80,9 +50,16 @@ RunMetrics RunExperiment(const WorkloadFactory& make_workload, BarrierKind kind,
 RunMetrics CollectMetrics(cmp::CmpSystem& sys, const sim::RunStatus& status,
                           workloads::Workload& workload, const std::string& barrier_name,
                           double wall_ms) {
-  RunMetrics m;
+  RunMetrics m = CollectSystemMetrics(sys, status, wall_ms);
   m.workload = workload.name();
   m.barrier = barrier_name;
+  m.validation = m.completed ? workload.Validate(sys) : m.stall;
+  return m;
+}
+
+RunMetrics CollectSystemMetrics(cmp::CmpSystem& sys, const sim::RunStatus& status,
+                                double wall_ms) {
+  RunMetrics m;
   m.cores = sys.num_cores();
   m.completed = status.idle;
   m.stall = status.DescribeStall();
@@ -127,7 +104,6 @@ RunMetrics CollectMetrics(cmp::CmpSystem& sys, const sim::RunStatus& status,
   });
   m.tuned_measured_period = sys.stats().CounterValue("sync.tuned.measured_period");
   m.tuned_warmup_episodes = sys.stats().CounterValue("sync.tuned.warmup_episodes");
-  m.validation = m.completed ? workload.Validate(sys) : m.stall;
   return m;
 }
 

@@ -11,46 +11,20 @@
 #include "cmp/cmp_system.h"
 #include "core/timebreak.h"
 #include "sync/barrier.h"
+#include "sync/barrier_kind.h"
 #include "workloads/workload.h"
 
 namespace glb::harness {
 
-enum class BarrierKind {
-  kGL,   // the paper's G-line barrier network
-  kGLH,  // hierarchical (multi-level) G-line network (§5, beyond 7x7)
-  kCSW,  // centralized sense-reversal software barrier
-  kDSW,  // binary combining-tree software barrier
-  kHYB,  // memory-mapped central hardware unit (Sartori/Kumar-style)
-  kDIS,  // dissemination barrier (extension baseline, MCS-style)
-  // The software-barrier zoo (sync/zoo_barrier.h): the OpenMPI
-  // coll_tuned family plus the Galois two-phase design.
-  kRDBL,    // recursive doubling (XOR exchange, extras via proxies)
-  kBRUCK,   // Bruck-style mirrored dissemination
-  kTOURN,   // MCS tournament (static pairing, no atomics)
-  kRING,    // OpenMPI basic-linear double ring
-  kGALOIS,  // Galois two-phase in/out, per-mesh-row cluster counting
-  kTUNED,   // coll_tuned-style meta-barrier (sync/tuned_barrier.h)
-};
+/// The barrier taxonomy lives in sync/barrier_kind.h (the construction
+/// registry sits below the cmp layer); the harness re-exports it so
+/// every historical harness::BarrierKind spelling keeps working.
+using sync::BarrierKind;
+using sync::ToString;
 
-inline const char* ToString(BarrierKind k) {
-  switch (k) {
-    case BarrierKind::kGL: return "GL";
-    case BarrierKind::kGLH: return "GLH";
-    case BarrierKind::kCSW: return "CSW";
-    case BarrierKind::kDSW: return "DSW";
-    case BarrierKind::kHYB: return "HYB";
-    case BarrierKind::kDIS: return "DIS";
-    case BarrierKind::kRDBL: return "RDBL";
-    case BarrierKind::kBRUCK: return "BRUCK";
-    case BarrierKind::kTOURN: return "TOURN";
-    case BarrierKind::kRING: return "RING";
-    case BarrierKind::kGALOIS: return "GALOIS";
-    case BarrierKind::kTUNED: return "TUNED";
-  }
-  return "?";
-}
-
-/// Builds the requested barrier over a system's simulated memory.
+/// Builds the requested barrier over a system's simulated memory, via
+/// the sync registry (sync/registry.h) — the whole-chip BarrierEnv:
+/// every core participates and rank == id.
 std::unique_ptr<sync::Barrier> MakeBarrier(BarrierKind kind, cmp::CmpSystem& sys);
 
 struct RunMetrics {
@@ -114,6 +88,13 @@ using WorkloadFactory = std::function<std::unique_ptr<workloads::Workload>()>;
 RunMetrics CollectMetrics(cmp::CmpSystem& sys, const sim::RunStatus& status,
                           workloads::Workload& workload, const std::string& barrier_name,
                           double wall_ms = 0.0);
+
+/// The system-level portion of CollectMetrics — everything except the
+/// workload identity (`workload`, `barrier`) and `validation`, which
+/// single-workload runs take from their one Workload and multi-tenant
+/// runs (harness/tenants.h) compose from every tenant's.
+RunMetrics CollectSystemMetrics(cmp::CmpSystem& sys, const sim::RunStatus& status,
+                                double wall_ms = 0.0);
 
 /// Runs one experiment to completion (or `max_cycles`) and collects the
 /// metrics. The system is built fresh, the workload initialized, one

@@ -25,6 +25,23 @@ NocHeatmap CollectNocHeatmap(const noc::Mesh& mesh) {
   return hm;
 }
 
+namespace {
+
+void WriteHistogramSummary(json::Writer& w, const Histogram& h) {
+  w.BeginObject();
+  w.Field("count", h.count());
+  w.Field("sum", h.sum());
+  w.Field("min", h.min());
+  w.Field("max", h.max());
+  w.Field("mean", h.mean());
+  w.Field("p50", h.PercentileApprox(0.50));
+  w.Field("p95", h.PercentileApprox(0.95));
+  w.Field("p99", h.PercentileApprox(0.99));
+  w.EndObject();
+}
+
+}  // namespace
+
 void WriteStatsBlock(json::Writer& w, const StatSet& stats) {
   w.Key("counters");
   w.BeginObject();
@@ -35,16 +52,7 @@ void WriteStatsBlock(json::Writer& w, const StatSet& stats) {
   w.BeginObject();
   stats.ForEachHistogram([&](const std::string& name, const Histogram& h) {
     w.Key(name);
-    w.BeginObject();
-    w.Field("count", h.count());
-    w.Field("sum", h.sum());
-    w.Field("min", h.min());
-    w.Field("max", h.max());
-    w.Field("mean", h.mean());
-    w.Field("p50", h.PercentileApprox(0.50));
-    w.Field("p95", h.PercentileApprox(0.95));
-    w.Field("p99", h.PercentileApprox(0.99));
-    w.EndObject();
+    WriteHistogramSummary(w, h);
   });
   w.EndObject();
 }
@@ -327,6 +335,36 @@ void WriteHostProfile(json::Writer& w, const prof::Snapshot& snap) {
   w.EndObject();
 }
 
+void WriteTenants(json::Writer& w, const std::vector<TenantMetrics>& tenants) {
+  w.Key("tenants");
+  w.BeginArray();
+  for (const TenantMetrics& t : tenants) {
+    w.BeginObject();
+    w.Field("name", t.name);
+    w.Field("rect", t.rect.ToString());
+    w.Field("workload", t.workload);
+    w.Field("barrier", t.barrier);
+    w.Field("cores", t.cores);
+    w.Field("barriers", t.barriers);
+    w.Field("waits", t.waits);
+    w.Field("finished_at", t.finished_at);
+    w.Key("wait_cycles");
+    WriteHistogramSummary(w, t.wait_cycles);
+    w.Key("breakdown");
+    w.BeginObject();
+    for (int i = 0; i < core::kNumTimeCats; ++i) {
+      const auto cat = static_cast<core::TimeCat>(i);
+      w.Field(core::ToString(cat), t.breakdown[cat]);
+    }
+    w.EndObject();
+    w.Field("router_flits", t.router_flits);
+    w.Field("gline_signals", t.gline_signals);
+    w.Field("validation", t.validation);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
 void WriteSamples(json::Writer& w, const trace::Sampler& sampler) {
   w.Field("interval", sampler.interval());
   w.Key("samples");
@@ -354,6 +392,7 @@ void WriteRunManifest(std::ostream& os, const RunMetrics& m, const cmp::CmpConfi
   w.Field("tool", opts.tool);
   if (opts.experiment != nullptr) WriteExperiment(w, *opts.experiment);
   WriteRun(w, m, cfg);
+  if (opts.tenants != nullptr) WriteTenants(w, *opts.tenants);
   WriteConfig(w, cfg);
   w.Key("stats");
   w.BeginObject();

@@ -18,6 +18,7 @@
 #include "common/stats.h"
 #include "harness/experiment.h"
 #include "harness/spec.h"
+#include "harness/tenants.h"
 #include "trace/sampler.h"
 
 namespace glb::harness {
@@ -73,6 +74,11 @@ struct ManifestOptions {
   /// Interval-sampler series, embedded as a "timeseries" block when the
   /// sampler is enabled (disabled samplers are skipped even if set).
   const trace::Sampler* sampler = nullptr;
+  /// Per-tenant blocks of a multi-tenant run ("tenants" array: rect,
+  /// workload, barrier, wait-latency histogram, member breakdown,
+  /// rect-local traffic and G-line signals). Single-tenant manifests
+  /// (null) stay byte-identical to older builds.
+  const std::vector<TenantMetrics>* tenants = nullptr;
 };
 
 /// Writes one complete run manifest object (no trailing newline).

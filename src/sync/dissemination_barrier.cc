@@ -42,7 +42,7 @@ Addr DisseminationBarrier::FlagAddr(std::uint32_t parity, std::uint32_t round,
 core::Task DisseminationBarrier::Wait(core::Core& core) {
   core::CategoryScope scope(core, core::TimeCat::kBarrier);
   core.NoteBarrier();
-  const CoreId me = core.id();
+  const CoreId me = core.rank();
   const std::uint32_t parity = parity_[me];
   const Word sense = sense_[me];
   // Advance the per-core episode state (registers; no memory traffic).

@@ -6,12 +6,13 @@
 namespace glb::sync {
 
 HybridBarrierUnit::HybridBarrierUnit(noc::Mesh& mesh, CoreId home_tile,
-                                     std::uint32_t num_cores, StatSet& stats)
+                                     std::uint32_t num_cores, StatSet& stats,
+                                     const std::string& stat_prefix)
     : mesh_(mesh), home_(home_tile), num_cores_(num_cores),
       expected_(num_cores), release_cb_(num_cores) {
   GLB_CHECK(home_tile < mesh.config().num_nodes()) << "unit tile out of range";
   GLB_CHECK(num_cores <= mesh.config().num_nodes()) << "more cores than tiles";
-  episodes_ = stats.GetCounter("hyb.episodes");
+  episodes_ = stats.GetCounter(stat_prefix + ".episodes");
 }
 
 void HybridBarrierUnit::SetExpected(std::uint32_t expected) {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -27,8 +28,11 @@ namespace glb::sync {
 /// The barrier unit (one per chip, at `home_tile`).
 class HybridBarrierUnit {
  public:
+  /// `stat_prefix` roots the unit's episode counter
+  /// ("<prefix>.episodes"); tenants pass their own prefix so concurrent
+  /// units never alias in the shared StatSet.
   HybridBarrierUnit(noc::Mesh& mesh, CoreId home_tile, std::uint32_t num_cores,
-                    StatSet& stats);
+                    StatSet& stats, const std::string& stat_prefix = "hyb");
 
   HybridBarrierUnit(const HybridBarrierUnit&) = delete;
   HybridBarrierUnit& operator=(const HybridBarrierUnit&) = delete;
@@ -66,8 +70,9 @@ class HybridBarrierUnit {
 class HybridBarrier final : public Barrier {
  public:
   HybridBarrier(noc::Mesh& mesh, CoreId home_tile, std::uint32_t num_cores,
-                StatSet& stats)
-      : unit_(std::make_unique<HybridBarrierUnit>(mesh, home_tile, num_cores, stats)) {}
+                StatSet& stats, const std::string& stat_prefix = "hyb")
+      : unit_(std::make_unique<HybridBarrierUnit>(mesh, home_tile, num_cores,
+                                                  stats, stat_prefix)) {}
 
   core::Task Wait(core::Core& core) override;
   const char* name() const override { return "HYB"; }

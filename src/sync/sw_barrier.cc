@@ -35,8 +35,8 @@ CentralBarrier::CentralBarrier(mem::AddrAllocator& alloc, std::uint32_t num_core
 Task CentralBarrier::Wait(Core& core) {
   CategoryScope scope(core, TimeCat::kBarrier);
   core.NoteBarrier();
-  const Word my_sense = local_sense_[core.id()] ^ 1;
-  local_sense_[core.id()] = my_sense;
+  const Word my_sense = local_sense_[core.rank()] ^ 1;
+  local_sense_[core.rank()] = my_sense;
 
   const Word prior = co_await core.Amo(counter_, AmoOp::kFetchAdd, 1);
   if (prior == num_cores_ - 1) {
@@ -105,13 +105,13 @@ TreeBarrier::TreeBarrier(mem::AddrAllocator& alloc, std::uint32_t num_cores,
 Task TreeBarrier::Wait(Core& core) {
   CategoryScope scope(core, TimeCat::kBarrier);
   core.NoteBarrier();
-  const Word my_sense = local_sense_[core.id()] ^ 1;
-  local_sense_[core.id()] = my_sense;
+  const Word my_sense = local_sense_[core.rank()] ^ 1;
+  local_sense_[core.rank()] = my_sense;
 
   // Ascend: keep climbing while we are the node's last arriver,
   // remembering the nodes we now own the release of.
   std::vector<std::uint32_t> owned;
-  std::uint32_t node = leaf_of_core_[core.id()];
+  std::uint32_t node = leaf_of_core_[core.rank()];
   while (true) {
     const Word prior = co_await core.Amo(nodes_[node].count_addr, AmoOp::kFetchAdd, 1);
     if (prior + 1 < nodes_[node].expected) {

@@ -48,9 +48,11 @@ const char* TunedChoiceName(std::uint32_t cores, double period_cycles) {
 }
 
 TunedBarrier::TunedBarrier(mem::AddrAllocator& alloc, std::uint32_t num_cores,
-                           std::uint32_t cluster_size, StatSet& stats)
+                           std::uint32_t cluster_size, StatSet& stats,
+                           std::string stat_prefix)
     : num_cores_(num_cores),
       stats_(stats),
+      stat_prefix_(std::move(stat_prefix)),
       episode_(num_cores, 0),
       chosen_(num_cores, -1) {
   GLB_CHECK(num_cores > 0) << "barrier without participants";
@@ -79,7 +81,7 @@ Barrier* TunedBarrier::Candidate(std::size_t idx) const {
 core::Task TunedBarrier::Wait(core::Core& core) {
   // No NoteBarrier/CategoryScope here: the delegate charges both, so
   // barriers_per_core and the Figure-6 breakdown stay exact.
-  const CoreId me = core.id();
+  const CoreId me = core.rank();
   const std::uint32_t ep = episode_[me]++;
   if (ep < kWarmupEpisodes) return Candidate(warmup_idx_)->Wait(core);
   if (chosen_[me] < 0) return Negotiate(core);
@@ -87,7 +89,7 @@ core::Task TunedBarrier::Wait(core::Core& core) {
 }
 
 core::Task TunedBarrier::Negotiate(core::Core& core) {
-  const CoreId me = core.id();
+  const CoreId me = core.rank();
   {
     // The decision handshake is barrier overhead, like any runtime's
     // control-variable traffic.
@@ -98,12 +100,11 @@ core::Task TunedBarrier::Negotiate(core::Core& core) {
       const double period = static_cast<double>(core.engine().Now()) /
                             static_cast<double>(kWarmupEpisodes);
       const std::size_t idx = ChoiceIndex(num_cores_, period);
-      stats_
-          .GetCounter(std::string("sync.tuned.choice.") + kCandidateNames[idx])
+      stats_.GetCounter(stat_prefix_ + ".choice." + kCandidateNames[idx])
           ->Inc();
-      stats_.GetCounter("sync.tuned.measured_period")
+      stats_.GetCounter(stat_prefix_ + ".measured_period")
           ->Inc(static_cast<std::uint64_t>(std::llround(period)));
-      stats_.GetCounter("sync.tuned.warmup_episodes")->Inc(kWarmupEpisodes);
+      stats_.GetCounter(stat_prefix_ + ".warmup_episodes")->Inc(kWarmupEpisodes);
       chosen_[0] = static_cast<std::int32_t>(idx);
       co_await core.Store(choice_addr_, static_cast<Word>(idx + 1));
     } else {

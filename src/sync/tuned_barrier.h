@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -42,9 +43,12 @@ class TunedBarrier final : public Barrier {
   /// All candidate algorithms are constructed (and their simulated
   /// memory allocated) up front, so the address layout never depends on
   /// the decision. `cluster_size` feeds the GALOIS candidate (mesh
-  /// cols); `stats` receives the choice echo.
+  /// cols); `stats` receives the choice echo under `stat_prefix`
+  /// (tenants pass their own prefix so concurrent instances never
+  /// alias in the shared StatSet).
   TunedBarrier(mem::AddrAllocator& alloc, std::uint32_t num_cores,
-               std::uint32_t cluster_size, StatSet& stats);
+               std::uint32_t cluster_size, StatSet& stats,
+               std::string stat_prefix = "sync.tuned");
   ~TunedBarrier() override;
 
   core::Task Wait(core::Core& core) override;
@@ -62,6 +66,7 @@ class TunedBarrier final : public Barrier {
 
   std::uint32_t num_cores_;
   StatSet& stats_;
+  std::string stat_prefix_;
   std::vector<std::unique_ptr<Barrier>> candidates_;
   std::size_t warmup_idx_ = 0;  // DSW's slot in candidates_
   /// Decision word in simulated memory: 0 = undecided, else

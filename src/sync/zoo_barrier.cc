@@ -74,7 +74,7 @@ Addr RecursiveDoublingBarrier::FlagAddr(std::uint32_t parity, std::uint32_t slot
 Task RecursiveDoublingBarrier::Wait(Core& core) {
   CategoryScope scope(core, TimeCat::kBarrier);
   core.NoteBarrier();
-  const CoreId me = core.id();
+  const CoreId me = core.rank();
   const std::uint32_t parity = parity_[me];
   const Word sense = sense_[me];
   if (parity == 1) sense_[me] = sense ^ 1;
@@ -136,7 +136,7 @@ Addr BruckBarrier::FlagAddr(std::uint32_t parity, std::uint32_t round,
 Task BruckBarrier::Wait(Core& core) {
   CategoryScope scope(core, TimeCat::kBarrier);
   core.NoteBarrier();
-  const CoreId me = core.id();
+  const CoreId me = core.rank();
   const std::uint32_t parity = parity_[me];
   const Word sense = sense_[me];
   if (parity == 1) sense_[me] = sense ^ 1;
@@ -179,7 +179,7 @@ Addr TournamentBarrier::FlagAddr(std::uint32_t parity, std::uint32_t slot,
 Task TournamentBarrier::Wait(Core& core) {
   CategoryScope scope(core, TimeCat::kBarrier);
   core.NoteBarrier();
-  const CoreId me = core.id();
+  const CoreId me = core.rank();
   const std::uint32_t parity = parity_[me];
   const Word sense = sense_[me];
   if (parity == 1) sense_[me] = sense ^ 1;
@@ -242,7 +242,7 @@ Addr DoubleRingBarrier::FlagAddr(std::uint32_t parity, std::uint32_t slot,
 Task DoubleRingBarrier::Wait(Core& core) {
   CategoryScope scope(core, TimeCat::kBarrier);
   core.NoteBarrier();
-  const CoreId me = core.id();
+  const CoreId me = core.rank();
   const std::uint32_t parity = parity_[me];
   const Word sense = sense_[me];
   if (parity == 1) sense_[me] = sense ^ 1;
@@ -302,7 +302,7 @@ Addr GaloisFastBarrier::ReleaseAddr(std::uint32_t parity, CoreId core) const {
 Task GaloisFastBarrier::Wait(Core& core) {
   CategoryScope scope(core, TimeCat::kBarrier);
   core.NoteBarrier();
-  const CoreId me = core.id();
+  const CoreId me = core.rank();
   const std::uint32_t parity = parity_[me];
   const Word sense = sense_[me];
   if (parity == 1) sense_[me] = sense ^ 1;

@@ -46,7 +46,7 @@ std::uint32_t Em3d::BlockPartitionOwner(std::uint32_t node) const {
 }
 
 void Em3d::Init(cmp::CmpSystem& sys) {
-  num_cores_ = sys.num_cores();
+  num_cores_ = Participants(sys);
   GLB_CHECK(cfg_.nodes >= num_cores_) << "fewer nodes than cores";
   ff_ = sys.fast_forward();
   // 2 barrier episodes per timestep (E-phase, H-phase) after the one

@@ -35,7 +35,7 @@ std::uint32_t Kernel2::levels() const {
 }
 
 void Kernel2::Init(cmp::CmpSystem& sys) {
-  num_cores_ = sys.num_cores();
+  num_cores_ = Participants(sys);
   const std::uint64_t len = 2 * static_cast<std::uint64_t>(n_) + 4;
   x_ = sys.allocator().AllocWords(len);
   v_ = sys.allocator().AllocWords(len);
@@ -138,7 +138,7 @@ Addr Kernel3::PartialSlot(std::uint32_t parity, CoreId c) const {
 }
 
 void Kernel3::Init(cmp::CmpSystem& sys) {
-  num_cores_ = sys.num_cores();
+  num_cores_ = Participants(sys);
   x_ = sys.allocator().AllocWords(n_);
   z_ = sys.allocator().AllocWords(n_);
   partials_ = sys.allocator().AllocWords(std::uint64_t{2} * num_cores_);
@@ -228,7 +228,7 @@ Addr Kernel6::PartialSlot(std::uint32_t parity, CoreId c) const {
 }
 
 void Kernel6::Init(cmp::CmpSystem& sys) {
-  num_cores_ = sys.num_cores();
+  num_cores_ = Participants(sys);
   b_ = sys.allocator().AllocWords(static_cast<std::uint64_t>(n_) * n_);
   const std::uint64_t stride =
       (static_cast<std::uint64_t>(n_) * kWordBytes + 63) / 64 * 64;

@@ -27,7 +27,7 @@ double Ocean::InitVal(std::uint32_t r, std::uint32_t c, std::uint32_t grid) {
 }
 
 void Ocean::Init(cmp::CmpSystem& sys) {
-  num_cores_ = sys.num_cores();
+  num_cores_ = Participants(sys);
   GLB_CHECK(cfg_.grid >= 4) << "grid too small";
   GLB_CHECK(cfg_.grid - 2 >= num_cores_) << "fewer interior rows than cores";
   grid_ = sys.allocator().AllocWords(static_cast<std::uint64_t>(cfg_.grid) * cfg_.grid);

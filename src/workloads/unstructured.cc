@@ -18,7 +18,7 @@ Addr Unstructured::PrivAcc(CoreId c, std::uint32_t i) const {
 }
 
 void Unstructured::Init(cmp::CmpSystem& sys) {
-  num_cores_ = sys.num_cores();
+  num_cores_ = Participants(sys);
   GLB_CHECK(cfg_.nodes >= num_cores_) << "fewer nodes than cores";
   Rng rng(cfg_.seed);
   edge_a_.resize(cfg_.edges);

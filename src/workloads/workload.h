@@ -39,6 +39,22 @@ class Workload {
   /// Compares simulated results against the sequential reference.
   /// Returns an empty string on success, else a diagnostic.
   virtual std::string Validate(cmp::CmpSystem& sys) = 0;
+
+  /// Restricts the workload to `n` participating cores (a space-shared
+  /// tenant partition runs Body with ranks 0..n-1 instead of one
+  /// program per chip core). Call before Init; 0 restores the default
+  /// whole-chip behavior.
+  void BindParticipants(std::uint32_t n) { participants_ = n; }
+
+ protected:
+  /// The core count every partitioning/validation rule should use:
+  /// the bound participant count, or the whole chip when unbound.
+  std::uint32_t Participants(const cmp::CmpSystem& sys) const {
+    return participants_ != 0 ? participants_ : sys.num_cores();
+  }
+
+ private:
+  std::uint32_t participants_ = 0;
 };
 
 // --- floating point in simulated memory -----------------------------------

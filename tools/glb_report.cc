@@ -235,10 +235,68 @@ void PrintRun(const Value& doc, const std::string& only_series) {
       std::cout << "\n";
     }
   }
+  if (const Value* tenants = doc.Find("tenants");
+      tenants != nullptr && tenants->IsArray()) {
+    std::cout << "  tenants (rect workload/barrier: barriers, wait"
+                 " p50/p95/p99, flits, signals)\n";
+    for (const Value& t : tenants->arr) {
+      const Value* wait = t.Find("wait_cycles");
+      std::cout << "    " << t.StringOr("name", "?") << " "
+                << t.StringOr("rect", "?") << " " << t.StringOr("workload", "?")
+                << "/" << t.StringOr("barrier", "?") << ": "
+                << static_cast<std::uint64_t>(t.NumberOr("barriers", 0))
+                << " barriers, wait";
+      if (wait != nullptr) {
+        std::cout << " " << wait->NumberOr("p50", 0) << "/"
+                  << wait->NumberOr("p95", 0) << "/" << wait->NumberOr("p99", 0);
+      } else {
+        std::cout << " -";
+      }
+      std::cout << ", flits "
+                << static_cast<std::uint64_t>(t.NumberOr("router_flits", 0))
+                << ", signals "
+                << static_cast<std::uint64_t>(t.NumberOr("gline_signals", 0));
+      const std::string valid = t.StringOr("validation", "");
+      std::cout << ", " << (valid.empty() ? "ok" : valid) << "\n";
+    }
+  }
   if (const Value* hm = doc.Find("noc_heatmap")) PrintHeatmap(*hm);
   if (const Value* ts = doc.Find("timeseries")) {
     std::cout << "  timeseries\n";
     PrintSparklines(*ts, only_series);
+  }
+}
+
+/// glb.tenants (bench/ablate_tenants): the foreground tenant's
+/// isolation curve over the background-hotspot intensity grid.
+void PrintTenantCurves(const Value& doc) {
+  const Value* cells = doc.Find("cells");
+  if (cells == nullptr || !cells->IsArray()) return;
+  std::cout << "glb.tenants [" << doc.StringOr("tool", "?") << "] "
+            << static_cast<std::uint64_t>(doc.NumberOr("iters", 0))
+            << " iterations\n";
+  std::cout << "  fg_barrier bg_ops: fg wait p50/p95/p99, fg flits,"
+               " bg flits\n";
+  for (const Value& c : cells->arr) {
+    const Value* fg = c.Find("fg");
+    std::cout << "  " << c.StringOr("fg_barrier", "?") << " "
+              << static_cast<std::uint64_t>(c.NumberOr("bg_ops", 0)) << ":";
+    if (fg != nullptr) {
+      std::cout << " " << fg->NumberOr("wait_p50", 0) << "/"
+                << fg->NumberOr("wait_p95", 0) << "/"
+                << fg->NumberOr("wait_p99", 0) << ", "
+                << static_cast<std::uint64_t>(fg->NumberOr("router_flits", 0));
+    } else {
+      std::cout << " -";
+    }
+    const Value* bg = c.Find("bg");
+    std::cout << ", "
+              << (bg != nullptr ? static_cast<std::uint64_t>(
+                                      bg->NumberOr("router_flits", 0))
+                                : 0);
+    const bool ok = c.Find("valid") != nullptr && c.Find("valid")->bool_v;
+    if (!ok) std::cout << "  FAIL";
+    std::cout << "\n";
   }
 }
 
@@ -273,6 +331,8 @@ void PrintDoc(const Value& doc, const std::string& only_series) {
     PrintSparklines(doc, only_series);
   } else if (schema == "glb.fig5" || schema == "glb.fig5_hier") {
     PrintFig5(doc);
+  } else if (schema == "glb.tenants") {
+    PrintTenantCurves(doc);
   } else {
     std::cout << "(skipping schema '" << (schema.empty() ? "?" : schema) << "')\n";
   }
@@ -289,7 +349,8 @@ int main(int argc, char** argv) {
         "  glb_report [--series NAME] FILE\n"
         "  FILE           a pretty manifest or JSONL appends (BENCH_*.json);\n"
         "                 renders glb.run (summary, resilience, heatmap ASCII,\n"
-        "                 host profile), glb.timeseries (sparklines), glb.fig5*\n"
+        "                 host profile, per-tenant blocks), glb.timeseries\n"
+        "                 (sparklines), glb.fig5*, glb.tenants (isolation curves)\n"
         "  --series NAME  only sparkline series whose name contains NAME\n";
     return flags.GetBool("help", false) ? 0 : 2;
   }

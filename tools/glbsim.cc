@@ -10,14 +10,17 @@
 //   glbsim --workload OCEAN --barrier DSW --cores 16 --ocean-iters 10 --stats
 //   glbsim --workload Synthetic --barrier HYB --synthetic-iters 500 --csv
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "cmp/partition.h"
 #include "common/prof.h"
 #include "harness/manifest.h"
 #include "harness/progress.h"
+#include "harness/tenants.h"
 #include "power/energy_model.h"
 #include "trace/sampler.h"
 
@@ -43,6 +46,19 @@ void Usage() {
       "  --max-cycles N  abort (with a stall diagnostic) after N cycles\n"
       "  --stats         dump the raw statistics registry\n"
       "  --csv           emit machine-readable key,value lines\n"
+      "multi-tenant space sharing (repeatable; see DESIGN.md §9):\n"
+      "  --tenant NAME:RECT:WORKLOAD:BARRIER[:TX]\n"
+      "                  admit one tenant on a rectangular partition and run\n"
+      "                  every tenant concurrently on the shared chip. RECT is\n"
+      "                  ROWSxCOLS[@ROW,COL] in mesh tiles (origin 0,0);\n"
+      "                  WORKLOAD/BARRIER as above; TX caps the tenant's\n"
+      "                  private G-line transmitter budget (default 6).\n"
+      "                  Problem sizes weak-scale to each tenant's core count\n"
+      "                  unless --scale-cores pins them. Rects must not\n"
+      "                  overlap; non-member tiles idle. Incompatible with\n"
+      "                  --fast-forward.\n"
+      "                    glbsim --cores 32 --tenant fg:4x4:Synthetic:GL \\\n"
+      "                           --tenant bg:4x4@0,4:Kernel3:RDBL --json\n"
       "host execution (simulated results are identical for every setting;\n"
       "see docs/PERFORMANCE.md):\n"
       "  --shards N      run the simulation across N host threads with the\n"
@@ -101,6 +117,202 @@ void Usage() {
       "                  noc_delay|noc_drop|core_slow|work_skew\n";
 }
 
+/// Splits one --tenant value on ':' (the rect's '@'/',' never collide).
+std::vector<std::string> SplitTenantFields(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t colon = value.find(':', start);
+    const std::size_t end = colon == std::string::npos ? value.size() : colon;
+    out.push_back(value.substr(start, end - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  return out;
+}
+
+/// Parses "NAME:RECT:WORKLOAD:BARRIER[:TX]"; exits 2 with a diagnostic
+/// on malformed input (the flag-parser convention).
+glb::harness::TenantSpec ParseTenantOrExit(const glb::Flags& flags,
+                                           const std::string& value) {
+  using namespace glb;
+  const std::vector<std::string> f = SplitTenantFields(value);
+  if (f.size() < 4 || f.size() > 5) {
+    std::cerr << "bad --tenant '" << value
+              << "' (want NAME:RECT:WORKLOAD:BARRIER[:TX], e.g. "
+                 "fg:4x4@0,0:Synthetic:GL)\n";
+    std::exit(2);
+  }
+  harness::TenantSpec t;
+  t.name = f[0];
+  if (!cmp::Rect::Parse(f[1], &t.rect)) {
+    std::cerr << "bad --tenant rect '" << f[1]
+              << "' (want ROWSxCOLS[@ROW,COL], e.g. 4x4@0,4)\n";
+    std::exit(2);
+  }
+  if (!harness::KnownWorkload(f[2])) {
+    std::cerr << "unknown workload '" << f[2] << "' (valid:";
+    for (const std::string& n : harness::WorkloadNames()) std::cerr << ' ' << n;
+    std::cerr << ")\n";
+    std::exit(2);
+  }
+  t.workload = f[2];
+  t.barrier = harness::BarrierKindFromNameOrExit(f[3]);
+  if (f.size() == 5) {
+    char* end = nullptr;
+    const unsigned long tx = std::strtoul(f[4].c_str(), &end, 10);
+    if (end == f[4].c_str() || *end != '\0' || tx == 0 || tx > 1u << 10) {
+      std::cerr << "bad --tenant transmitter budget '" << f[4] << "'\n";
+      std::exit(2);
+    }
+    t.max_transmitters = static_cast<std::uint32_t>(tx);
+  }
+  // Problem sizes weak-scale to the tenant's own core count so two
+  // tenants of different rects do comparable per-core work;
+  // --scale-cores pins every tenant to one reference size.
+  t.scale = flags.Has("scale-cores")
+                ? harness::Scale::FromFlags(
+                      flags, static_cast<std::uint32_t>(
+                                 flags.GetInt("scale-cores", 32)))
+                : harness::Scale::FromFlags(flags, t.rect.num_cores());
+  return t;
+}
+
+/// The --tenant driver path: validates the RunSpec up front (exit 2),
+/// runs every tenant concurrently, and reports per-tenant isolation
+/// metrics next to the usual chip-level summary/manifest.
+int RunMultiTenant(const glb::Flags& flags, const glb::bench::CommonFlags& common,
+                   const std::vector<std::string>& tenant_flags) {
+  using namespace glb;
+  harness::RunSpec spec;
+  spec.cfg = common.Config();
+  if (flags.Has("max-cycles")) {
+    spec.max_cycles = static_cast<Cycle>(flags.GetInt("max-cycles", 0));
+  }
+  for (const std::string& value : tenant_flags) {
+    spec.tenants.push_back(ParseTenantOrExit(flags, value));
+  }
+  const std::string admit = harness::ValidateRunSpec(spec);
+  if (!admit.empty()) {
+    std::cerr << "bad --tenant configuration: " << admit << "\n";
+    return 2;
+  }
+
+  const bool want_heatmap = flags.GetBool("heatmap", false);
+  const bool want_profile = flags.GetBool("profile", false);
+  prof::Enable(want_profile);
+
+  cmp::CmpSystem sys(spec.cfg);
+  // Tenant barrier networks are admitted after the sampler exists, so
+  // only the chip-wide breakdown gauges ride along here.
+  trace::Sampler sampler(sys.engine(), sys.stats(),
+                         static_cast<Cycle>(flags.GetInt("sample-interval", 0)));
+  for (int c = 0; c < core::kNumTimeCats; ++c) {
+    const auto cat = static_cast<core::TimeCat>(c);
+    sampler.AddGauge(std::string("core.cycles.") + core::ToString(cat),
+                     [&sys, cat] { return sys.TotalBreakdown()[cat]; });
+  }
+  harness::Progress progress(
+      sys.engine(),
+      flags.GetBool("progress", false) && harness::Progress::StderrIsTty(),
+      spec.max_cycles);
+
+  sampler.Start();
+  progress.Start();
+  const harness::MultiRunMetrics mm = harness::RunTenantsOn(sys, spec);
+  progress.Finish();
+  sampler.FinalSample();
+  const prof::Snapshot prof_snap = prof::Take();
+
+  harness::NocHeatmap heatmap;
+  if (want_heatmap) heatmap = harness::CollectNocHeatmap(sys.mesh());
+  const harness::TimeseriesMeta ts_meta{"glbsim", mm.run.workload,
+                                        mm.run.barrier, mm.run.cores};
+
+  if (common.json()) {
+    harness::ManifestOptions opts;
+    opts.tool = "glbsim";
+    opts.tenants = &mm.tenants;
+    if (want_heatmap) opts.heatmap = &heatmap;
+    if (want_profile) opts.host_profile = &prof_snap;
+    const std::string& jpath = common.json_path();
+    if (common.json_bare()) {
+      opts.pretty = true;
+      opts.sampler = &sampler;
+      harness::WriteRunManifest(std::cout, mm.run, spec.cfg, sys.stats(), opts);
+      std::cout << '\n';
+      return mm.run.completed && mm.run.validation.empty() ? 0 : 1;
+    }
+    if (!harness::AppendRunManifestLine(jpath, mm.run, spec.cfg, sys.stats(),
+                                        opts)) {
+      std::cerr << "failed to append manifest to " << jpath << "\n";
+      return 1;
+    }
+    if (sampler.enabled() &&
+        !harness::AppendTimeseriesLine(jpath, sampler, ts_meta)) {
+      std::cerr << "failed to append timeseries to " << jpath << "\n";
+      return 1;
+    }
+  }
+
+  if (!mm.run.completed) {
+    std::cerr << "simulation did not complete: " << mm.run.stall << "\n";
+    return 1;
+  }
+
+  if (flags.GetBool("csv", false)) {
+    std::cout << "name,rect,workload,barrier,cores,barriers,wait_p50,"
+                 "wait_p95,wait_p99,finished_at,router_flits,gline_signals,"
+                 "valid\n";
+    for (const harness::TenantMetrics& t : mm.tenants) {
+      std::cout << t.name << ',' << t.rect.ToString() << ',' << t.workload
+                << ',' << t.barrier << ',' << t.cores << ',' << t.barriers
+                << ',' << t.wait_cycles.PercentileApprox(0.50) << ','
+                << t.wait_cycles.PercentileApprox(0.95) << ','
+                << t.wait_cycles.PercentileApprox(0.99) << ','
+                << t.finished_at << ',' << t.router_flits << ','
+                << t.gline_signals << ','
+                << (t.validation.empty() ? "ok" : t.validation) << '\n';
+    }
+    return mm.run.validation.empty() ? 0 : 1;
+  }
+
+  std::cout << mm.tenants.size() << " tenants on " << sys.num_cores()
+            << " cores (" << spec.cfg.rows << "x" << spec.cfg.cols
+            << " mesh)\n\n";
+  harness::Table table({"tenant", "rect", "workload", "barrier", "cores",
+                        "barriers", "wait p50", "wait p99", "finished",
+                        "valid"});
+  for (const harness::TenantMetrics& t : mm.tenants) {
+    table.AddRow({t.name, t.rect.ToString(), t.workload, t.barrier,
+                  std::to_string(t.cores), std::to_string(t.barriers),
+                  harness::Table::Num(t.wait_cycles.PercentileApprox(0.50)),
+                  harness::Table::Num(t.wait_cycles.PercentileApprox(0.99)),
+                  std::to_string(t.finished_at),
+                  t.validation.empty() ? "ok" : t.validation});
+  }
+  table.Print(std::cout);
+  const auto energy = power::Estimate(sys.stats());
+  std::cout << "\n  cycles          " << sys.LastFinish() << '\n';
+  std::cout << "  noc messages    "
+            << sys.stats().SumCountersWithPrefix("noc.msgs.") << '\n';
+  std::cout << "  ";
+  power::Print(std::cout, energy);
+  std::cout << "  validation      "
+            << (mm.run.validation.empty() ? "ok" : mm.run.validation) << '\n';
+  std::cout << "  host events     " << sys.HostEvents() << '\n';
+  if (sampler.enabled()) {
+    std::cout << "  timeseries      " << sampler.samples().size()
+              << " samples @ " << sampler.interval() << " cycles\n";
+  }
+
+  if (flags.GetBool("stats", false)) {
+    std::cout << "\n--- statistics registry ---\n";
+    sys.stats().Print(std::cout);
+  }
+  return mm.run.validation.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,7 +322,13 @@ int main(int argc, char** argv) {
     Usage();
     return 0;
   }
-  const bench::Observability obs(flags);
+  const bench::CommonFlags common = bench::ParseCommonFlags(flags);
+  // Space-shared mode: every --tenant occurrence admits one partition
+  // and the run is described by a harness::RunSpec instead.
+  if (const auto tenant_flags = flags.GetStrings("tenant");
+      !tenant_flags.empty()) {
+    return RunMultiTenant(flags, common, tenant_flags);
+  }
   // The run is described by a name-addressed ExperimentSpec (also echoed
   // into the --json manifest so a line is replayable). --scale-cores
   // applies the weak-scaling rules before the per-size flag overrides.
@@ -123,7 +341,7 @@ int main(int argc, char** argv) {
                          flags, static_cast<std::uint32_t>(
                                     flags.GetInt("scale-cores", 32)))
                    : harness::Scale::FromFlags(flags);
-  spec.cfg = bench::ConfigFromFlags(flags);
+  spec.cfg = common.Config();
   if (flags.Has("max-cycles")) {
     spec.max_cycles = static_cast<Cycle>(flags.GetInt("max-cycles", 0));
   }
@@ -191,7 +409,7 @@ int main(int argc, char** argv) {
 
   // Manifests are emitted even for stalled runs (the stall diagnostic
   // lands in run.validation / run.stall).
-  if (flags.Has("json")) {
+  if (common.json()) {
     const harness::RunMetrics m = harness::CollectMetrics(
         sys, status, *workload, harness::ToString(spec.barrier), wall.count());
     harness::ManifestOptions opts;
@@ -202,8 +420,8 @@ int main(int argc, char** argv) {
       if (!hier_levels.empty()) opts.hier_levels = &hier_levels;
     }
     if (want_profile) opts.host_profile = &prof_snap;
-    const std::string jpath = flags.GetString("json", "");
-    if (jpath.empty() || jpath == "true") {  // bare --json: manifest is the report
+    const std::string& jpath = common.json_path();
+    if (common.json_bare()) {  // bare --json: manifest is the report
       opts.pretty = true;
       opts.sampler = &sampler;  // timeseries embeds in the one document
       harness::WriteRunManifest(std::cout, m, cfg, sys.stats(), opts);
